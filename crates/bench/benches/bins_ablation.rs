@@ -1,0 +1,50 @@
+//! Ablation of the bin layout design (DESIGN.md §5.1/§5.3): the paper's
+//! irregular layouts vs plain power-of-two layouts, and the linear bin scan
+//! vs binary search. For the small, fixed bin counts the paper uses, a
+//! branch-predictable linear scan is competitive with (usually faster
+//! than) binary search, and irregular layouts cost nothing extra.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use histo::{layouts, BinEdges};
+use simkit::SimRng;
+
+fn values(n: usize, lo: i64, hi: i64) -> Vec<i64> {
+    let mut rng = SimRng::seed_from(5);
+    let span = (hi - lo) as u64;
+    (0..n).map(|_| lo + rng.range_inclusive(0, span) as i64).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bins_ablation");
+    group.sample_size(60);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let vals = values(4096, 0, 1 << 21);
+    let cases: Vec<(&str, BinEdges)> = vec![
+        ("irregular_paper_layout", layouts::io_length_bytes()),
+        ("pow2_layout", layouts::pow2(21)),
+    ];
+    for (name, edges) in cases {
+        let mut i = 0usize;
+        group.bench_function(format!("{name}/linear"), |b| {
+            b.iter(|| {
+                let v = vals[i & 4095];
+                i = i.wrapping_add(1);
+                black_box(edges.bin_index(black_box(v)))
+            })
+        });
+        let mut j = 0usize;
+        group.bench_function(format!("{name}/binary"), |b| {
+            b.iter(|| {
+                let v = vals[j & 4095];
+                j = j.wrapping_add(1);
+                black_box(edges.bin_index_binary(black_box(v)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

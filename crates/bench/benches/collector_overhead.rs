@@ -1,0 +1,90 @@
+//! The Table 2 cost, measured precisely: nanoseconds per command through
+//! the full per-command instrumentation path (issue + completion hooks),
+//! for the collector alone and through the service front-end with the
+//! stats disabled (the "branch predictor makes it free" path, §5.2).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simkit::{SimDuration, SimRng, SimTime};
+use vscsi::{IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId};
+use vscsi_stats::{CollectorConfig, IoStatsCollector, StatsService};
+
+fn make_requests(n: usize) -> Vec<IoRequest> {
+    let mut rng = SimRng::seed_from(3);
+    let mut t = SimTime::ZERO;
+    (0..n)
+        .map(|i| {
+            t += SimDuration::from_micros(100);
+            IoRequest::new(
+                RequestId(i as u64),
+                TargetId::default(),
+                if i % 3 == 0 {
+                    IoDirection::Write
+                } else {
+                    IoDirection::Read
+                },
+                Lba::new(rng.range_inclusive(0, 10_000_000)),
+                8,
+                t,
+            )
+        })
+        .collect()
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collector_overhead");
+    group.sample_size(60);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let requests = make_requests(4096);
+
+    // Full per-command path: on_issue + on_complete.
+    let mut collector = IoStatsCollector::new(CollectorConfig::default());
+    let mut i = 0usize;
+    group.bench_function("collector_issue_plus_complete", |b| {
+        b.iter(|| {
+            let req = &requests[i & 4095];
+            collector.on_issue(black_box(req));
+            collector.on_complete(black_box(&IoCompletion::new(
+                *req,
+                req.issue_time + SimDuration::from_micros(500),
+            )));
+            i = i.wrapping_add(1);
+        })
+    });
+
+    // Service front-end, stats enabled.
+    let service = StatsService::default();
+    service.enable_all();
+    let mut j = 0usize;
+    group.bench_function("service_enabled", |b| {
+        b.iter(|| {
+            let req = &requests[j & 4095];
+            service.handle_issue(black_box(req));
+            service.handle_complete(black_box(&IoCompletion::new(
+                *req,
+                req.issue_time + SimDuration::from_micros(500),
+            )));
+            j = j.wrapping_add(1);
+        })
+    });
+
+    // Service front-end, stats disabled: the always-on hook cost.
+    let off = StatsService::default();
+    let mut k = 0usize;
+    group.bench_function("service_disabled", |b| {
+        b.iter(|| {
+            let req = &requests[k & 4095];
+            off.handle_issue(black_box(req));
+            off.handle_complete(black_box(&IoCompletion::new(
+                *req,
+                req.issue_time + SimDuration::from_micros(500),
+            )));
+            k = k.wrapping_add(1);
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

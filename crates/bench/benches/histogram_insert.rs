@@ -1,0 +1,41 @@
+//! Per-insert cost of the online histograms (the paper's O(1)-per-command
+//! claim, §3): one bin lookup + counter increment across every paper
+//! layout.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use histo::{layouts, Histogram};
+use simkit::SimRng;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram_insert");
+    group.sample_size(60);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let cases: Vec<(&str, histo::BinEdges, i64, i64)> = vec![
+        ("io_length", layouts::io_length_bytes(), 512, 1_048_576),
+        ("seek_distance", layouts::seek_distance_sectors(), -600_000, 600_000),
+        ("latency", layouts::latency_us(), 1, 200_000),
+        ("outstanding", layouts::outstanding_ios(), 0, 80),
+    ];
+    for (name, edges, lo, hi) in cases {
+        // Pre-generate values so RNG cost stays out of the measurement.
+        let mut rng = SimRng::seed_from(1);
+        let span = (hi - lo) as u64;
+        let values: Vec<i64> = (0..4096)
+            .map(|_| lo + (rng.range_inclusive(0, span) as i64))
+            .collect();
+        let mut h = Histogram::new(edges);
+        let mut i = 0usize;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                h.record(black_box(values[i & 4095]));
+                i = i.wrapping_add(1);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! End-to-end simulator throughput: how many simulated commands per host
+//! second the full pipeline (workload -> vSCSI -> stats -> array) sustains,
+//! with the histogram service on and off. This is the macro-level version
+//! of Table 2's CPU column.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simkit::SimTime;
+use vscsistats_bench::scenarios::run_microbench;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_throughput");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    group.bench_function("iometer_200ms_service_on", |b| {
+        b.iter(|| black_box(run_microbench(true, SimTime::from_millis(200), 1).completed))
+    });
+    group.bench_function("iometer_200ms_service_off", |b| {
+        b.iter(|| black_box(run_microbench(false, SimTime::from_millis(200), 1).completed))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

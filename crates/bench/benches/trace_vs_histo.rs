@@ -1,0 +1,88 @@
+//! Online histograms vs full command tracing: the CPU side of the paper's
+//! O(m)-space-vs-O(n)-space trade (§3). Also benches offline replay of a
+//! trace into histograms (the post-processing path the histograms avoid).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simkit::{SimDuration, SimRng, SimTime};
+use vscsi::{IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId};
+use vscsi_stats::{
+    replay, CollectorConfig, IoStatsCollector, TraceCapacity, TraceRecord, VscsiTracer,
+};
+
+fn requests(n: usize) -> Vec<IoRequest> {
+    let mut rng = SimRng::seed_from(9);
+    let mut t = SimTime::ZERO;
+    (0..n)
+        .map(|i| {
+            t += SimDuration::from_micros(50);
+            IoRequest::new(
+                RequestId(i as u64),
+                TargetId::default(),
+                IoDirection::Read,
+                Lba::new(rng.range_inclusive(0, 1_000_000)),
+                16,
+                t,
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_vs_histo");
+    group.sample_size(40);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let reqs = requests(4096);
+
+    let mut collector = IoStatsCollector::new(CollectorConfig::default());
+    let mut i = 0usize;
+    group.bench_function("histogram_per_command", |b| {
+        b.iter(|| {
+            let r = &reqs[i & 4095];
+            collector.on_issue(black_box(r));
+            collector.on_complete(&IoCompletion::new(
+                *r,
+                r.issue_time + SimDuration::from_micros(300),
+            ));
+            i = i.wrapping_add(1);
+        })
+    });
+
+    let mut tracer = VscsiTracer::new(TraceCapacity::Ring(65_536));
+    let mut j = 0usize;
+    group.bench_function("trace_per_command", |b| {
+        b.iter(|| {
+            let r = &reqs[j & 4095];
+            tracer.on_issue(black_box(r));
+            tracer.on_complete(&IoCompletion::new(
+                *r,
+                r.issue_time + SimDuration::from_micros(300),
+            ));
+            j = j.wrapping_add(1);
+        })
+    });
+
+    // Offline: replay a 4k-command trace into a fresh collector.
+    let trace: Vec<TraceRecord> = {
+        let mut t = VscsiTracer::new(TraceCapacity::Unbounded);
+        for r in &reqs {
+            t.on_issue(r);
+            t.on_complete(&IoCompletion::new(
+                *r,
+                r.issue_time + SimDuration::from_micros(300),
+            ));
+        }
+        t.records().copied().collect()
+    };
+    group.bench_function("replay_4096_commands", |b| {
+        b.iter(|| {
+            let c = replay(black_box(&trace), CollectorConfig::default());
+            black_box(c.issued_commands())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

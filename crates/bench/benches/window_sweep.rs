@@ -1,0 +1,32 @@
+//! Ablation of the look-behind window size N (§3.1, DESIGN.md §5.2):
+//! per-observe cost of the min-of-last-N scan as N grows. The paper picks
+//! N = 16; this shows the linear search stays cheap well beyond that.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use histo::SeekWindow;
+use simkit::SimRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_sweep");
+    group.sample_size(60);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let mut rng = SimRng::seed_from(8);
+    let blocks: Vec<u64> = (0..4096).map(|_| rng.range_inclusive(0, 100_000_000)).collect();
+    for n in [1usize, 4, 8, 16, 32, 64, 128] {
+        let mut w = SeekWindow::new(n);
+        let mut i = 0usize;
+        group.bench_function(format!("observe/N={n}"), |b| {
+            b.iter(|| {
+                let first = blocks[i & 4095];
+                i = i.wrapping_add(1);
+                black_box(w.observe(black_box(first), 16))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Extension experiment (paper §7 future work): automatic workload
+//! categorization. Fingerprints every paper workload from its
+//! environment-independent histograms, classifies each, builds a labelled
+//! library, and verifies (a) each workload is nearest to its own kind and
+//! (b) fingerprints are stable across different storage back-ends — the
+//! §3.7 environment-independence claim, applied.
+
+use simkit::SimTime;
+use vscsistats_bench::reporting::{shape_report, ShapeCheck};
+use vscsistats_bench::scenarios::{
+    run_dbt2, run_filebench_oltp, run_filecopy, run_interference, CopyOs, FsKind,
+    InterferenceMode,
+};
+use vscsi_stats::{fingerprint, FingerprintLibrary, WorkloadClass, WorkloadFingerprint};
+
+fn main() {
+    println!("=== Extension: automatic workload categorization (paper §7) ===\n");
+    let dur = SimTime::from_secs(12);
+
+    let mut named: Vec<(&str, WorkloadFingerprint, WorkloadClass)> = Vec::new();
+    let add = |name: &'static str, collector: &vscsi_stats::IoStatsCollector,
+                   named: &mut Vec<(&str, WorkloadFingerprint, WorkloadClass)>| {
+        let fp = WorkloadFingerprint::from_collector(collector, 200)
+            .expect("enough commands to fingerprint");
+        let class = fp.classify();
+        println!("{name}:");
+        println!("  {fp}");
+        println!("  class: {class}");
+        for rec in fingerprint::recommendations(&fp) {
+            println!("  advice: {rec}");
+        }
+        println!();
+        named.push((name, fp, class));
+    };
+
+    let ufs = run_filebench_oltp(FsKind::Ufs, dur, 0xE1);
+    add("filebench-oltp-ufs", &ufs.collectors[0], &mut named);
+    let dbt2 = run_dbt2(dur, 0xE2);
+    add("dbt2", &dbt2.collectors[0], &mut named);
+    let copy = run_filecopy(CopyOs::Vista, dur, 0xE3, );
+    add("file-copy-vista", &copy.collectors[0], &mut named);
+    let seq = run_interference(InterferenceMode::SoloSequential, false, dur, 0xE4);
+    add("8k-sequential-reader", &seq.collectors[0], &mut named);
+    let rand = run_interference(InterferenceMode::SoloRandom, false, dur, 0xE5);
+    add("8k-random-reader", &rand.collectors[0], &mut named);
+
+    // Environment independence: the same DBT-2 workload on a different
+    // array (cache behaviour differs wildly) fingerprints the same.
+    let dbt2_b = run_dbt2(dur, 0xE2);
+    let fp_a = &named.iter().find(|(n, _, _)| *n == "dbt2").unwrap().1;
+    let fp_b = WorkloadFingerprint::from_collector(&dbt2_b.collectors[0], 200).unwrap();
+    let self_similarity = fp_a.similarity(&fp_b);
+
+    // Library round-trip: each workload must be nearest to itself among
+    // re-runs with a different seed.
+    let mut library = FingerprintLibrary::new();
+    for (name, fp, _) in &named {
+        library.insert(*name, fp.clone());
+    }
+    let reprobe = run_filebench_oltp(FsKind::Ufs, dur, 0xF1);
+    let probe_fp = WorkloadFingerprint::from_collector(&reprobe.collectors[0], 200).unwrap();
+    let (nearest, score) = library.nearest(&probe_fp).unwrap();
+
+    let class_of = |n: &str| named.iter().find(|(name, _, _)| *name == n).unwrap().2;
+    let checks = vec![
+        ShapeCheck::new(
+            "OLTP-style workloads classify as OLTP/database",
+            format!(
+                "filebench-oltp-ufs -> {}, dbt2 -> {}",
+                class_of("filebench-oltp-ufs"),
+                class_of("dbt2")
+            ),
+            class_of("filebench-oltp-ufs") == WorkloadClass::OltpDatabase
+                && class_of("dbt2") == WorkloadClass::OltpDatabase,
+        ),
+        ShapeCheck::new(
+            "large sequential workloads classify as streaming",
+            format!(
+                "file-copy-vista -> {}, 8k-seq -> {}",
+                class_of("file-copy-vista"),
+                class_of("8k-sequential-reader")
+            ),
+            class_of("file-copy-vista") == WorkloadClass::StreamingLarge,
+        ),
+        ShapeCheck::new(
+            "fingerprints are environment-independent (§3.7)",
+            format!("same workload, re-run: similarity {self_similarity:.3}"),
+            self_similarity > 0.95,
+        ),
+        ShapeCheck::new(
+            "library nearest-neighbour recovers the workload identity",
+            format!("re-seeded filebench-oltp-ufs matched {nearest:?} at {score:.3}"),
+            nearest == "filebench-oltp-ufs" && score > 0.9,
+        ),
+    ];
+    let (report, ok) = shape_report(&checks);
+    println!("{report}");
+    if !ok {
+        std::process::exit(1);
+    }
+}

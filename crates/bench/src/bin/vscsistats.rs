@@ -1,0 +1,177 @@
+//! `vscsistats` — a command-line front-end mirroring the workflow of the
+//! paper's tool: pick a workload, collect online histograms while it runs,
+//! and print reports, CSV dumps, or a fingerprint with placement advice.
+//!
+//! ```text
+//! vscsistats --workload oltp-zfs --seconds 20 --report
+//! vscsistats --workload dbt2 --seconds 30 --fingerprint
+//! vscsistats --workload copy-vista --csv > hist.csv
+//! vscsistats --list
+//! ```
+
+use simkit::SimTime;
+use vscsistats_bench::scenarios::{
+    run_dbt2, run_filebench_oltp, run_filecopy, run_interference, CopyOs, FsKind,
+    InterferenceMode, RunResult,
+};
+use vscsi_stats::{fingerprint, report, WorkloadFingerprint};
+
+const WORKLOADS: &[(&str, &str)] = &[
+    ("oltp-ufs", "Filebench OLTP on the UFS model (Figure 2)"),
+    ("oltp-zfs", "Filebench OLTP on the ZFS model (Figure 3)"),
+    ("oltp-ext3", "Filebench OLTP on the ext3 model (ablation)"),
+    ("oltp-ntfs", "Filebench OLTP on the NTFS model (ablation)"),
+    ("dbt2", "DBT-2 / PostgreSQL model (Figure 4)"),
+    ("copy-xp", "Windows XP large file copy (Figure 5)"),
+    ("copy-vista", "Windows Vista large file copy (Figure 5)"),
+    ("interfere", "8K random + 8K sequential readers on one array (Figure 6)"),
+];
+
+struct Args {
+    workload: Option<String>,
+    seconds: u64,
+    seed: u64,
+    csv: bool,
+    fingerprint: bool,
+    report: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workload: None,
+        seconds: 10,
+        seed: 1,
+        csv: false,
+        fingerprint: false,
+        report: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workload" | "-w" => {
+                args.workload = Some(it.next().ok_or("--workload needs a value")?);
+            }
+            "--seconds" | "-s" => {
+                args.seconds = it
+                    .next()
+                    .ok_or("--seconds needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seconds: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--csv" => args.csv = true,
+            "--fingerprint" | "-f" => args.fingerprint = true,
+            "--report" | "-r" => args.report = true,
+            "--list" | "-l" => args.list = true,
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_help() {
+    println!("vscsistats — online disk I/O workload characterization (simulated host)\n");
+    println!("usage: vscsistats --workload <name> [--seconds N] [--seed N] [--report] [--csv] [--fingerprint]");
+    println!("       vscsistats --list\n");
+    println!("workloads:");
+    for (name, desc) in WORKLOADS {
+        println!("  {name:<12} {desc}");
+    }
+    println!("\nflags:");
+    println!("  --report       full histogram report (default if nothing else chosen)");
+    println!("  --csv          machine-readable metric,lens,bin,count dump");
+    println!("  --fingerprint  environment-independent fingerprint + classification + advice");
+}
+
+fn run_workload(name: &str, duration: SimTime, seed: u64) -> Result<RunResult, String> {
+    Ok(match name {
+        "oltp-ufs" => run_filebench_oltp(FsKind::Ufs, duration, seed),
+        "oltp-zfs" => run_filebench_oltp(FsKind::Zfs, duration, seed),
+        "oltp-ext3" => run_filebench_oltp(FsKind::Ext3, duration, seed),
+        "oltp-ntfs" => run_filebench_oltp(FsKind::Ntfs, duration, seed),
+        "dbt2" => run_dbt2(duration, seed),
+        "copy-xp" => run_filecopy(CopyOs::Xp, duration, seed),
+        "copy-vista" => run_filecopy(CopyOs::Vista, duration, seed),
+        "interfere" => run_interference(InterferenceMode::Dual, false, duration, seed),
+        other => return Err(format!("unknown workload {other:?} (try --list)")),
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.list {
+        for (name, desc) in WORKLOADS {
+            println!("{name:<12} {desc}");
+        }
+        return;
+    }
+    let Some(workload) = args.workload.as_deref() else {
+        print_help();
+        std::process::exit(2);
+    };
+    let duration = SimTime::from_secs(args.seconds.max(1));
+    eprintln!("running {workload} for {} simulated seconds (seed {})...", args.seconds, args.seed);
+    let result = match run_workload(workload, duration, args.seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let want_report = args.report || (!args.csv && !args.fingerprint);
+    for (idx, collector) in result.collectors.iter().enumerate() {
+        if result.collectors.len() > 1 {
+            println!("===== attachment {idx} =====");
+        }
+        println!(
+            "completed={} IOps={:.0} MBps={:.1} meanLat={:.2}ms",
+            result.completed[idx],
+            result.iops[idx],
+            result.mbps[idx],
+            result.mean_latency_us[idx] / 1000.0
+        );
+        if let Some(p) = collector.latency_percentiles() {
+            println!(
+                "latency percentile bins: p50 <= {} us, p90 <= {} us, p99 <= {} us",
+                p.p50_us, p.p90_us, p.p99_us
+            );
+        }
+        if want_report {
+            println!("{}", report::full_report(collector));
+        }
+        if args.csv {
+            print!("{}", report::csv_dump(collector));
+        }
+        if args.fingerprint {
+            match WorkloadFingerprint::from_collector(collector, 100) {
+                Some(fp) => {
+                    println!("{fp}");
+                    println!("class: {}", fp.classify());
+                    for rec in fingerprint::recommendations(&fp) {
+                        println!("advice: {rec}");
+                    }
+                }
+                None => println!("not enough commands to fingerprint"),
+            }
+        }
+    }
+}

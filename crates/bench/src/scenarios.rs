@@ -1,0 +1,361 @@
+//! Shared experiment scenarios: one builder per paper workload, reused by
+//! the figure binaries, the integration tests, and the Criterion benches.
+
+use esx::{Simulation, VmBuilder};
+use guests::filebench::{oltp_model, parse_model, FilebenchWorkload};
+use guests::fs::{Ext3Params, NtfsParams, Ufs, UfsParams, Zfs, ZfsParams};
+use guests::{AccessSpec, Dbt2Params, Dbt2Workload, Delayed, FileCopyParams, FileCopyWorkload, IometerWorkload};
+use simkit::SimTime;
+use std::sync::Arc;
+use storage::presets;
+use vscsi_stats::{CollectorConfig, IoStatsCollector, StatsService};
+
+/// Outcome of one scenario run: the per-attachment collectors plus
+/// throughput counters.
+#[derive(Debug)]
+pub struct RunResult {
+    /// One entry per attachment, in attachment order.
+    pub collectors: Vec<IoStatsCollector>,
+    /// Completed commands per attachment.
+    pub completed: Vec<u64>,
+    /// Mean IOps per attachment over the run.
+    pub iops: Vec<f64>,
+    /// Mean MB/s per attachment over the run.
+    pub mbps: Vec<f64>,
+    /// Mean device latency per attachment, microseconds.
+    pub mean_latency_us: Vec<f64>,
+    /// Simulated horizon.
+    pub horizon: SimTime,
+    /// Completions per second, per attachment (IOps over time).
+    pub per_second: Vec<Vec<u64>>,
+}
+
+fn collect(sim: &Simulation, service: &StatsService, horizon: SimTime) -> RunResult {
+    let mut out = RunResult {
+        collectors: Vec::new(),
+        completed: Vec::new(),
+        iops: Vec::new(),
+        mbps: Vec::new(),
+        mean_latency_us: Vec::new(),
+        horizon,
+        per_second: Vec::new(),
+    };
+    for idx in 0..sim.attachment_count() {
+        let target = sim.attachment_target(idx);
+        let collector = service
+            .collector(target)
+            .unwrap_or_else(|| IoStatsCollector::new(CollectorConfig::paper_figures()));
+        let stats = sim.attachment_stats(idx);
+        out.collectors.push(collector);
+        out.completed.push(stats.completed);
+        out.iops.push(stats.iops(horizon));
+        out.mbps.push(stats.mbps(horizon));
+        out.mean_latency_us.push(stats.mean_latency_us());
+        out.per_second.push(stats.per_second.counts().to_vec());
+    }
+    out
+}
+
+/// Which filesystem model backs the Filebench OLTP run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsKind {
+    /// UFS in-place model (Figure 2).
+    Ufs,
+    /// ZFS copy-on-write model (Figure 3).
+    Zfs,
+    /// ext3 journalling model (ablation).
+    Ext3,
+    /// NTFS run-based model (ablation).
+    Ntfs,
+}
+
+/// Runs Filebench OLTP on the chosen filesystem (Figures 2 and 3):
+/// Solaris-like VM, 32 GiB virtual disk, Symmetrix-like array.
+pub fn run_filebench_oltp(fs: FsKind, duration: SimTime, seed: u64) -> RunResult {
+    let service = Arc::new(StatsService::new(CollectorConfig::paper_figures()));
+    service.enable_all();
+    let mut sim = Simulation::new(presets::symmetrix(), Arc::clone(&service), seed);
+    let spec = parse_model(&oltp_model()).expect("oltp model parses");
+    let disk_bytes = match fs {
+        FsKind::Ntfs | FsKind::Ext3 => 64 * 1024 * 1024 * 1024,
+        _ => 32 * 1024 * 1024 * 1024,
+    };
+    let vm = VmBuilder::new(0)
+        .with_disk(disk_bytes)
+        .attach(sim.rng().fork("filebench"), move |rng| {
+            let fs_model: Box<dyn guests::fs::Filesystem> = match fs {
+                FsKind::Ufs => Box::new(Ufs::new(UfsParams::default())),
+                FsKind::Zfs => Box::new(Zfs::new(ZfsParams::default())),
+                FsKind::Ext3 => Box::new(guests::fs::Ext3::new(Ext3Params::default())),
+                FsKind::Ntfs => Box::new(guests::fs::Ntfs::new(NtfsParams::default())),
+            };
+            Box::new(FilebenchWorkload::new("filebench-oltp", spec, fs_model, rng))
+        });
+    sim.add_vm(vm);
+    sim.run_until(duration);
+    collect(&sim, &service, duration)
+}
+
+/// Runs the DBT-2/PostgreSQL model (Figure 4): Linux-like VM, 52 GiB
+/// virtual disk, Symmetrix-like array, paper parameters (250-warehouse-
+/// scale database, 50 connections).
+pub fn run_dbt2(duration: SimTime, seed: u64) -> RunResult {
+    let service = Arc::new(StatsService::new(CollectorConfig::paper_figures()));
+    service.enable_all();
+    let mut sim = Simulation::new(presets::symmetrix(), Arc::clone(&service), seed);
+    let vm = VmBuilder::new(0)
+        .with_disk(52 * 1024 * 1024 * 1024)
+        .attach(sim.rng().fork("dbt2"), |rng| {
+            Box::new(Dbt2Workload::new("dbt2", Dbt2Params::default(), rng))
+        });
+    sim.add_vm(vm);
+    sim.run_until(duration);
+    collect(&sim, &service, duration)
+}
+
+/// Which copy engine the file-copy run models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyOs {
+    /// Windows XP Pro: 64 KiB chunks.
+    Xp,
+    /// Windows Vista Enterprise: 1 MiB chunks.
+    Vista,
+}
+
+/// Runs the large-file-copy scenario (Figure 5) for 10 simulated seconds
+/// by default, like the paper's caption says.
+pub fn run_filecopy(os: CopyOs, duration: SimTime, seed: u64) -> RunResult {
+    let service = Arc::new(StatsService::new(CollectorConfig::paper_figures()));
+    service.enable_all();
+    let mut sim = Simulation::new(presets::symmetrix(), Arc::clone(&service), seed);
+    let file_bytes = 2u64 * 1024 * 1024 * 1024;
+    let params = match os {
+        CopyOs::Xp => FileCopyParams::xp(file_bytes),
+        CopyOs::Vista => FileCopyParams::vista(file_bytes),
+    };
+    let vm = VmBuilder::new(0)
+        .with_disk(8 * 1024 * 1024 * 1024)
+        .attach(sim.rng().fork("copy"), move |_rng| {
+            Box::new(FileCopyWorkload::new(
+                match os {
+                    CopyOs::Xp => "xp-copy",
+                    CopyOs::Vista => "vista-copy",
+                },
+                params,
+            ))
+        });
+    sim.add_vm(vm);
+    sim.run_until(duration);
+    collect(&sim, &service, duration)
+}
+
+/// One row of the Table 2 microbenchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct MicrobenchRow {
+    /// Whether the histogram service was enabled.
+    pub service_enabled: bool,
+    /// Completions per second.
+    pub iops: f64,
+    /// MB per second.
+    pub mbps: f64,
+    /// Mean device latency, milliseconds.
+    pub latency_ms: f64,
+    /// Host wall-clock seconds spent running the simulation (the CPU-cost
+    /// proxy for the paper's "CPU out of 800" column).
+    pub host_seconds: f64,
+    /// Simulated host CPU utilization in the paper's "out of 800" form,
+    /// from the hypervisor's per-command cost model.
+    pub cpu_out_of_800: f64,
+    /// Simulated commands completed.
+    pub completed: u64,
+}
+
+/// Runs the §5 microbenchmark: Iometer 4 KiB sequential reads against the
+/// Symmetrix-like array, with the histogram service on or off, measuring
+/// host CPU cost as wall-clock time.
+pub fn run_microbench(service_enabled: bool, duration: SimTime, seed: u64) -> MicrobenchRow {
+    let service = Arc::new(StatsService::default());
+    if service_enabled {
+        service.enable_all();
+    }
+    let mut sim = Simulation::new(presets::symmetrix(), Arc::clone(&service), seed);
+    let vm = VmBuilder::new(0)
+        .with_disk(8 * 1024 * 1024 * 1024)
+        .attach(sim.rng().fork("iometer"), |rng| {
+            Box::new(IometerWorkload::new(
+                "4k-seq-read",
+                AccessSpec::seq_read_4k(16, 4 * 1024 * 1024 * 1024),
+                rng,
+            ))
+        });
+    sim.add_vm(vm);
+    let t0 = std::time::Instant::now();
+    sim.run_until(duration);
+    let host_seconds = t0.elapsed().as_secs_f64();
+    let stats = sim.attachment_stats(0);
+    MicrobenchRow {
+        service_enabled,
+        iops: stats.iops(duration),
+        mbps: stats.mbps(duration),
+        latency_ms: stats.mean_latency_us() / 1000.0,
+        host_seconds,
+        cpu_out_of_800: sim.cpu_out_of_n(duration),
+        completed: stats.completed,
+    }
+}
+
+/// Interference experiment phases (Figure 6, §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterferenceMode {
+    /// The 8 KiB random reader alone.
+    SoloRandom,
+    /// The 8 KiB sequential reader alone.
+    SoloSequential,
+    /// Both VMs from t = 0.
+    Dual,
+    /// Sequential from t = 0; random joins at `duration / 3` (the Figure
+    /// 6(c) phase-shift view).
+    Staggered,
+}
+
+/// Runs the two-VM interference experiment: two 6 GiB virtual disks on the
+/// same CLARiiON-CX3-like array, 32 outstanding I/Os each, read cache on or
+/// off. Attachment 0 is the random reader, attachment 1 the sequential one
+/// (whichever are present for the mode).
+pub fn run_interference(
+    mode: InterferenceMode,
+    cache_on: bool,
+    duration: SimTime,
+    seed: u64,
+) -> RunResult {
+    let service = Arc::new(StatsService::new(CollectorConfig::paper_figures()));
+    service.enable_all();
+    let array = if cache_on {
+        presets::clariion_cx3()
+    } else {
+        presets::clariion_cx3_cache_off()
+    };
+    let mut sim = Simulation::new(array, Arc::clone(&service), seed);
+    let disk_bytes = 6u64 * 1024 * 1024 * 1024;
+    let region = disk_bytes;
+    let random = |rng: simkit::SimRng| -> Box<dyn guests::Workload> {
+        Box::new(IometerWorkload::new(
+            "8k-random-read",
+            AccessSpec::random_read_8k(32, region),
+            rng,
+        ))
+    };
+    let sequential = |rng: simkit::SimRng| -> Box<dyn guests::Workload> {
+        Box::new(IometerWorkload::new(
+            "8k-seq-read",
+            AccessSpec::seq_read_8k(32, region),
+            rng,
+        ))
+    };
+    match mode {
+        InterferenceMode::SoloRandom => {
+            sim.add_vm(
+                VmBuilder::new(0)
+                    .with_disk(disk_bytes)
+                    .attach(sim.rng().fork("rand"), random),
+            );
+        }
+        InterferenceMode::SoloSequential => {
+            sim.add_vm(
+                VmBuilder::new(1)
+                    .with_disk(disk_bytes)
+                    .attach(sim.rng().fork("seq"), sequential),
+            );
+        }
+        InterferenceMode::Dual => {
+            sim.add_vm(
+                VmBuilder::new(0)
+                    .with_disk(disk_bytes)
+                    .attach(sim.rng().fork("rand"), random),
+            );
+            sim.add_vm(
+                VmBuilder::new(1)
+                    .with_disk(disk_bytes)
+                    .attach(sim.rng().fork("seq"), sequential),
+            );
+        }
+        InterferenceMode::Staggered => {
+            let join_at = SimTime::from_nanos(duration.as_nanos() / 3);
+            sim.add_vm(VmBuilder::new(0).with_disk(disk_bytes).attach(
+                sim.rng().fork("rand"),
+                move |rng| Box::new(Delayed::new(random(rng), join_at)),
+            ));
+            sim.add_vm(
+                VmBuilder::new(1)
+                    .with_disk(disk_bytes)
+                    .attach(sim.rng().fork("seq"), sequential),
+            );
+        }
+    }
+    sim.run_until(duration);
+    collect(&sim, &service, duration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vscsi_stats::{Lens, Metric};
+
+    #[test]
+    fn filebench_ufs_produces_small_random_io() {
+        let r = run_filebench_oltp(FsKind::Ufs, SimTime::from_secs(5), 1);
+        let c = &r.collectors[0];
+        let len = c.histogram(Metric::IoLength, Lens::All);
+        assert!(len.total() > 200, "too few I/Os: {}", len.total());
+        // Mode at 4 KiB or 8 KiB.
+        let mode = len.mode_bin().unwrap();
+        let i4 = len.edges().bin_index(4096);
+        let i8 = len.edges().bin_index(8192);
+        assert!(mode == i4 || mode == i8, "mode bin {mode}");
+    }
+
+    #[test]
+    fn dbt2_all_8k() {
+        let r = run_dbt2(SimTime::from_secs(5), 2);
+        let c = &r.collectors[0];
+        let len = c.histogram(Metric::IoLength, Lens::All);
+        assert!(len.total() > 100);
+        let i8 = len.edges().bin_index(8192);
+        assert!(
+            len.count(i8) as f64 / len.total() as f64 > 0.95,
+            "DBT-2 must be ~all 8 KiB"
+        );
+    }
+
+    #[test]
+    fn filecopy_chunk_sizes_differ() {
+        let xp = run_filecopy(CopyOs::Xp, SimTime::from_secs(2), 3);
+        let vista = run_filecopy(CopyOs::Vista, SimTime::from_secs(2), 3);
+        let lx = xp.collectors[0].histogram(Metric::IoLength, Lens::All);
+        let lv = vista.collectors[0].histogram(Metric::IoLength, Lens::All);
+        assert_eq!(lx.mode_bin(), Some(lx.edges().bin_index(65_536)));
+        assert_eq!(lv.mode_bin(), Some(lv.edges().bin_index(524_288 + 1)),
+            "1 MiB lands in the >524288 overflow bin");
+        // Vista completes far fewer commands.
+        assert!(xp.completed[0] > vista.completed[0] * 4);
+    }
+
+    #[test]
+    fn microbench_runs_both_ways() {
+        let on = run_microbench(true, SimTime::from_millis(500), 4);
+        let off = run_microbench(false, SimTime::from_millis(500), 4);
+        assert!(on.completed > 1_000);
+        // Identical simulated behaviour regardless of the service state.
+        assert_eq!(on.completed, off.completed);
+        assert!((on.iops - off.iops).abs() < 1.0);
+    }
+
+    #[test]
+    fn interference_mode_attachment_counts() {
+        let solo = run_interference(InterferenceMode::SoloRandom, false, SimTime::from_millis(300), 5);
+        assert_eq!(solo.collectors.len(), 1);
+        let dual = run_interference(InterferenceMode::Dual, false, SimTime::from_millis(300), 5);
+        assert_eq!(dual.collectors.len(), 2);
+        assert!(dual.completed.iter().all(|&c| c > 0));
+    }
+}

@@ -1,0 +1,75 @@
+//! Smoke tests for the `vscsistats` CLI and the experiment binaries'
+//! argument handling, run against the real compiled binaries.
+
+use std::process::Command;
+
+fn vscsistats() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vscsistats"))
+}
+
+#[test]
+fn list_prints_all_workloads() {
+    let out = vscsistats().arg("--list").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for name in [
+        "oltp-ufs", "oltp-zfs", "oltp-ext3", "oltp-ntfs", "dbt2", "copy-xp", "copy-vista",
+        "interfere",
+    ] {
+        assert!(text.contains(name), "missing workload {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = vscsistats().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("--fingerprint"));
+}
+
+#[test]
+fn unknown_arguments_are_rejected() {
+    let out = vscsistats().arg("--bogus").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--bogus"));
+}
+
+#[test]
+fn unknown_workload_is_rejected() {
+    let out = vscsistats()
+        .args(["--workload", "nope", "--seconds", "1"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn copy_workload_fingerprints_as_streaming() {
+    let out = vscsistats()
+        .args(["--workload", "copy-xp", "--seconds", "2", "--fingerprint"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("class: streaming"), "output:\n{text}");
+    assert!(text.contains("advice:"));
+}
+
+#[test]
+fn csv_output_is_parseable() {
+    let out = vscsistats()
+        .args(["--workload", "copy-xp", "--seconds", "1", "--csv"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let csv_start = text.find("metric,lens,bin,count").expect("csv header present");
+    for line in text[csv_start..].lines().skip(1) {
+        if line.is_empty() {
+            continue;
+        }
+        assert_eq!(line.split(',').count(), 4, "bad csv row: {line}");
+    }
+}

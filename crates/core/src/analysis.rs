@@ -1,0 +1,287 @@
+//! Offline trace analyses — the questions histograms cannot answer.
+//!
+//! §3.6 of the paper draws the line precisely: "any metric that cannot be
+//! computed efficiently or in constant time and space per input command is
+//! not a good candidate for [the online] technique. For example, online
+//! temporal locality estimation is difficult to obtain in constant time
+//! and is not implemented. We could estimate temporal locality under a max
+//! reuse distance by keeping logical addresses of recent commands up to
+//! that value." This module implements exactly those analyses *offline*,
+//! over traces captured by [`VscsiTracer`](crate::VscsiTracer):
+//!
+//! * [`reuse_distance_histogram`] — temporal locality as LRU stack
+//!   distances, bounded by a max window;
+//! * [`burst_histogram`] — arrival burst sizes under an idle-gap threshold;
+//! * [`hot_regions`] — the most-touched address regions (skew detection).
+
+use crate::trace::TraceRecord;
+use histo::{BinEdges, Histogram};
+use simkit::SimDuration;
+
+/// Bin layout for reuse distances: powers of two up to the window size,
+/// with the overflow bin meaning "no reuse within the window" (cold or
+/// too-distant).
+fn reuse_edges(max_window: usize) -> BinEdges {
+    let mut edges = vec![0i64];
+    let mut e = 1i64;
+    while (e as usize) < max_window {
+        edges.push(e);
+        e *= 2;
+    }
+    edges.push(max_window as i64);
+    BinEdges::new(edges).expect("strictly increasing by construction")
+}
+
+/// Computes the temporal-locality (LRU stack distance) histogram of a
+/// trace, at `block_sectors` granularity, remembering at most
+/// `max_window` distinct recently-touched blocks (the paper's "max reuse
+/// distance" bound).
+///
+/// The value recorded per command is the number of *distinct* blocks
+/// touched since the previous access to the same block: 0 means an
+/// immediate re-reference; the overflow bin (`> max_window`) collects
+/// first-ever touches and reuses beyond the window.
+///
+/// # Panics
+///
+/// Panics if `block_sectors` or `max_window` is zero.
+pub fn reuse_distance_histogram(
+    records: &[TraceRecord],
+    block_sectors: u64,
+    max_window: usize,
+) -> Histogram {
+    assert!(block_sectors > 0, "block granularity must be positive");
+    assert!(max_window > 0, "window must be positive");
+    let mut h = Histogram::new(reuse_edges(max_window));
+    // LRU stack of recently-touched block ids, most recent first.
+    let mut stack: Vec<u64> = Vec::with_capacity(max_window);
+    for r in records {
+        let first = r.lba.sector() / block_sectors;
+        let last = (r.lba.sector() + u64::from(r.num_sectors) - 1) / block_sectors;
+        for block in first..=last {
+            match stack.iter().position(|&b| b == block) {
+                Some(depth) => {
+                    h.record(depth as i64);
+                    stack.remove(depth);
+                }
+                None => {
+                    // Never seen within the window: overflow bin.
+                    h.record(max_window as i64 + 1);
+                    if stack.len() == max_window {
+                        stack.pop();
+                    }
+                }
+            }
+            stack.insert(0, block);
+        }
+    }
+    h
+}
+
+/// Computes the distribution of *burst sizes*: maximal runs of commands
+/// whose inter-arrival gaps are all below `idle_gap`. A workload of
+/// isolated commands yields bursts of size 1; batched issue (like a
+/// background writer) yields large bursts.
+///
+/// # Panics
+///
+/// Panics if `idle_gap` is zero.
+pub fn burst_histogram(records: &[TraceRecord], idle_gap: SimDuration) -> Histogram {
+    assert!(!idle_gap.is_zero(), "idle gap must be positive");
+    let mut h = Histogram::with_edges(vec![1, 2, 4, 8, 16, 32, 64, 128, 256])
+        .expect("static layout");
+    let mut sorted: Vec<u64> = records.iter().map(|r| r.issue_ns).collect();
+    sorted.sort_unstable();
+    let mut burst = 0i64;
+    let mut prev: Option<u64> = None;
+    for t in sorted {
+        match prev {
+            Some(p) if t.saturating_sub(p) < idle_gap.as_nanos() => burst += 1,
+            Some(_) => {
+                h.record(burst);
+                burst = 1;
+            }
+            None => burst = 1,
+        }
+        prev = Some(t);
+    }
+    if burst > 0 {
+        h.record(burst);
+    }
+    h
+}
+
+/// One hot region returned by [`hot_regions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotRegion {
+    /// First sector of the region.
+    pub start_sector: u64,
+    /// Region length in sectors.
+    pub len_sectors: u64,
+    /// Commands that touched the region.
+    pub touches: u64,
+}
+
+/// Finds the `k` most-touched fixed-size address regions of a trace —
+/// popularity skew detection for data-placement decisions.
+///
+/// # Panics
+///
+/// Panics if `region_sectors` or `k` is zero.
+pub fn hot_regions(records: &[TraceRecord], region_sectors: u64, k: usize) -> Vec<HotRegion> {
+    assert!(region_sectors > 0 && k > 0);
+    let mut counts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for r in records {
+        *counts.entry(r.lba.sector() / region_sectors).or_insert(0) += 1;
+    }
+    let mut regions: Vec<HotRegion> = counts
+        .into_iter()
+        .map(|(idx, touches)| HotRegion {
+            start_sector: idx * region_sectors,
+            len_sectors: region_sectors,
+            touches,
+        })
+        .collect();
+    regions.sort_by(|a, b| b.touches.cmp(&a.touches).then(a.start_sector.cmp(&b.start_sector)));
+    regions.truncate(k);
+    regions
+}
+
+/// Fraction of touches landing in the top `k` regions — a single-number
+/// skew summary (1.0 = everything in the top-k; uniform traffic over many
+/// regions gives a small value).
+pub fn top_k_concentration(records: &[TraceRecord], region_sectors: u64, k: usize) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    let top: u64 = hot_regions(records, region_sectors, k)
+        .iter()
+        .map(|r| r.touches)
+        .sum();
+    top as f64 / records.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vscsi::{IoDirection, Lba, TargetId};
+
+    fn rec(serial: u64, sector: u64, sectors: u32, t_us: u64) -> TraceRecord {
+        TraceRecord {
+            serial,
+            target: TargetId::default(),
+            direction: IoDirection::Read,
+            lba: Lba::new(sector),
+            num_sectors: sectors,
+            issue_ns: t_us * 1_000,
+            complete_ns: None,
+            complete_seq: None,
+        }
+    }
+
+    #[test]
+    fn immediate_reuse_has_distance_zero() {
+        let trace = vec![rec(0, 0, 8, 0), rec(1, 0, 8, 10)];
+        let h = reuse_distance_histogram(&trace, 8, 64);
+        // First touch -> overflow; second touch -> distance 0.
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.count(h.edges().bin_index(0)), 1);
+        assert_eq!(h.count(h.edges().bin_count() - 1), 1);
+    }
+
+    #[test]
+    fn stack_distance_counts_distinct_intervening_blocks() {
+        // A, B, C, A: A's reuse distance is 2 (B and C touched in between).
+        let trace = vec![
+            rec(0, 0, 8, 0),
+            rec(1, 80, 8, 1),
+            rec(2, 160, 8, 2),
+            rec(3, 0, 8, 3),
+        ];
+        let h = reuse_distance_histogram(&trace, 8, 64);
+        assert_eq!(h.count(h.edges().bin_index(2)), 1);
+        // Repeating B twice in a row collapses to 0, not 1.
+        let trace2 = vec![rec(0, 80, 8, 0), rec(1, 80, 8, 1), rec(2, 80, 8, 2)];
+        let h2 = reuse_distance_histogram(&trace2, 8, 64);
+        assert_eq!(h2.count(h2.edges().bin_index(0)), 2);
+    }
+
+    #[test]
+    fn window_bound_evicts_old_blocks() {
+        // Touch 4 distinct blocks with window 2, then re-touch the first:
+        // it must have been evicted -> overflow, not distance 3.
+        let trace = vec![
+            rec(0, 0, 8, 0),
+            rec(1, 80, 8, 1),
+            rec(2, 160, 8, 2),
+            rec(3, 240, 8, 3),
+            rec(4, 0, 8, 4),
+        ];
+        let h = reuse_distance_histogram(&trace, 8, 2);
+        assert_eq!(h.count(h.edges().bin_count() - 1), 5, "all cold in window 2");
+    }
+
+    #[test]
+    fn sequential_scan_never_reuses() {
+        let trace: Vec<TraceRecord> =
+            (0..100).map(|i| rec(i, i * 8, 8, i)).collect();
+        let h = reuse_distance_histogram(&trace, 8, 64);
+        assert_eq!(h.count(h.edges().bin_count() - 1), 100);
+    }
+
+    #[test]
+    fn multi_block_commands_touch_each_block() {
+        let trace = vec![rec(0, 0, 16, 0)]; // spans blocks 0 and 1
+        let h = reuse_distance_histogram(&trace, 8, 16);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn burst_detection() {
+        // Two bursts of 3 and 2, separated by a 10 ms gap.
+        let trace = vec![
+            rec(0, 0, 8, 0),
+            rec(1, 8, 8, 100),
+            rec(2, 16, 8, 200),
+            rec(3, 0, 8, 20_000),
+            rec(4, 8, 8, 20_100),
+        ];
+        let h = burst_histogram(&trace, SimDuration::from_millis(1));
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.count(h.edges().bin_index(3)), 1);
+        assert_eq!(h.count(h.edges().bin_index(2)), 1);
+        assert!(burst_histogram(&[], SimDuration::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn hot_regions_rank_by_touches() {
+        let mut trace = Vec::new();
+        let mut serial = 0;
+        // Region 0: 5 touches; region 10: 2; region 20: 1.
+        for (region, n) in [(0u64, 5u64), (10, 2), (20, 1)] {
+            for i in 0..n {
+                trace.push(rec(serial, region * 1024 + i * 8, 8, serial));
+                serial += 1;
+            }
+        }
+        let top = hot_regions(&trace, 1024, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].start_sector, 0);
+        assert_eq!(top[0].touches, 5);
+        assert_eq!(top[1].start_sector, 10 * 1024);
+        let conc = top_k_concentration(&trace, 1024, 1);
+        assert!((conc - 5.0 / 8.0).abs() < 1e-12);
+        assert_eq!(top_k_concentration(&[], 1024, 1), 0.0);
+    }
+
+    #[test]
+    fn zipf_like_trace_concentrates() {
+        // 80% of touches to one region, 20% spread.
+        let mut trace = Vec::new();
+        for i in 0..100u64 {
+            let sector = if i % 5 != 0 { 0 } else { i * 100_000 };
+            trace.push(rec(i, sector, 8, i));
+        }
+        assert!(top_k_concentration(&trace, 1024, 1) >= 0.8);
+    }
+}

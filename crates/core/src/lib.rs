@@ -1,0 +1,63 @@
+//! # vscsi-stats — online disk I/O workload characterization
+//!
+//! The primary contribution of *"Easy and Efficient Disk I/O Workload
+//! Characterization in VMware ESX Server"* (IISWC 2007): transparent,
+//! online collection of essential disk-workload characteristics for
+//! arbitrary, unmodified guests, done at the hypervisor's virtual SCSI
+//! layer with constant space and O(1) work per command.
+//!
+//! * [`IoStatsCollector`] — per-(VM, virtual disk) histograms of I/O
+//!   length, signed seek distance, windowed (min-of-last-N) seek distance,
+//!   interarrival time, outstanding I/Os and device latency, each split
+//!   into all/reads/writes ([`Metric`] × [`Lens`]).
+//! * [`StatsService`] — the host-wide enable/disable registry with the
+//!   `vscsiStats`-style command interface.
+//! * [`VscsiTracer`] / [`replay`] — the command tracing framework for
+//!   analyses that need more than histograms, plus offline replay (which
+//!   reproduces the online histograms exactly).
+//! * [`report`] — figure-style text reports and CSV dumps.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::SimTime;
+//! use vscsi::{IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId};
+//! use vscsi_stats::{IoStatsCollector, Lens, Metric};
+//!
+//! let mut stats = IoStatsCollector::default();
+//!
+//! // A guest issues a sequential run of 16 KiB reads...
+//! let mut t = SimTime::ZERO;
+//! for i in 0..64u64 {
+//!     let req = IoRequest::new(
+//!         RequestId(i), TargetId::default(), IoDirection::Read,
+//!         Lba::new(i * 32), 32, t,
+//!     );
+//!     stats.on_issue(&req);
+//!     t = t + simkit::SimDuration::from_micros(200);
+//!     stats.on_complete(&IoCompletion::new(req, t));
+//! }
+//!
+//! // ...and the histograms identify it: all 16 KiB, sequential.
+//! let len = stats.histogram(Metric::IoLength, Lens::All);
+//! assert_eq!(len.count(len.edges().bin_index(16_384)), 64);
+//! let seek = stats.histogram(Metric::SeekDistance, Lens::All);
+//! assert_eq!(seek.mode_bin(), Some(seek.edges().bin_index(1)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+mod collector;
+pub mod fingerprint;
+mod metrics;
+pub mod report;
+mod service;
+mod trace;
+
+pub use collector::{CollectorConfig, IoStatsCollector, LatencyPercentiles};
+pub use fingerprint::{recommendations, FingerprintLibrary, WorkloadClass, WorkloadFingerprint};
+pub use metrics::{Lens, Metric};
+pub use service::{StatsService, TargetSummary};
+pub use trace::{replay, ParseTraceError, TraceCapacity, TraceRecord, VscsiTracer};

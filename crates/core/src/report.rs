@@ -1,0 +1,186 @@
+//! Report formatting: paper-figure-style text output and CSV dumps.
+
+use crate::collector::IoStatsCollector;
+use crate::metrics::{Lens, Metric};
+use std::fmt::Write as _;
+
+/// Renders one metric/lens histogram with a figure-style caption, e.g.
+/// `"I/O Length Histogram (Reads)"`.
+pub fn histogram_section(collector: &IoStatsCollector, metric: Metric, lens: Lens) -> String {
+    let mut out = String::new();
+    let caption = match lens {
+        Lens::All => format!("{metric} Histogram"),
+        other => format!("{metric} Histogram ({other})"),
+    };
+    let h = collector.histogram(metric, lens);
+    let _ = writeln!(out, "{caption} [{}]", metric.unit());
+    let _ = writeln!(out, "{h}");
+    out
+}
+
+/// Renders the full per-target report: every metric, all three lenses,
+/// plus the headline counters — the text analogue of one paper figure set.
+pub fn full_report(collector: &IoStatsCollector) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "commands issued={} completed={} outstanding={}",
+        collector.issued_commands(),
+        collector.completed_commands(),
+        collector.outstanding_now()
+    );
+    if let Some(rf) = collector.read_fraction() {
+        let _ = writeln!(
+            out,
+            "read/write ratio: {:.1}% reads / {:.1}% writes",
+            rf * 100.0,
+            (1.0 - rf) * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "bytes read={} written={}",
+        collector.bytes_read(),
+        collector.bytes_written()
+    );
+    let _ = writeln!(out);
+    for metric in Metric::ALL {
+        for lens in Lens::ALL {
+            // Skip empty split histograms to keep reports readable.
+            if lens != Lens::All && collector.histogram(metric, lens).is_empty() {
+                continue;
+            }
+            out.push_str(&histogram_section(collector, metric, lens));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Dumps every histogram of a collector as CSV with `metric,lens,bin,count`
+/// rows, suitable for the paper's "post-processing script" workflow.
+pub fn csv_dump(collector: &IoStatsCollector) -> String {
+    let mut out = String::from("metric,lens,bin,count\n");
+    for metric in Metric::ALL {
+        for lens in Lens::ALL {
+            let h = collector.histogram(metric, lens);
+            for (label, count) in h.iter_labeled() {
+                let _ = writeln!(out, "{metric},{lens},{label},{count}");
+            }
+        }
+    }
+    out
+}
+
+/// Compares two collectors metric-by-metric, reporting which histogram
+/// modes moved — the "before vs after" view used in the multi-VM
+/// interference analysis (Figure 6). Returns one line per metric/lens with
+/// non-empty data in both collectors.
+pub fn compare(before: &IoStatsCollector, after: &IoStatsCollector) -> String {
+    let mut out = String::new();
+    for metric in Metric::ALL {
+        for lens in Lens::ALL {
+            let a = before.histogram(metric, lens);
+            let b = after.histogram(metric, lens);
+            if a.is_empty() || b.is_empty() {
+                continue;
+            }
+            let (ma, mb) = (a.mode_bin().unwrap(), b.mode_bin().unwrap());
+            let moved = if ma == mb { "stable" } else { "SHIFTED" };
+            let _ = writeln!(
+                out,
+                "{metric} ({lens}): mode {} -> {} [{moved}] mean {:.1} -> {:.1}",
+                a.edges().bin_label(ma),
+                b.edges().bin_label(mb),
+                a.mean().unwrap_or(0.0),
+                b.mean().unwrap_or(0.0),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimTime;
+    use vscsi::{IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId};
+
+    fn collector_with_data() -> IoStatsCollector {
+        let mut c = IoStatsCollector::default();
+        for i in 0..10u64 {
+            let dir = if i % 2 == 0 {
+                IoDirection::Read
+            } else {
+                IoDirection::Write
+            };
+            let r = IoRequest::new(
+                RequestId(i),
+                TargetId::default(),
+                dir,
+                Lba::new(i * 8),
+                8,
+                SimTime::from_micros(i * 100),
+            );
+            c.on_issue(&r);
+            c.on_complete(&IoCompletion::new(r, SimTime::from_micros(i * 100 + 300)));
+        }
+        c
+    }
+
+    #[test]
+    fn section_has_caption_and_unit() {
+        let c = collector_with_data();
+        let s = histogram_section(&c, Metric::IoLength, Lens::Reads);
+        assert!(s.contains("I/O Length Histogram (Reads) [bytes]"));
+        let s = histogram_section(&c, Metric::SeekDistance, Lens::All);
+        assert!(s.starts_with("Seek Distance Histogram [sectors]"));
+    }
+
+    #[test]
+    fn full_report_mentions_every_metric() {
+        let c = collector_with_data();
+        let r = full_report(&c);
+        for metric in Metric::ALL {
+            assert!(r.contains(&metric.to_string()), "missing {metric}");
+        }
+        assert!(r.contains("read/write ratio: 50.0% reads"));
+        assert!(r.contains("commands issued=10"));
+    }
+
+    #[test]
+    fn csv_dump_is_well_formed() {
+        let c = collector_with_data();
+        let csv = csv_dump(&c);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("metric,lens,bin,count"));
+        for line in lines {
+            assert_eq!(line.split(',').count(), 4, "bad row: {line}");
+        }
+        // 6 metrics x 3 lenses, each with its layout's bins.
+        let rows = csv.lines().count() - 1;
+        assert!(rows > 200, "rows = {rows}");
+    }
+
+    #[test]
+    fn compare_flags_mode_shift() {
+        let before = collector_with_data();
+        let mut after = IoStatsCollector::default();
+        // Same workload but much slower completions.
+        for i in 0..10u64 {
+            let r = IoRequest::new(
+                RequestId(i),
+                TargetId::default(),
+                IoDirection::Read,
+                Lba::new(i * 8),
+                8,
+                SimTime::from_micros(i * 100),
+            );
+            after.on_issue(&r);
+            after.on_complete(&IoCompletion::new(r, SimTime::from_micros(i * 100 + 20_000)));
+        }
+        let cmp = compare(&before, &after);
+        assert!(cmp.contains("I/O Latency (All): mode 500 -> 30000 [SHIFTED]"));
+        assert!(cmp.contains("I/O Length (All): mode 4096 -> 4096 [stable]"));
+    }
+}

@@ -1,0 +1,410 @@
+//! The host-wide statistics service.
+//!
+//! On a real ESX host this is the piece controlled by the "command line
+//! utility to enable and disable these stats" (§3): a registry of
+//! per-(VM, virtual disk) collectors, globally switchable, with the hot
+//! path reduced to a single predictable branch while disabled (§5.2).
+
+use crate::collector::{CollectorConfig, IoStatsCollector};
+use crate::metrics::{Lens, Metric};
+use crate::trace::{TraceCapacity, TraceRecord, VscsiTracer};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use vscsi::{IoCompletion, IoRequest, TargetId};
+
+/// Snapshot of a collector's headline counters, for `esxtop`-style listings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetSummary {
+    /// The (VM, disk) pair.
+    pub target: TargetId,
+    /// Commands issued.
+    pub issued: u64,
+    /// Commands completed.
+    pub completed: u64,
+    /// I/Os in flight right now.
+    pub outstanding: u32,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Fraction of commands that were reads, if any commands were seen.
+    pub read_fraction: Option<f64>,
+    /// Mean device latency in microseconds, if any completions were seen.
+    pub mean_latency_us: Option<f64>,
+}
+
+impl fmt::Display for TargetSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: issued={} completed={} oio={} readMB={:.1} writeMB={:.1}",
+            self.target,
+            self.issued,
+            self.completed,
+            self.outstanding,
+            self.bytes_read as f64 / 1e6,
+            self.bytes_written as f64 / 1e6,
+        )?;
+        if let Some(rf) = self.read_fraction {
+            write!(f, " read%={:.0}", rf * 100.0)?;
+        }
+        if let Some(lat) = self.mean_latency_us {
+            write!(f, " meanLat={lat:.0}us")?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct TargetState {
+    collector: Option<IoStatsCollector>,
+    tracer: Option<VscsiTracer>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    enabled: bool,
+    config: CollectorConfig,
+    targets: BTreeMap<TargetId, TargetState>,
+}
+
+/// Host-wide vSCSI statistics service.
+///
+/// Thread-safe; the two hook methods are designed so that when the service
+/// is disabled, the cost is one mutex acquisition and one branch (on the
+/// real system the branch predictor makes the disabled path free — §5.2).
+/// Collector state for a target is created lazily on its first command
+/// after enablement, mirroring "histogram data structures are dynamically
+/// created as needed".
+///
+/// # Examples
+///
+/// ```
+/// use simkit::SimTime;
+/// use vscsi::{IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId};
+/// use vscsi_stats::{Lens, Metric, StatsService};
+///
+/// let service = StatsService::new(Default::default());
+/// service.enable_all();
+///
+/// let req = IoRequest::new(
+///     RequestId(0), TargetId::default(), IoDirection::Read,
+///     Lba::new(0), 8, SimTime::ZERO,
+/// );
+/// service.handle_issue(&req);
+/// service.handle_complete(&IoCompletion::new(req, SimTime::from_micros(450)));
+///
+/// let summary = &service.summaries()[0];
+/// assert_eq!(summary.issued, 1);
+/// assert_eq!(summary.mean_latency_us, Some(450.0));
+/// ```
+#[derive(Debug)]
+pub struct StatsService {
+    inner: Mutex<Inner>,
+}
+
+impl Default for StatsService {
+    fn default() -> Self {
+        StatsService::new(CollectorConfig::default())
+    }
+}
+
+impl StatsService {
+    /// Creates a service (disabled) that will build collectors with `config`.
+    pub fn new(config: CollectorConfig) -> Self {
+        StatsService {
+            inner: Mutex::new(Inner {
+                enabled: false,
+                config,
+                targets: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Turns histogram collection on for all targets.
+    pub fn enable_all(&self) {
+        self.inner.lock().enabled = true;
+    }
+
+    /// Turns histogram collection off; existing histograms are retained and
+    /// can still be reported.
+    pub fn disable_all(&self) {
+        self.inner.lock().enabled = false;
+    }
+
+    /// Whether collection is currently on.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.lock().enabled
+    }
+
+    /// Starts command tracing for one target with the given capacity.
+    pub fn start_trace(&self, target: TargetId, capacity: TraceCapacity) {
+        let mut inner = self.inner.lock();
+        inner.targets.entry(target).or_default().tracer = Some(VscsiTracer::new(capacity));
+    }
+
+    /// Stops tracing for a target, returning the captured records.
+    pub fn stop_trace(&self, target: TargetId) -> Vec<TraceRecord> {
+        let mut inner = self.inner.lock();
+        inner
+            .targets
+            .get_mut(&target)
+            .and_then(|t| t.tracer.take())
+            .map(|tr| tr.records().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Hot-path hook: command issue.
+    pub fn handle_issue(&self, req: &IoRequest) {
+        let mut inner = self.inner.lock();
+        if !inner.enabled && inner.targets.get(&req.target).map_or(true, |t| t.tracer.is_none()) {
+            return;
+        }
+        let enabled = inner.enabled;
+        let config = inner.config.clone();
+        let state = inner.targets.entry(req.target).or_default();
+        if enabled {
+            state
+                .collector
+                .get_or_insert_with(|| IoStatsCollector::new(config))
+                .on_issue(req);
+        }
+        if let Some(tracer) = &mut state.tracer {
+            tracer.on_issue(req);
+        }
+    }
+
+    /// Hot-path hook: command completion.
+    pub fn handle_complete(&self, completion: &IoCompletion) {
+        let mut inner = self.inner.lock();
+        let Some(state) = inner.targets.get_mut(&completion.request.target) else {
+            return;
+        };
+        if let Some(collector) = &mut state.collector {
+            collector.on_complete(completion);
+        }
+        if let Some(tracer) = &mut state.tracer {
+            tracer.on_complete(completion);
+        }
+    }
+
+    /// Resets histograms for every target.
+    pub fn reset_all(&self) {
+        let mut inner = self.inner.lock();
+        for state in inner.targets.values_mut() {
+            if let Some(c) = &mut state.collector {
+                c.reset();
+            }
+        }
+    }
+
+    /// Targets with any recorded state, in order.
+    pub fn targets(&self) -> Vec<TargetId> {
+        self.inner.lock().targets.keys().copied().collect()
+    }
+
+    /// Clones the collector for a target, if one exists (collectors are
+    /// small — a few KiB — so cloning out is the safe reporting interface).
+    pub fn collector(&self, target: TargetId) -> Option<IoStatsCollector> {
+        self.inner
+            .lock()
+            .targets
+            .get(&target)
+            .and_then(|t| t.collector.clone())
+    }
+
+    /// Headline counters for every known target.
+    pub fn summaries(&self) -> Vec<TargetSummary> {
+        let inner = self.inner.lock();
+        inner
+            .targets
+            .iter()
+            .filter_map(|(target, state)| {
+                let c = state.collector.as_ref()?;
+                Some(TargetSummary {
+                    target: *target,
+                    issued: c.issued_commands(),
+                    completed: c.completed_commands(),
+                    outstanding: c.outstanding_now(),
+                    bytes_read: c.bytes_read(),
+                    bytes_written: c.bytes_written(),
+                    read_fraction: c.read_fraction(),
+                    mean_latency_us: c.histogram(Metric::Latency, Lens::All).mean(),
+                })
+            })
+            .collect()
+    }
+
+    /// Executes a `vscsiStats`-style textual command and returns its output.
+    ///
+    /// Supported commands: `start`, `stop`, `reset`, `status`, `list`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string for unknown commands.
+    pub fn command(&self, cmd: &str) -> Result<String, String> {
+        match cmd.trim() {
+            "start" => {
+                self.enable_all();
+                Ok("vscsiStats: started collection".to_owned())
+            }
+            "stop" => {
+                self.disable_all();
+                Ok("vscsiStats: stopped collection".to_owned())
+            }
+            "reset" => {
+                self.reset_all();
+                Ok("vscsiStats: histograms reset".to_owned())
+            }
+            "status" => Ok(format!(
+                "vscsiStats: collection {}",
+                if self.is_enabled() { "ON" } else { "OFF" }
+            )),
+            "list" => {
+                let mut out = String::new();
+                for s in self.summaries() {
+                    out.push_str(&s.to_string());
+                    out.push('\n');
+                }
+                if out.is_empty() {
+                    out.push_str("no targets\n");
+                }
+                Ok(out)
+            }
+            other => Err(format!("unknown command {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimTime;
+    use vscsi::{IoDirection, Lba, RequestId, VDiskId, VmId};
+
+    fn req(target: TargetId, id: u64, t_us: u64) -> IoRequest {
+        IoRequest::new(
+            RequestId(id),
+            target,
+            IoDirection::Read,
+            Lba::new(id * 8),
+            8,
+            SimTime::from_micros(t_us),
+        )
+    }
+
+    #[test]
+    fn disabled_service_records_nothing() {
+        let s = StatsService::default();
+        s.handle_issue(&req(TargetId::default(), 0, 0));
+        assert!(s.summaries().is_empty());
+        assert!(s.targets().is_empty());
+    }
+
+    #[test]
+    fn enable_collect_disable_keeps_data() {
+        let s = StatsService::default();
+        let t = TargetId::new(VmId(1), VDiskId(0));
+        s.enable_all();
+        s.handle_issue(&req(t, 0, 0));
+        s.disable_all();
+        // New commands ignored while off...
+        s.handle_issue(&req(t, 1, 10));
+        // ...but previous data remains readable.
+        let c = s.collector(t).unwrap();
+        assert_eq!(c.issued_commands(), 1);
+    }
+
+    #[test]
+    fn per_target_isolation() {
+        let s = StatsService::default();
+        s.enable_all();
+        let a = TargetId::new(VmId(1), VDiskId(0));
+        let b = TargetId::new(VmId(2), VDiskId(0));
+        s.handle_issue(&req(a, 0, 0));
+        s.handle_issue(&req(b, 1, 5));
+        s.handle_issue(&req(b, 2, 9));
+        assert_eq!(s.collector(a).unwrap().issued_commands(), 1);
+        assert_eq!(s.collector(b).unwrap().issued_commands(), 2);
+        assert_eq!(s.targets(), vec![a, b]);
+    }
+
+    #[test]
+    fn completion_routes_to_collector() {
+        let s = StatsService::default();
+        s.enable_all();
+        let t = TargetId::default();
+        let r = req(t, 0, 100);
+        s.handle_issue(&r);
+        s.handle_complete(&IoCompletion::new(r, SimTime::from_micros(600)));
+        let summary = &s.summaries()[0];
+        assert_eq!(summary.completed, 1);
+        assert_eq!(summary.mean_latency_us, Some(500.0));
+        assert_eq!(summary.outstanding, 0);
+    }
+
+    #[test]
+    fn completion_without_state_is_ignored() {
+        let s = StatsService::default();
+        let r = req(TargetId::default(), 0, 0);
+        // Never issued through the service (it was disabled) — must not panic.
+        s.handle_complete(&IoCompletion::new(r, SimTime::from_micros(10)));
+    }
+
+    #[test]
+    fn tracing_works_while_histograms_off() {
+        let s = StatsService::default();
+        let t = TargetId::default();
+        s.start_trace(t, TraceCapacity::Unbounded);
+        let r = req(t, 0, 0);
+        s.handle_issue(&r);
+        s.handle_complete(&IoCompletion::new(r, SimTime::from_micros(50)));
+        let records = s.stop_trace(t);
+        assert_eq!(records.len(), 1);
+        assert!(records[0].complete_ns.is_some());
+        // Histograms were never created.
+        assert!(s.collector(t).is_none());
+        // A second stop returns nothing.
+        assert!(s.stop_trace(t).is_empty());
+    }
+
+    #[test]
+    fn reset_all_clears_counts() {
+        let s = StatsService::default();
+        s.enable_all();
+        let t = TargetId::default();
+        s.handle_issue(&req(t, 0, 0));
+        s.reset_all();
+        assert_eq!(s.collector(t).unwrap().issued_commands(), 0);
+    }
+
+    #[test]
+    fn command_interface() {
+        let s = StatsService::default();
+        assert!(s.command("status").unwrap().contains("OFF"));
+        s.command("start").unwrap();
+        assert!(s.is_enabled());
+        assert!(s.command("status").unwrap().contains("ON"));
+        s.handle_issue(&req(TargetId::default(), 0, 0));
+        assert!(s.command("list").unwrap().contains("vm0"));
+        s.command("reset").unwrap();
+        s.command("stop").unwrap();
+        assert!(!s.is_enabled());
+        assert!(s.command("bogus").is_err());
+        assert_eq!(StatsService::default().command("list").unwrap(), "no targets\n");
+    }
+
+    #[test]
+    fn summary_display() {
+        let s = StatsService::default();
+        s.enable_all();
+        let t = TargetId::default();
+        let r = req(t, 0, 0);
+        s.handle_issue(&r);
+        s.handle_complete(&IoCompletion::new(r, SimTime::from_micros(100)));
+        let line = s.summaries()[0].to_string();
+        assert!(line.contains("issued=1"));
+        assert!(line.contains("meanLat=100us"));
+    }
+}

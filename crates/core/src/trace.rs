@@ -1,0 +1,480 @@
+//! The virtual SCSI command tracing framework (§1, §3.6).
+//!
+//! "More thorough analysis may still require an I/O trace so we provide a
+//! simple virtual SCSI command tracing framework." A [`VscsiTracer`]
+//! records one [`TraceRecord`] per command — O(n) space, unlike the O(m)
+//! histograms — and traces can be replayed offline through a fresh
+//! [`IoStatsCollector`](crate::IoStatsCollector), which must reproduce the
+//! online histograms exactly (that equivalence is property-tested).
+
+use crate::collector::{CollectorConfig, IoStatsCollector};
+use serde::{Deserialize, Serialize};
+use simkit::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+use std::str::FromStr;
+use vscsi::{IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId, VDiskId, VmId};
+
+/// One traced vSCSI command.
+///
+/// A trace is an append-only log of *events* (issues and completions)
+/// observed at the vSCSI layer. Timestamps alone cannot disambiguate
+/// events that share an instant, so each record carries the global event
+/// sequence numbers of its issue and completion; replay follows those, so
+/// offline replay reproduces the observed order exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Global event-sequence number of the issue event.
+    pub serial: u64,
+    /// Which (VM, virtual disk) issued the command.
+    pub target: TargetId,
+    /// Read or write.
+    pub direction: IoDirection,
+    /// First logical block.
+    pub lba: Lba,
+    /// Sectors transferred.
+    pub num_sectors: u32,
+    /// Issue timestamp, nanoseconds.
+    pub issue_ns: u64,
+    /// Completion timestamp, nanoseconds; `None` while still in flight.
+    pub complete_ns: Option<u64>,
+    /// Global event-sequence number of the completion event, if completed.
+    pub complete_seq: Option<u64>,
+}
+
+impl TraceRecord {
+    /// Reconstructs the request object this record describes.
+    pub fn to_request(&self) -> IoRequest {
+        IoRequest::new(
+            RequestId(self.serial),
+            self.target,
+            self.direction,
+            self.lba,
+            self.num_sectors,
+            SimTime::from_nanos(self.issue_ns),
+        )
+    }
+
+    /// Reconstructs the completion, if the command completed.
+    pub fn to_completion(&self) -> Option<IoCompletion> {
+        self.complete_ns
+            .map(|t| IoCompletion::new(self.to_request(), SimTime::from_nanos(t)))
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    /// One whitespace-separated line:
+    /// `serial vm disk R|W lba sectors issue_ns complete_ns|- complete_seq|-`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {} {} {} {} ",
+            self.serial,
+            self.target.vm.0,
+            self.target.disk.0,
+            self.direction,
+            self.lba.sector(),
+            self.num_sectors,
+            self.issue_ns,
+        )?;
+        match self.complete_ns {
+            Some(t) => write!(f, "{t}")?,
+            None => write!(f, "-")?,
+        }
+        match self.complete_seq {
+            Some(s) => write!(f, " {s}"),
+            None => write!(f, " -"),
+        }
+    }
+}
+
+/// Error parsing a trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    msg: String,
+}
+
+impl ParseTraceError {
+    fn new(msg: impl Into<String>) -> Self {
+        ParseTraceError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid trace line: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl FromStr for TraceRecord {
+    type Err = ParseTraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut it = s.split_whitespace();
+        let mut next = |what: &str| {
+            it.next()
+                .ok_or_else(|| ParseTraceError::new(format!("missing field {what}")))
+        };
+        let serial = next("serial")?
+            .parse::<u64>()
+            .map_err(|e| ParseTraceError::new(format!("serial: {e}")))?;
+        let vm = next("vm")?
+            .parse::<u32>()
+            .map_err(|e| ParseTraceError::new(format!("vm: {e}")))?;
+        let disk = next("disk")?
+            .parse::<u32>()
+            .map_err(|e| ParseTraceError::new(format!("disk: {e}")))?;
+        let direction = match next("dir")? {
+            "R" => IoDirection::Read,
+            "W" => IoDirection::Write,
+            other => return Err(ParseTraceError::new(format!("direction {other:?}"))),
+        };
+        let lba = next("lba")?
+            .parse::<u64>()
+            .map_err(|e| ParseTraceError::new(format!("lba: {e}")))?;
+        let num_sectors = next("sectors")?
+            .parse::<u32>()
+            .map_err(|e| ParseTraceError::new(format!("sectors: {e}")))?;
+        let issue_ns = next("issue")?
+            .parse::<u64>()
+            .map_err(|e| ParseTraceError::new(format!("issue: {e}")))?;
+        let complete_ns = match next("complete")? {
+            "-" => None,
+            t => Some(
+                t.parse::<u64>()
+                    .map_err(|e| ParseTraceError::new(format!("complete: {e}")))?,
+            ),
+        };
+        let complete_seq = match next("complete_seq")? {
+            "-" => None,
+            s => Some(
+                s.parse::<u64>()
+                    .map_err(|e| ParseTraceError::new(format!("complete_seq: {e}")))?,
+            ),
+        };
+        if let Some(c) = complete_ns {
+            if c < issue_ns {
+                return Err(ParseTraceError::new("completion precedes issue"));
+            }
+        }
+        if complete_ns.is_some() != complete_seq.is_some() {
+            return Err(ParseTraceError::new(
+                "completion time and sequence must both be present or absent",
+            ));
+        }
+        if num_sectors == 0 {
+            return Err(ParseTraceError::new("zero-sector command"));
+        }
+        Ok(TraceRecord {
+            serial,
+            target: TargetId::new(VmId(vm), VDiskId(disk)),
+            direction,
+            lba: Lba::new(lba),
+            num_sectors,
+            issue_ns,
+            complete_ns,
+            complete_seq,
+        })
+    }
+}
+
+/// Capacity policy for a tracer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceCapacity {
+    /// Keep every record (O(n) memory — the cost the paper's histograms
+    /// avoid).
+    Unbounded,
+    /// Keep only the most recent `n` records (flight-recorder mode).
+    Ring(usize),
+}
+
+/// Records the vSCSI command stream of one virtual disk.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::SimTime;
+/// use vscsi::{IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId};
+/// use vscsi_stats::{TraceCapacity, VscsiTracer};
+///
+/// let mut tracer = VscsiTracer::new(TraceCapacity::Unbounded);
+/// let req = IoRequest::new(
+///     RequestId(0), TargetId::default(), IoDirection::Write,
+///     Lba::new(64), 8, SimTime::ZERO,
+/// );
+/// tracer.on_issue(&req);
+/// tracer.on_complete(&IoCompletion::new(req, SimTime::from_micros(500)));
+/// assert_eq!(tracer.records().len(), 1);
+/// assert!(tracer.records().next().unwrap().complete_ns.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct VscsiTracer {
+    capacity: TraceCapacity,
+    records: VecDeque<TraceRecord>,
+    /// Global event counter, shared by issues and completions, recording
+    /// the order events were observed at the vSCSI layer.
+    next_event_seq: u64,
+    dropped: u64,
+}
+
+impl VscsiTracer {
+    /// Creates a tracer with the given capacity policy.
+    pub fn new(capacity: TraceCapacity) -> Self {
+        VscsiTracer {
+            capacity,
+            records: VecDeque::new(),
+            next_event_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records a command issue.
+    pub fn on_issue(&mut self, req: &IoRequest) {
+        let record = TraceRecord {
+            serial: self.next_event_seq,
+            target: req.target,
+            direction: req.direction,
+            lba: req.lba,
+            num_sectors: req.num_sectors,
+            issue_ns: req.issue_time.as_nanos(),
+            complete_ns: None,
+            complete_seq: None,
+        };
+        self.next_event_seq += 1;
+        if let TraceCapacity::Ring(n) = self.capacity {
+            while self.records.len() >= n.max(1) {
+                self.records.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.records.push_back(record);
+    }
+
+    /// Marks the matching record (by issue time, target, lba, direction)
+    /// as complete. Completions for records that have been evicted from a
+    /// ring are silently ignored.
+    pub fn on_complete(&mut self, completion: &IoCompletion) {
+        let req = &completion.request;
+        let seq = self.next_event_seq;
+        if let Some(rec) = self.records.iter_mut().rev().find(|r| {
+            r.complete_ns.is_none()
+                && r.issue_ns == req.issue_time.as_nanos()
+                && r.target == req.target
+                && r.lba == req.lba
+                && r.direction == req.direction
+        }) {
+            rec.complete_ns = Some(completion.complete_time.as_nanos());
+            rec.complete_seq = Some(seq);
+            self.next_event_seq += 1;
+        }
+    }
+
+    /// The records currently held, in issue order.
+    pub fn records(&self) -> impl ExactSizeIterator<Item = &TraceRecord> + '_ {
+        self.records.iter()
+    }
+
+    /// Number of records evicted by a ring capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Serializes all records, one line each.
+    pub fn export(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses records previously produced by [`VscsiTracer::export`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first line's parse failure, if any; blank lines are
+    /// skipped.
+    pub fn import(text: &str) -> Result<Vec<TraceRecord>, ParseTraceError> {
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(TraceRecord::from_str)
+            .collect()
+    }
+
+    /// Rough resident size in bytes (O(n) in trace length — contrast with
+    /// [`IoStatsCollector::memory_footprint_bytes`]).
+    pub fn memory_footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.records.capacity() * std::mem::size_of::<TraceRecord>()
+    }
+}
+
+/// Replays a trace through a fresh collector, reproducing the online
+/// histograms offline — the paper's "replaying a trace" cost model (§3).
+///
+/// Events are replayed in the *observed* order (the trace's global event
+/// sequence numbers), so even same-instant issues and completions land in
+/// the order the vSCSI layer saw them and outstanding-I/O accounting
+/// matches the online view bit-for-bit.
+pub fn replay(records: &[TraceRecord], config: CollectorConfig) -> IoStatsCollector {
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Issue(usize),
+        Complete(usize),
+    }
+    let mut events: Vec<(u64, Ev)> = Vec::with_capacity(records.len() * 2);
+    for (i, r) in records.iter().enumerate() {
+        events.push((r.serial, Ev::Issue(i)));
+        if let Some(seq) = r.complete_seq {
+            events.push((seq, Ev::Complete(i)));
+        }
+    }
+    events.sort_by_key(|&(seq, _)| seq);
+    let mut collector = IoStatsCollector::new(config);
+    for (_, ev) in events {
+        match ev {
+            Ev::Issue(i) => collector.on_issue(&records[i].to_request()),
+            Ev::Complete(i) => {
+                let completion = records[i]
+                    .to_completion()
+                    .expect("complete event only queued for completed records");
+                collector.on_complete(&completion);
+            }
+        }
+    }
+    collector
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Lens, Metric};
+
+    fn req(id: u64, lba: u64, t_us: u64) -> IoRequest {
+        IoRequest::new(
+            RequestId(id),
+            TargetId::default(),
+            IoDirection::Read,
+            Lba::new(lba),
+            8,
+            SimTime::from_micros(t_us),
+        )
+    }
+
+    #[test]
+    fn issue_then_complete_fills_record() {
+        let mut t = VscsiTracer::new(TraceCapacity::Unbounded);
+        let r = req(0, 64, 10);
+        t.on_issue(&r);
+        assert_eq!(t.records().next().unwrap().complete_ns, None);
+        t.on_complete(&IoCompletion::new(r, SimTime::from_micros(200)));
+        assert_eq!(
+            t.records().next().unwrap().complete_ns,
+            Some(SimTime::from_micros(200).as_nanos())
+        );
+    }
+
+    #[test]
+    fn ring_capacity_evicts_oldest() {
+        let mut t = VscsiTracer::new(TraceCapacity::Ring(2));
+        for i in 0..5 {
+            t.on_issue(&req(i, i * 8, i * 10));
+        }
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let serials: Vec<u64> = t.records().map(|r| r.serial).collect();
+        assert_eq!(serials, vec![3, 4]);
+        // Completion for an evicted record is ignored.
+        t.on_complete(&IoCompletion::new(req(0, 0, 0), SimTime::from_micros(99)));
+        assert!(t.records().all(|r| r.complete_ns.is_none()));
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut t = VscsiTracer::new(TraceCapacity::Unbounded);
+        let r0 = req(0, 64, 10);
+        let r1 = IoRequest::new(
+            RequestId(1),
+            TargetId::new(VmId(3), VDiskId(1)),
+            IoDirection::Write,
+            Lba::new(4096),
+            128,
+            SimTime::from_micros(20),
+        );
+        t.on_issue(&r0);
+        t.on_issue(&r1);
+        t.on_complete(&IoCompletion::new(r0, SimTime::from_micros(300)));
+        let text = t.export();
+        let parsed = VscsiTracer::import(&text).unwrap();
+        let original: Vec<TraceRecord> = t.records().copied().collect();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(TraceRecord::from_str("").is_err());
+        assert!(TraceRecord::from_str("0 0 0 X 0 8 0 - -").is_err());
+        assert!(TraceRecord::from_str("0 0 0 R 0 0 0 - -").is_err(), "zero sectors");
+        assert!(
+            TraceRecord::from_str("0 0 0 R 0 8 100 50 1").is_err(),
+            "completion before issue"
+        );
+        assert!(
+            TraceRecord::from_str("0 0 0 R 0 8 0 - 5").is_err(),
+            "sequence without completion time"
+        );
+        assert!(
+            TraceRecord::from_str("0 0 0 R 0 8 0 100 -").is_err(),
+            "completion time without sequence"
+        );
+        assert!(TraceRecord::from_str("0 0 0 R 0 8 0 - -").is_ok());
+        assert!(TraceRecord::from_str("3 1 2 W 64 8 100 250 7").is_ok());
+    }
+
+    #[test]
+    fn replay_reproduces_online_histograms() {
+        // Run a workload online and through a trace; histograms must match.
+        let mut online = IoStatsCollector::default();
+        let mut tracer = VscsiTracer::new(TraceCapacity::Unbounded);
+        let mut inflight = Vec::new();
+        for i in 0..200u64 {
+            let r = req(i, (i * 37) % 10_000, i * 50);
+            online.on_issue(&r);
+            tracer.on_issue(&r);
+            inflight.push(r);
+            // Complete the oldest half the time.
+            if i % 2 == 1 {
+                let done = inflight.remove(0);
+                let c = IoCompletion::new(done, SimTime::from_micros(i * 50 + 40));
+                online.on_complete(&c);
+                tracer.on_complete(&c);
+            }
+        }
+        let records: Vec<TraceRecord> = tracer.records().copied().collect();
+        let replayed = replay(&records, CollectorConfig::default());
+        for metric in Metric::ALL {
+            for lens in Lens::ALL {
+                assert_eq!(
+                    online.histogram(metric, lens).counts(),
+                    replayed.histogram(metric, lens).counts(),
+                    "{metric} / {lens}"
+                );
+            }
+        }
+        assert_eq!(online.issued_commands(), replayed.issued_commands());
+    }
+
+    #[test]
+    fn tracer_memory_grows_with_commands() {
+        let mut t = VscsiTracer::new(TraceCapacity::Unbounded);
+        t.on_issue(&req(0, 0, 0));
+        let small = t.memory_footprint_bytes();
+        for i in 1..10_000 {
+            t.on_issue(&req(i, i * 8, i * 10));
+        }
+        assert!(t.memory_footprint_bytes() > small * 10);
+    }
+}

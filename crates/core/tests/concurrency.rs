@@ -1,0 +1,132 @@
+//! Concurrency tests: the stats service is a host-wide singleton on a
+//! multiprocessor hypervisor — concurrent VMs hammer it from different
+//! physical CPUs.
+
+use simkit::SimTime;
+use std::sync::Arc;
+use std::thread;
+use vscsi::{IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId, VDiskId, VmId};
+use vscsi_stats::{Lens, Metric, StatsService};
+
+const PER_THREAD: u64 = 5_000;
+
+fn drive_target(service: &StatsService, vm: u32, base_id: u64) {
+    let target = TargetId::new(VmId(vm), VDiskId(0));
+    for i in 0..PER_THREAD {
+        let req = IoRequest::new(
+            RequestId(base_id + i),
+            target,
+            if i % 2 == 0 {
+                IoDirection::Read
+            } else {
+                IoDirection::Write
+            },
+            Lba::new((i * 977) % 1_000_000),
+            8,
+            SimTime::from_micros(i * 10),
+        );
+        service.handle_issue(&req);
+        service.handle_complete(&IoCompletion::new(req, SimTime::from_micros(i * 10 + 5)));
+    }
+}
+
+#[test]
+fn concurrent_vms_collect_independently() {
+    let service = Arc::new(StatsService::default());
+    service.enable_all();
+    let threads: Vec<_> = (0..8u32)
+        .map(|vm| {
+            let service = Arc::clone(&service);
+            thread::spawn(move || drive_target(&service, vm, u64::from(vm) * PER_THREAD))
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("worker panicked");
+    }
+    assert_eq!(service.targets().len(), 8);
+    for vm in 0..8u32 {
+        let c = service
+            .collector(TargetId::new(VmId(vm), VDiskId(0)))
+            .expect("collector exists");
+        assert_eq!(c.issued_commands(), PER_THREAD);
+        assert_eq!(c.completed_commands(), PER_THREAD);
+        assert_eq!(c.outstanding_now(), 0);
+        assert_eq!(
+            c.histogram(Metric::IoLength, Lens::Reads).total()
+                + c.histogram(Metric::IoLength, Lens::Writes).total(),
+            PER_THREAD
+        );
+    }
+}
+
+#[test]
+fn toggling_while_under_load_never_corrupts() {
+    let service = Arc::new(StatsService::default());
+    service.enable_all();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let workers: Vec<_> = (0..4u32)
+        .map(|vm| {
+            let service = Arc::clone(&service);
+            thread::spawn(move || drive_target(&service, vm, u64::from(vm) * PER_THREAD))
+        })
+        .collect();
+    let toggler = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut n = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                service.disable_all();
+                service.enable_all();
+                n += 1;
+            }
+            n
+        })
+    };
+    for t in workers {
+        t.join().expect("worker panicked");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let toggles = toggler.join().expect("toggler panicked");
+    assert!(toggles > 0);
+
+    // Invariants survive: issued >= completed is NOT guaranteed per-target
+    // (issues may be dropped while disabled but their completions still
+    // arrive at an existing collector)... which is exactly why the
+    // collector saturates rather than underflows. Check the counters are
+    // self-consistent and the service still works.
+    for target in service.targets() {
+        let c = service.collector(target).expect("collector exists");
+        assert!(c.completed_commands() <= PER_THREAD);
+        assert!(c.issued_commands() <= PER_THREAD);
+    }
+    // The service remains usable after the storm.
+    service.enable_all();
+    drive_target(&service, 99, 10_000_000);
+    let c = service
+        .collector(TargetId::new(VmId(99), VDiskId(0)))
+        .unwrap();
+    assert_eq!(c.issued_commands(), PER_THREAD);
+}
+
+#[test]
+fn tracing_concurrent_with_collection() {
+    let service = Arc::new(StatsService::default());
+    service.enable_all();
+    let target = TargetId::new(VmId(0), VDiskId(0));
+    service.start_trace(target, vscsi_stats::TraceCapacity::Ring(1024));
+    let threads: Vec<_> = (0..2u32)
+        .map(|vm| {
+            let service = Arc::clone(&service);
+            thread::spawn(move || drive_target(&service, vm, u64::from(vm) * PER_THREAD))
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("worker panicked");
+    }
+    let records = service.stop_trace(target);
+    assert_eq!(records.len(), 1024, "ring retains its capacity");
+    // Every retained record belongs to the traced target.
+    assert!(records.iter().all(|r| r.target == target));
+}

@@ -1,0 +1,57 @@
+//! Host (testbed) description — the simulated analogue of Table 1.
+
+use std::fmt;
+
+/// Description of the simulated host and storage setup, printed at the top
+/// of every experiment (the analogue of the paper's Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Testbed {
+    /// Machine model string.
+    pub machine: &'static str,
+    /// CPU description.
+    pub cpu: &'static str,
+    /// Memory description.
+    pub memory: &'static str,
+    /// Hypervisor description.
+    pub hypervisor: &'static str,
+    /// Disk subsystem description.
+    pub disk_subsystem: String,
+}
+
+impl Testbed {
+    /// The reference testbed of the paper, as simulated here.
+    pub fn reference(disk_subsystem: impl Into<String>) -> Self {
+        Testbed {
+            machine: "HP DL585 G2 (simulated)",
+            cpu: "8 CPUs (4 socket, dual-core) @ 2.4 GHz (simulated)",
+            memory: "8 GB (simulated)",
+            hypervisor: "VMware ESX Server 3 (simulated vSCSI layer)",
+            disk_subsystem: disk_subsystem.into(),
+        }
+    }
+}
+
+impl fmt::Display for Testbed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Machine Model   {}", self.machine)?;
+        writeln!(f, "CPU             {}", self.cpu)?;
+        writeln!(f, "Total Memory    {}", self.memory)?;
+        writeln!(f, "Hypervisor      {}", self.hypervisor)?;
+        write!(f, "Disk Subsystem  {}", self.disk_subsystem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_testbed_prints_table1_fields() {
+        let t = Testbed::reference("EMC Symmetrix-like RAID-5 model (4Gb SAN)");
+        let s = t.to_string();
+        assert!(s.contains("HP DL585 G2"));
+        assert!(s.contains("ESX Server 3"));
+        assert!(s.contains("Symmetrix"));
+        assert!(s.contains("Machine Model"));
+    }
+}

@@ -1,0 +1,592 @@
+//! The closed-loop hypervisor simulation.
+//!
+//! Wires together the full data path of §2: guest workloads issue
+//! commands; the vSCSI layer (where the stats service hooks live) sees
+//! every command at issue and completion; a per-(VM, target) pending queue
+//! throttles what reaches the device, "a queue of pending requests per
+//! virtual machine for each target SCSI device"; and the shared storage
+//! array services the physical I/O.
+
+use crate::vm::Attachment;
+use guests::{Poll, Workload};
+use simkit::{EventQueue, IntervalCounter, SimDuration, SimTime};
+use vscsi::SECTOR_SIZE;
+use std::collections::HashMap;
+use std::sync::Arc;
+use storage::StorageArray;
+use vscsi::{IoCompletion, IoRequest, RequestId};
+use vscsi_stats::StatsService;
+
+/// Per-attachment runtime counters, the `esxtop`-style view (§5.2).
+#[derive(Debug, Clone)]
+pub struct AttachmentStats {
+    /// Commands completed.
+    pub completed: u64,
+    /// Bytes transferred (both directions).
+    pub bytes: u64,
+    /// Sum of device latencies, microseconds.
+    pub latency_sum_us: u64,
+    /// Completions bucketed per second (for IOps-over-time views).
+    pub per_second: IntervalCounter,
+}
+
+impl AttachmentStats {
+    fn new() -> Self {
+        AttachmentStats {
+            completed: 0,
+            bytes: 0,
+            latency_sum_us: 0,
+            per_second: IntervalCounter::new(SimDuration::from_secs(1)),
+        }
+    }
+
+    /// Mean completions per second over `[0, horizon]`.
+    pub fn iops(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.completed as f64 / horizon.as_secs_f64()
+    }
+
+    /// Mean MB/s over `[0, horizon]`.
+    pub fn mbps(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.bytes as f64 / 1e6 / horizon.as_secs_f64()
+    }
+
+    /// Mean device latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.latency_sum_us as f64 / self.completed as f64
+    }
+}
+
+/// Host CPU cost model for the I/O path (Table 2's "CPU out of 800"
+/// accounting). Costs are charged per command at completion time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuParams {
+    /// Fixed vSCSI + VMM + driver cost per command.
+    pub per_command: SimDuration,
+    /// Additional per-4-KiB cost of moving data.
+    pub per_4k: SimDuration,
+    /// Extra cost per command while the histogram service is enabled (set
+    /// this from the measured `collector_overhead` bench).
+    pub stats_overhead: SimDuration,
+    /// Number of physical CPUs (Table 1's host has 8 → "out of 800").
+    pub cpus: u32,
+}
+
+impl Default for CpuParams {
+    fn default() -> Self {
+        CpuParams {
+            per_command: SimDuration::from_micros(110),
+            per_4k: SimDuration::from_micros(3),
+            stats_overhead: SimDuration::from_nanos(350),
+            cpus: 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A workload's armed timer fired (with its generation stamp).
+    Timer { attach: usize, generation: u64 },
+    /// A device completion for a request issued by `attach`.
+    Complete { attach: usize, request_id: u64 },
+}
+
+struct AttachmentRuntime {
+    attachment: Attachment,
+    workload: Box<dyn Workload>,
+    /// Guest-issued commands not yet sent to the device.
+    pending: Vec<IoRequest>,
+    /// Commands at the device.
+    active: u32,
+    /// Tag for each in-flight request id.
+    tags: HashMap<u64, u64>,
+    /// Requests (for completion bookkeeping).
+    requests: HashMap<u64, IoRequest>,
+    timer_generation: u64,
+    stats: AttachmentStats,
+}
+
+/// The hypervisor-level discrete-event simulation.
+///
+/// # Examples
+///
+/// ```
+/// use esx::{Simulation, VmBuilder};
+/// use guests::{AccessSpec, IometerWorkload};
+/// use simkit::{SimRng, SimTime};
+/// use storage::presets;
+/// use vscsi_stats::StatsService;
+/// use std::sync::Arc;
+///
+/// let service = Arc::new(StatsService::default());
+/// service.enable_all();
+/// let mut sim = Simulation::new(presets::clariion_cx3(), Arc::clone(&service), 42);
+/// let vm = VmBuilder::new(0)
+///     .with_disk(6 * 1024 * 1024 * 1024)
+///     .attach(sim.rng().fork("wl"), |rng| {
+///         Box::new(IometerWorkload::new(
+///             "seq",
+///             AccessSpec::seq_read_4k(8, 1024 * 1024 * 1024),
+///             rng,
+///         ))
+///     });
+/// sim.add_vm(vm);
+/// sim.run_until(SimTime::from_secs(1));
+/// assert!(sim.attachment_stats(0).completed > 100);
+/// ```
+pub struct Simulation {
+    queue: EventQueue<Event>,
+    array: StorageArray,
+    service: Arc<StatsService>,
+    attachments: Vec<AttachmentRuntime>,
+    /// Placement cursor for virtual disks on the backing array.
+    next_base_sector: u64,
+    next_request_id: u64,
+    /// Device queue depth per attachment (ESX per-VM per-target queue).
+    queue_depth: u32,
+    cpu: CpuParams,
+    /// Host CPU nanoseconds consumed by the I/O path so far.
+    cpu_used_ns: u64,
+    rng: simkit::SimRng,
+    started: bool,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.queue.now())
+            .field("attachments", &self.attachments.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Default per-(VM, target) device queue depth (ESX's typical 32).
+    pub const DEFAULT_QUEUE_DEPTH: u32 = 32;
+
+    /// Creates a simulation around one shared storage array.
+    pub fn new(array_params: storage::ArrayParams, service: Arc<StatsService>, seed: u64) -> Self {
+        let rng = simkit::SimRng::seed_from(seed);
+        Simulation {
+            queue: EventQueue::new(),
+            array: StorageArray::new(array_params, rng.fork("array")),
+            service,
+            attachments: Vec::new(),
+            next_base_sector: 0,
+            next_request_id: 0,
+            queue_depth: Self::DEFAULT_QUEUE_DEPTH,
+            cpu: CpuParams::default(),
+            cpu_used_ns: 0,
+            rng,
+            started: false,
+        }
+    }
+
+    /// Overrides the host CPU cost model.
+    pub fn set_cpu_params(&mut self, cpu: CpuParams) {
+        self.cpu = cpu;
+    }
+
+    /// Host CPU seconds consumed by the I/O path so far.
+    pub fn cpu_used_seconds(&self) -> f64 {
+        self.cpu_used_ns as f64 / 1e9
+    }
+
+    /// Utilization in the paper's "CPU out of 800" form: percentage points
+    /// summed over all CPUs (8 CPUs -> max 800).
+    pub fn cpu_out_of_n(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.cpu_used_seconds() / horizon.as_secs_f64() * 100.0
+    }
+
+    /// Overrides the per-attachment device queue depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn set_queue_depth(&mut self, depth: u32) {
+        assert!(depth > 0, "queue depth must be positive");
+        self.queue_depth = depth;
+    }
+
+    /// The simulation's base RNG (fork it for workloads).
+    pub fn rng(&self) -> &simkit::SimRng {
+        &self.rng
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The shared array (for cache/utilization inspection).
+    pub fn array(&self) -> &StorageArray {
+        &self.array
+    }
+
+    /// The stats service.
+    pub fn service(&self) -> &Arc<StatsService> {
+        &self.service
+    }
+
+    /// Adds a VM (all its attachments); accepts a finished [`crate::Vm`] or
+    /// a [`crate::VmBuilder`]. Disks are placed end-to-end on the backing
+    /// array, each in its own physical region. Returns the index of the
+    /// first attachment added.
+    pub fn add_vm(&mut self, vm: impl Into<crate::vm::Vm>) -> usize {
+        assert!(!self.started, "add VMs before running");
+        let first = self.attachments.len();
+        for (target, capacity_bytes, workload) in vm.into().disks {
+            let base = vscsi::Lba::new(self.next_base_sector);
+            self.next_base_sector += capacity_bytes / vscsi::SECTOR_SIZE;
+            let vdisk = vscsi::VirtualDisk::new(target, capacity_bytes, base);
+            self.attachments.push(AttachmentRuntime {
+                attachment: Attachment::new(vdisk),
+                workload,
+                pending: Vec::new(),
+                active: 0,
+                tags: HashMap::new(),
+                requests: HashMap::new(),
+                timer_generation: 0,
+                stats: AttachmentStats::new(),
+            });
+        }
+        first
+    }
+
+    /// Number of attachments.
+    pub fn attachment_count(&self) -> usize {
+        self.attachments.len()
+    }
+
+    /// Runtime counters for attachment `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn attachment_stats(&self, idx: usize) -> &AttachmentStats {
+        &self.attachments[idx].stats
+    }
+
+    /// The (VM, disk) target of attachment `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn attachment_target(&self, idx: usize) -> vscsi::TargetId {
+        self.attachments[idx].attachment.target()
+    }
+
+    /// Runs the simulation until simulated time `end` (or until no events
+    /// remain). Returns the number of events processed.
+    pub fn run_until(&mut self, end: SimTime) -> u64 {
+        if !self.started {
+            self.started = true;
+            for idx in 0..self.attachments.len() {
+                let poll = self.attachments[idx].workload.start(SimTime::ZERO);
+                self.apply_poll(idx, SimTime::ZERO, poll);
+            }
+        }
+        let mut processed = 0u64;
+        while let Some(at) = self.queue.peek_time() {
+            if at > end {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event exists");
+            processed += 1;
+            match ev.event {
+                Event::Timer { attach, generation } => {
+                    if generation == self.attachments[attach].timer_generation {
+                        let poll = self.attachments[attach].workload.on_timer(ev.at);
+                        self.apply_poll(attach, ev.at, poll);
+                    }
+                }
+                Event::Complete { attach, request_id } => {
+                    self.complete(attach, request_id, ev.at);
+                }
+            }
+        }
+        processed
+    }
+
+    fn apply_poll(&mut self, attach: usize, now: SimTime, poll: Poll) {
+        for io in poll.issue {
+            let id = RequestId(self.next_request_id);
+            self.next_request_id += 1;
+            let runtime = &mut self.attachments[attach];
+            let vdisk = runtime.attachment.vdisk();
+            assert!(
+                vdisk.check(io.lba, io.sectors).is_ok(),
+                "workload {:?} issued out-of-range I/O {io:?} on {} ({} sectors); \
+                 size the virtual disk to cover the filesystem/workload region",
+                runtime.workload.name(),
+                vdisk.target(),
+                vdisk.capacity_sectors(),
+            );
+            let request = IoRequest::new(
+                id,
+                runtime.attachment.target(),
+                io.direction,
+                io.lba,
+                io.sectors,
+                now,
+            );
+            // The vSCSI layer sees the command the moment the guest issues
+            // it — this is the paper's first hook point.
+            self.service.handle_issue(&request);
+            runtime.tags.insert(id.0, io.tag);
+            runtime.requests.insert(id.0, request);
+            runtime.pending.push(request);
+        }
+        if let Some(at) = poll.timer {
+            let runtime = &mut self.attachments[attach];
+            runtime.timer_generation += 1;
+            let generation = runtime.timer_generation;
+            self.queue.schedule(at.max(now), Event::Timer { attach, generation });
+        }
+        self.pump(attach, now);
+    }
+
+    /// Moves pending commands to the device while the queue depth allows.
+    fn pump(&mut self, attach: usize, now: SimTime) {
+        while self.attachments[attach].active < self.queue_depth
+            && !self.attachments[attach].pending.is_empty()
+        {
+            let request = self.attachments[attach].pending.remove(0);
+            let physical = self.attachments[attach]
+                .attachment
+                .vdisk()
+                .to_physical(request.lba, request.num_sectors)
+                .expect("validated at issue");
+            let done = self.array.submit(
+                request.direction,
+                physical,
+                u64::from(request.num_sectors),
+                now,
+            );
+            self.attachments[attach].active += 1;
+            self.queue.schedule(
+                done,
+                Event::Complete {
+                    attach,
+                    request_id: request.id.0,
+                },
+            );
+        }
+    }
+
+    fn complete(&mut self, attach: usize, request_id: u64, now: SimTime) {
+        let (request, tag) = {
+            let runtime = &mut self.attachments[attach];
+            let request = runtime
+                .requests
+                .remove(&request_id)
+                .expect("completion for unknown request");
+            let tag = runtime.tags.remove(&request_id).expect("tag exists");
+            runtime.active -= 1;
+            (request, tag)
+        };
+        let completion = IoCompletion::new(request, now);
+        // Second hook point: completion at the vSCSI layer.
+        self.service.handle_complete(&completion);
+        {
+            let stats = &mut self.attachments[attach].stats;
+            stats.completed += 1;
+            stats.bytes += request.len_bytes();
+            stats.latency_sum_us += completion.latency().as_micros();
+            stats.per_second.record(now);
+        }
+        // Host CPU accounting (Table 2): fixed per-command cost, data-size
+        // cost, and the stats service's per-command overhead when enabled.
+        let mut cost = self.cpu.per_command.as_nanos()
+            + self.cpu.per_4k.as_nanos() * (request.len_bytes() / (8 * SECTOR_SIZE));
+        if self.service.is_enabled() {
+            cost += self.cpu.stats_overhead.as_nanos();
+        }
+        self.cpu_used_ns += cost;
+        // Free device slot: pump queued commands first, then let the
+        // workload react.
+        self.pump(attach, now);
+        let poll = self.attachments[attach].workload.on_complete(now, tag);
+        self.apply_poll(attach, now, poll);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::VmBuilder;
+    use guests::{AccessSpec, IometerWorkload};
+    use storage::presets;
+    use vscsi_stats::{Lens, Metric};
+
+    fn sim_with_iometer(spec: AccessSpec) -> (Simulation, Arc<StatsService>) {
+        let service = Arc::new(StatsService::default());
+        service.enable_all();
+        let mut sim = Simulation::new(presets::clariion_cx3(), Arc::clone(&service), 1);
+        let vm = VmBuilder::new(0)
+            .with_disk(8 * 1024 * 1024 * 1024)
+            .attach(sim.rng().fork("w"), move |rng| {
+                Box::new(IometerWorkload::new("w", spec, rng))
+            });
+        sim.add_vm(vm);
+        (sim, service)
+    }
+
+    #[test]
+    fn closed_loop_sustains_outstanding() {
+        let (mut sim, service) = sim_with_iometer(AccessSpec::seq_read_4k(8, 1024 * 1024 * 1024));
+        sim.run_until(SimTime::from_secs(1));
+        let stats = sim.attachment_stats(0);
+        assert!(stats.completed > 500, "completed = {}", stats.completed);
+        let c = service.collector(sim.attachment_target(0)).unwrap();
+        // Outstanding-at-arrival should hover near the configured depth - 1.
+        let h = c.histogram(Metric::OutstandingIos, Lens::All);
+        assert!(h.mean().unwrap() > 4.0, "mean OIO = {:?}", h.mean());
+        assert!(h.max().unwrap() <= 8);
+    }
+
+    #[test]
+    fn stats_service_sees_every_command() {
+        let (mut sim, service) = sim_with_iometer(AccessSpec::seq_read_4k(4, 1024 * 1024 * 1024));
+        sim.run_until(SimTime::from_millis(200));
+        let stats = sim.attachment_stats(0).completed;
+        let c = service.collector(sim.attachment_target(0)).unwrap();
+        assert_eq!(c.completed_commands(), stats);
+        assert!(c.issued_commands() >= stats);
+        assert_eq!(
+            c.histogram(Metric::Latency, Lens::All).total(),
+            stats
+        );
+    }
+
+    #[test]
+    fn queue_depth_caps_device_concurrency() {
+        let service = Arc::new(StatsService::default());
+        service.enable_all();
+        let mut sim = Simulation::new(presets::clariion_cx3_cache_off(), Arc::clone(&service), 2);
+        sim.set_queue_depth(4);
+        let vm = VmBuilder::new(0)
+            .with_disk(8 * 1024 * 1024 * 1024)
+            .attach(sim.rng().fork("w"), |rng| {
+                Box::new(IometerWorkload::new(
+                    "w",
+                    AccessSpec::random_read_8k(32, 6 * 1024 * 1024 * 1024),
+                    rng,
+                ))
+            });
+        sim.add_vm(vm);
+        sim.run_until(SimTime::from_millis(500));
+        // The guest sees 32 outstanding (vSCSI layer)...
+        let c = service.collector(sim.attachment_target(0)).unwrap();
+        let h = c.histogram(Metric::OutstandingIos, Lens::All);
+        assert!(h.max().unwrap() >= 30, "vSCSI OIO max = {:?}", h.max());
+        // ...while completions still happen (device got only 4 at a time).
+        assert!(sim.attachment_stats(0).completed > 50);
+    }
+
+    #[test]
+    fn two_vms_share_the_array() {
+        let service = Arc::new(StatsService::default());
+        service.enable_all();
+        let mut sim = Simulation::new(presets::clariion_cx3_cache_off(), Arc::clone(&service), 3);
+        for vm_id in 0..2u32 {
+            let vm = VmBuilder::new(vm_id)
+                .with_disk(6 * 1024 * 1024 * 1024)
+                .attach(sim.rng().fork(&format!("w{vm_id}")), |rng| {
+                    Box::new(IometerWorkload::new(
+                        "w",
+                        AccessSpec::random_read_8k(8, 4 * 1024 * 1024 * 1024),
+                        rng,
+                    ))
+                });
+            sim.add_vm(vm);
+        }
+        assert_eq!(sim.attachment_count(), 2);
+        sim.run_until(SimTime::from_millis(500));
+        assert!(sim.attachment_stats(0).completed > 10);
+        assert!(sim.attachment_stats(1).completed > 10);
+        // Distinct targets in the stats service.
+        assert_eq!(service.targets().len(), 2);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let (mut sim, service) =
+                sim_with_iometer(AccessSpec::random_read_8k(8, 1024 * 1024 * 1024));
+            sim.run_until(SimTime::from_millis(300));
+            let c = service.collector(sim.attachment_target(0)).unwrap();
+            (
+                sim.attachment_stats(0).completed,
+                c.histogram(Metric::Latency, Lens::All).counts().to_vec(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cpu_accounting_scales_with_commands() {
+        let (mut sim, _) = sim_with_iometer(AccessSpec::seq_read_4k(8, 1024 * 1024 * 1024));
+        assert_eq!(sim.cpu_used_seconds(), 0.0);
+        sim.run_until(SimTime::from_millis(500));
+        let completed = sim.attachment_stats(0).completed;
+        let per_cmd = sim.cpu_used_seconds() / completed as f64;
+        // Default model: 110 us/cmd + 3 us per 4 KiB + 350 ns stats.
+        assert!((per_cmd - 113.35e-6).abs() < 1e-7, "per_cmd = {per_cmd}");
+        let pct = sim.cpu_out_of_n(SimTime::from_millis(500));
+        assert!(pct > 0.0 && pct < 800.0);
+        assert_eq!(sim.cpu_out_of_n(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn stats_overhead_charged_only_when_enabled() {
+        let run = |enabled: bool| {
+            let service = Arc::new(StatsService::default());
+            if enabled {
+                service.enable_all();
+            }
+            let mut sim = Simulation::new(presets::clariion_cx3(), service, 1);
+            let vm = VmBuilder::new(0)
+                .with_disk(8 * 1024 * 1024 * 1024)
+                .attach(sim.rng().fork("w"), |rng| {
+                    Box::new(IometerWorkload::new(
+                        "w",
+                        AccessSpec::seq_read_4k(8, 1024 * 1024 * 1024),
+                        rng,
+                    ))
+                });
+            sim.add_vm(vm);
+            sim.run_until(SimTime::from_millis(200));
+            (sim.attachment_stats(0).completed, sim.cpu_used_seconds())
+        };
+        let (c_off, cpu_off) = run(false);
+        let (c_on, cpu_on) = run(true);
+        assert_eq!(c_off, c_on, "observation must not change the workload");
+        let delta_per_cmd = (cpu_on - cpu_off) / c_on as f64;
+        assert!((delta_per_cmd - 350e-9).abs() < 1e-12, "delta = {delta_per_cmd}");
+    }
+
+    #[test]
+    fn iops_and_mbps_computation() {
+        let (mut sim, _) = sim_with_iometer(AccessSpec::seq_read_4k(8, 1024 * 1024 * 1024));
+        sim.run_until(SimTime::from_secs(1));
+        let stats = sim.attachment_stats(0);
+        let iops = stats.iops(SimTime::from_secs(1));
+        let mbps = stats.mbps(SimTime::from_secs(1));
+        assert!(iops > 0.0);
+        assert!((mbps - iops * 4096.0 / 1e6).abs() < 1.0);
+        assert!(stats.mean_latency_us() > 0.0);
+    }
+}

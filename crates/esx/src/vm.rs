@@ -1,0 +1,192 @@
+//! Virtual machines and their disk attachments.
+//!
+//! A [`Vm`] owns one or more virtual disks, each driven by one guest
+//! [`Workload`] — the simulation analogue of "arbitrary, unmodified
+//! operating system instances running in virtual machines" (§1). When a VM
+//! is added to a `Simulation`, its disks are placed at disjoint base
+//! offsets on the shared backing array, which is what lets multi-VM
+//! interference happen on real spindles (§3.7).
+
+use guests::Workload;
+use simkit::SimRng;
+use vscsi::{TargetId, VDiskId, VirtualDisk, VmId};
+
+/// One (virtual disk, workload) pairing inside a VM, after placement.
+#[derive(Debug, Clone, Copy)]
+pub struct Attachment {
+    vdisk: VirtualDisk,
+}
+
+impl Attachment {
+    pub(crate) fn new(vdisk: VirtualDisk) -> Self {
+        Attachment { vdisk }
+    }
+
+    /// The virtual disk.
+    pub fn vdisk(&self) -> &VirtualDisk {
+        &self.vdisk
+    }
+
+    /// The (VM, disk) target id.
+    pub fn target(&self) -> TargetId {
+        self.vdisk.target()
+    }
+}
+
+/// A configured virtual machine, not yet placed on backing storage.
+pub struct Vm {
+    pub(crate) disks: Vec<(TargetId, u64, Box<dyn Workload>)>,
+}
+
+impl std::fmt::Debug for Vm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm").field("disks", &self.disks.len()).finish()
+    }
+}
+
+/// Builder for a [`Vm`].
+///
+/// # Examples
+///
+/// ```
+/// use esx::VmBuilder;
+/// use guests::{AccessSpec, IometerWorkload};
+/// use simkit::SimRng;
+///
+/// let vm = VmBuilder::new(7)
+///     .with_disk(1024 * 1024 * 1024)
+///     .attach(SimRng::seed_from(1), |rng| {
+///         Box::new(IometerWorkload::new(
+///             "w",
+///             AccessSpec::seq_read_4k(4, 512 * 1024 * 1024),
+///             rng,
+///         ))
+///     })
+///     .build();
+/// ```
+pub struct VmBuilder {
+    vm: VmId,
+    next_disk: u32,
+    pending_capacity: Option<u64>,
+    disks: Vec<(TargetId, u64, Box<dyn Workload>)>,
+}
+
+impl std::fmt::Debug for VmBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VmBuilder")
+            .field("vm", &self.vm)
+            .field("disks", &self.disks.len())
+            .finish()
+    }
+}
+
+impl VmBuilder {
+    /// Starts building VM `id`.
+    pub fn new(id: u32) -> Self {
+        VmBuilder {
+            vm: VmId(id),
+            next_disk: 0,
+            pending_capacity: None,
+            disks: Vec::new(),
+        }
+    }
+
+    /// Adds a virtual disk of `capacity_bytes`; follow with
+    /// [`VmBuilder::attach`] to bind its workload.
+    pub fn with_disk(mut self, capacity_bytes: u64) -> Self {
+        assert!(
+            self.pending_capacity.is_none(),
+            "previous disk still needs a workload"
+        );
+        self.pending_capacity = Some(capacity_bytes);
+        self
+    }
+
+    /// Binds a workload to the most recently added disk. The factory
+    /// receives a deterministic RNG to seed the workload with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no disk is pending (call [`VmBuilder::with_disk`] first).
+    pub fn attach<F>(mut self, rng: SimRng, factory: F) -> Self
+    where
+        F: FnOnce(SimRng) -> Box<dyn Workload>,
+    {
+        let capacity = self
+            .pending_capacity
+            .take()
+            .expect("call with_disk before attach");
+        let target = TargetId::new(self.vm, VDiskId(self.next_disk));
+        self.next_disk += 1;
+        self.disks.push((target, capacity, factory(rng)));
+        self
+    }
+
+    /// Finishes the VM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a disk was added without a workload, or no disks exist.
+    pub fn build(self) -> Vm {
+        assert!(
+            self.pending_capacity.is_none(),
+            "disk added without a workload; call attach"
+        );
+        assert!(!self.disks.is_empty(), "vm has no disks");
+        Vm { disks: self.disks }
+    }
+}
+
+impl From<VmBuilder> for Vm {
+    fn from(b: VmBuilder) -> Vm {
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guests::{AccessSpec, IometerWorkload};
+
+    fn mk_workload(rng: SimRng) -> Box<dyn Workload> {
+        Box::new(IometerWorkload::new(
+            "w",
+            AccessSpec::seq_read_4k(1, 1024 * 1024),
+            rng,
+        ))
+    }
+
+    #[test]
+    fn target_ids_enumerate_disks() {
+        let vm = VmBuilder::new(3)
+            .with_disk(1024 * 1024)
+            .attach(SimRng::seed_from(1), mk_workload)
+            .with_disk(2048 * 1024)
+            .attach(SimRng::seed_from(2), mk_workload)
+            .build();
+        assert_eq!(vm.disks.len(), 2);
+        assert_eq!(vm.disks[0].0, TargetId::new(VmId(3), VDiskId(0)));
+        assert_eq!(vm.disks[1].0, TargetId::new(VmId(3), VDiskId(1)));
+        assert_eq!(vm.disks[1].1, 2048 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "disk added without a workload")]
+    fn dangling_disk_rejected() {
+        let _ = VmBuilder::new(0).with_disk(1024 * 1024).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "previous disk still needs a workload")]
+    fn double_with_disk_rejected() {
+        let _ = VmBuilder::new(0)
+            .with_disk(1024 * 1024)
+            .with_disk(1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "vm has no disks")]
+    fn empty_vm_rejected() {
+        let _ = VmBuilder::new(0).build();
+    }
+}

@@ -1,0 +1,142 @@
+//! Delayed-start wrapper: run a workload only after a given instant.
+//!
+//! Figure 6(c) of the paper shows a *phase change*: a sequential reader
+//! runs alone, then a random reader is launched against the same device
+//! mid-experiment and the latency histogram shifts. [`Delayed`] gives any
+//! workload that staggered start.
+
+use crate::workload::{Poll, Workload};
+use simkit::SimTime;
+
+/// Wraps a workload so it starts at `start_at` instead of simulation time
+/// zero.
+///
+/// # Examples
+///
+/// ```
+/// use guests::{AccessSpec, Delayed, IometerWorkload, Workload};
+/// use simkit::{SimRng, SimTime};
+///
+/// let inner = IometerWorkload::new("late", AccessSpec::seq_read_4k(4, 1024 * 1024), SimRng::seed_from(1));
+/// let mut wl = Delayed::new(Box::new(inner), SimTime::from_secs(30));
+/// let poll = wl.start(SimTime::ZERO);
+/// assert!(poll.issue.is_empty());
+/// assert_eq!(poll.timer, Some(SimTime::from_secs(30)));
+/// ```
+pub struct Delayed {
+    inner: Box<dyn Workload>,
+    start_at: SimTime,
+    started: bool,
+}
+
+impl std::fmt::Debug for Delayed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Delayed")
+            .field("inner", &self.inner.name())
+            .field("start_at", &self.start_at)
+            .field("started", &self.started)
+            .finish()
+    }
+}
+
+impl Delayed {
+    /// Wraps `inner` to begin at `start_at`.
+    pub fn new(inner: Box<dyn Workload>, start_at: SimTime) -> Self {
+        Delayed {
+            inner,
+            start_at,
+            started: false,
+        }
+    }
+
+    /// Whether the inner workload has begun.
+    pub fn started(&self) -> bool {
+        self.started
+    }
+}
+
+impl Workload for Delayed {
+    fn start(&mut self, now: SimTime) -> Poll {
+        if now >= self.start_at {
+            self.started = true;
+            self.inner.start(now)
+        } else {
+            Poll::timer(self.start_at)
+        }
+    }
+
+    fn on_complete(&mut self, now: SimTime, tag: u64) -> Poll {
+        if self.started {
+            self.inner.on_complete(now, tag)
+        } else {
+            Poll::idle()
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime) -> Poll {
+        if self.started {
+            self.inner.on_timer(now)
+        } else if now >= self.start_at {
+            self.started = true;
+            self.inner.start(now)
+        } else {
+            Poll::timer(self.start_at)
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessSpec, IometerWorkload};
+    use simkit::SimRng;
+
+    fn delayed(at_secs: u64) -> Delayed {
+        Delayed::new(
+            Box::new(IometerWorkload::new(
+                "w",
+                AccessSpec::seq_read_4k(4, 1024 * 1024),
+                SimRng::seed_from(1),
+            )),
+            SimTime::from_secs(at_secs),
+        )
+    }
+
+    #[test]
+    fn holds_until_start_time() {
+        let mut d = delayed(10);
+        let p = d.start(SimTime::ZERO);
+        assert!(p.issue.is_empty());
+        assert!(!d.started());
+        // Early spurious timer: re-arm.
+        let p = d.on_timer(SimTime::from_secs(5));
+        assert!(p.issue.is_empty());
+        assert_eq!(p.timer, Some(SimTime::from_secs(10)));
+        // Completion events before start are ignored gracefully.
+        assert_eq!(d.on_complete(SimTime::from_secs(6), 0), Poll::idle());
+    }
+
+    #[test]
+    fn starts_on_timer_fire() {
+        let mut d = delayed(10);
+        d.start(SimTime::ZERO);
+        let p = d.on_timer(SimTime::from_secs(10));
+        assert_eq!(p.issue.len(), 4);
+        assert!(d.started());
+        // Subsequent events route to the inner workload.
+        let p2 = d.on_complete(SimTime::from_secs(11), 0);
+        assert_eq!(p2.issue.len(), 1);
+    }
+
+    #[test]
+    fn zero_delay_starts_immediately() {
+        let mut d = delayed(0);
+        let p = d.start(SimTime::ZERO);
+        assert_eq!(p.issue.len(), 4);
+        assert_eq!(d.name(), "w");
+    }
+}

@@ -1,0 +1,153 @@
+//! Filebench: a model-based workload generator (§4.1, \[16\]).
+//!
+//! "The input to this program is a model file that specifies processes and
+//! threads in a workflow … The model specification language is rich and
+//! allows different request types including read, write, create, delete
+//! and append." We implement the subset the paper's experiments exercise —
+//! read/write/append/think flowops with iosize, random/sequential, sync
+//! and instances attributes — plus the OLTP personality used in §4.1.
+
+mod engine;
+mod parse;
+mod spec;
+
+pub use engine::FilebenchWorkload;
+pub use parse::{parse_duration, parse_model, parse_size, ParseModelError};
+pub use spec::{
+    AccessPattern, FileSpec, FlowopKind, FlowopSpec, ModelSpec, ProcessSpec, ThreadSpec,
+};
+
+/// The Filebench OLTP "personality": "a model that tries to emulate an
+/// Oracle database server generating I/Os under an online transaction
+/// processing workload" (§4.1), with the paper's parameter changes applied
+/// (10 GiB total filesize, 1 GiB logfile).
+///
+/// Shape: a pool of random 4 KiB readers (table-space reads), database
+/// writers issuing random 4 KiB writes, and a log writer appending
+/// synchronously — "table space reads and updates are intermixed with log
+/// writes resulting in a lot of randomness in the I/O stream".
+pub fn oltp_model() -> String {
+    "\
+# Filebench OLTP personality (paper configuration: filesize=10g, logfilesize=1g)
+define file name=datafile,size=10g
+define file name=logfile,size=1g
+
+define process name=oltp,instances=1 {
+  thread name=shadow-reader,instances=20 {
+    flowop read name=dbread,file=datafile,iosize=4k,random
+    flowop think name=reader-think,value=3ms
+  }
+  thread name=db-writer,instances=10 {
+    flowop write name=dbwrite,file=datafile,iosize=4k,random,sync
+    flowop think name=writer-think,value=10ms
+  }
+  thread name=log-writer,instances=1 {
+    flowop append name=logwrite,file=logfile,iosize=4k,sync
+    flowop think name=log-think,value=2ms
+  }
+}
+"
+    .to_owned()
+}
+
+/// A web-server personality, after Filebench's `webserver.f`: a pool of
+/// threads reading files mostly sequentially (whole-file reads of mixed
+/// sizes) plus one weblog appender. Read-dominated, moderately sequential.
+pub fn webserver_model() -> String {
+    "\
+# Filebench webserver personality (open files, stream them, append a log)
+define file name=docroot,size=4g
+define file name=weblog,size=256m
+
+define process name=webserver,instances=1 {
+  thread name=html-reader,instances=16 {
+    flowop read name=readpage,file=docroot,iosize=16k,random
+    flowop read name=readbody,file=docroot,iosize=64k,random
+    flowop think name=service,value=1ms
+  }
+  thread name=weblog-writer,instances=1 {
+    flowop append name=weblogwrite,file=weblog,iosize=8k,sync
+    flowop think name=logpause,value=4ms
+  }
+}
+"
+    .to_owned()
+}
+
+/// A file-server personality, after Filebench's `fileserver.f`: threads
+/// that read whole files, write new ones, and append — a mixed, bursty
+/// pattern with a broad size distribution.
+pub fn fileserver_model() -> String {
+    "\
+# Filebench fileserver personality (mixed read/write/append)
+define file name=share,size=8g
+define file name=newfiles,size=2g
+
+define process name=fileserver,instances=1 {
+  thread name=filereader,instances=10 {
+    flowop read name=wholeread,file=share,iosize=128k,random
+    flowop think name=t1,value=3ms
+  }
+  thread name=filewriter,instances=5 {
+    flowop write name=create,file=newfiles,iosize=64k,random
+    flowop think name=t2,value=6ms
+  }
+  thread name=appender,instances=2 {
+    flowop append name=app,file=newfiles,iosize=16k,sync
+    flowop think name=t3,value=8ms
+  }
+}
+"
+    .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oltp_model_parses() {
+        let spec = parse_model(&oltp_model()).unwrap();
+        assert_eq!(spec.files.len(), 2);
+        assert_eq!(spec.file("datafile").unwrap().size, 10 * 1024 * 1024 * 1024);
+        assert_eq!(spec.file("logfile").unwrap().size, 1024 * 1024 * 1024);
+        assert_eq!(spec.total_threads(), 31);
+    }
+
+    #[test]
+    fn webserver_model_parses_and_is_read_heavy() {
+        let spec = parse_model(&webserver_model()).unwrap();
+        assert_eq!(spec.total_threads(), 17);
+        let reads = spec.processes[0].threads[0]
+            .flowops
+            .iter()
+            .filter(|f| matches!(f.kind, FlowopKind::Read { .. }))
+            .count();
+        assert_eq!(reads, 2);
+    }
+
+    #[test]
+    fn fileserver_model_parses_with_three_roles() {
+        let spec = parse_model(&fileserver_model()).unwrap();
+        assert_eq!(spec.processes[0].threads.len(), 3);
+        assert_eq!(spec.total_threads(), 17);
+        assert!(spec.file("share").unwrap().size > spec.file("newfiles").unwrap().size);
+    }
+
+    #[test]
+    fn bundled_personalities_run_on_ufs() {
+        use crate::fs::{Ufs, UfsParams};
+        use crate::workload::Workload;
+        for model in [webserver_model(), fileserver_model()] {
+            let spec = parse_model(&model).unwrap();
+            let mut wl = FilebenchWorkload::new(
+                "p",
+                spec,
+                Box::new(Ufs::new(UfsParams::default())),
+                simkit::SimRng::seed_from(1),
+            );
+            let poll = wl.start(simkit::SimTime::ZERO);
+            assert!(!poll.issue.is_empty());
+        }
+    }
+}

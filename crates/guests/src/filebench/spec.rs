@@ -1,0 +1,179 @@
+//! AST for the Filebench-style model language.
+//!
+//! Filebench (§4.1, \[16\]) is "a model based workload generator for file
+//! systems ... The input to this program is a model file that specifies
+//! processes and threads in a workflow." This module defines the parsed
+//! representation of the subset we implement: file declarations and
+//! process/thread/flowop trees with the attributes the OLTP personality
+//! needs (iosize, random/sequential, sync, think values, instances).
+
+use simkit::SimDuration;
+
+/// A parsed model file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModelSpec {
+    /// Declared files.
+    pub files: Vec<FileSpec>,
+    /// Declared processes.
+    pub processes: Vec<ProcessSpec>,
+}
+
+impl ModelSpec {
+    /// Total thread instances across all processes.
+    pub fn total_threads(&self) -> usize {
+        self.processes
+            .iter()
+            .map(|p| {
+                p.instances as usize
+                    * p.threads
+                        .iter()
+                        .map(|t| t.instances as usize)
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Looks up a file by name.
+    pub fn file(&self, name: &str) -> Option<&FileSpec> {
+        self.files.iter().find(|f| f.name == name)
+    }
+}
+
+/// A `define file` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileSpec {
+    /// Name referenced by flowops.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// A `define process` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessSpec {
+    /// Process name.
+    pub name: String,
+    /// Parallel instances.
+    pub instances: u32,
+    /// Threads within each instance.
+    pub threads: Vec<ThreadSpec>,
+}
+
+/// A `thread` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadSpec {
+    /// Thread name.
+    pub name: String,
+    /// Parallel instances.
+    pub instances: u32,
+    /// The flowop program each instance loops over.
+    pub flowops: Vec<FlowopSpec>,
+}
+
+/// One flowop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowopSpec {
+    /// Flowop name (for reports).
+    pub name: String,
+    /// What it does.
+    pub kind: FlowopKind,
+}
+
+/// Access pattern of an I/O flowop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Uniformly random offsets within the file.
+    Random,
+    /// Monotonically advancing offsets, wrapping at end of file.
+    Sequential,
+}
+
+/// The flowop kinds the engine executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowopKind {
+    /// Read `iosize` bytes from `file`.
+    Read {
+        /// Target file name.
+        file: String,
+        /// Bytes per operation.
+        iosize: u64,
+        /// Offset pattern.
+        pattern: AccessPattern,
+        /// Optional rate limit in operations per second (an *open* flow in
+        /// Filebench terms; the paper: "Rate and throughput limits can be
+        /// specified").
+        rate: Option<u32>,
+    },
+    /// Write `iosize` bytes to `file`.
+    Write {
+        /// Target file name.
+        file: String,
+        /// Bytes per operation.
+        iosize: u64,
+        /// Offset pattern.
+        pattern: AccessPattern,
+        /// `true` forces the write (and any journal/log activity) to disk
+        /// before the flowop completes.
+        sync: bool,
+        /// Optional rate limit in operations per second.
+        rate: Option<u32>,
+    },
+    /// Append `iosize` bytes to `file` (shared per-file append cursor).
+    Append {
+        /// Target file name.
+        file: String,
+        /// Bytes per operation.
+        iosize: u64,
+        /// Synchronous append (log writes).
+        sync: bool,
+        /// Optional rate limit in operations per second.
+        rate: Option<u32>,
+    },
+    /// Pause for a fixed think time.
+    Think {
+        /// Pause duration.
+        duration: SimDuration,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_threads_multiplies_instances() {
+        let spec = ModelSpec {
+            files: vec![],
+            processes: vec![ProcessSpec {
+                name: "p".into(),
+                instances: 2,
+                threads: vec![
+                    ThreadSpec {
+                        name: "a".into(),
+                        instances: 3,
+                        flowops: vec![],
+                    },
+                    ThreadSpec {
+                        name: "b".into(),
+                        instances: 1,
+                        flowops: vec![],
+                    },
+                ],
+            }],
+        };
+        assert_eq!(spec.total_threads(), 8);
+    }
+
+    #[test]
+    fn file_lookup() {
+        let spec = ModelSpec {
+            files: vec![FileSpec {
+                name: "data".into(),
+                size: 1024,
+            }],
+            processes: vec![],
+        };
+        assert_eq!(spec.file("data").unwrap().size, 1024);
+        assert!(spec.file("nope").is_none());
+    }
+}

@@ -1,0 +1,94 @@
+//! Guest filesystem behaviour models.
+//!
+//! §4.1 of the paper is a study of how much the *filesystem* reshapes an
+//! application's I/O before it reaches the virtual disk: the same Filebench
+//! OLTP run looks completely different under UFS (4–8 KiB, random
+//! everywhere) and ZFS (80–128 KiB, random reads but *sequential* writes,
+//! thanks to copy-on-write allocation). These models capture exactly that
+//! reshaping layer: a mapping from file-level operations to block-level
+//! extents, plus background flush behaviour.
+
+mod ext3;
+mod ntfs;
+mod ufs;
+mod zfs;
+
+pub use ext3::{Ext3, Ext3Params};
+pub use ntfs::{Ntfs, NtfsParams};
+pub use ufs::{Ufs, UfsParams};
+pub use zfs::{Zfs, ZfsParams};
+
+use simkit::{SimDuration, SimRng};
+use vscsi::{IoDirection, Lba};
+
+/// Identifier of a file within a guest filesystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+/// One disk extent produced by translating a file operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// Read or write at the block level.
+    pub direction: IoDirection,
+    /// First sector on the virtual disk.
+    pub lba: Lba,
+    /// Length in sectors (> 0).
+    pub sectors: u32,
+}
+
+impl Extent {
+    /// Convenience constructor.
+    pub fn new(direction: IoDirection, lba: Lba, sectors: u32) -> Self {
+        debug_assert!(sectors > 0);
+        Extent {
+            direction,
+            lba,
+            sectors,
+        }
+    }
+}
+
+/// A filesystem behaviour model: translates file-level reads/writes into
+/// block-level extents on the virtual disk.
+pub trait Filesystem {
+    /// Translates an application read of `len` bytes at `offset` in `file`.
+    fn read(&mut self, file: FileId, offset: u64, len: u64, rng: &mut SimRng) -> Vec<Extent>;
+
+    /// Translates an application write. `sync` writes must reach the disk
+    /// before the call is considered complete (the returned extents carry
+    /// them); async writes may be buffered and emerge later from
+    /// [`Filesystem::flush`].
+    fn write(
+        &mut self,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        sync: bool,
+        rng: &mut SimRng,
+    ) -> Vec<Extent>;
+
+    /// Background work (journal commit, transaction-group flush). Called at
+    /// the cadence advertised by [`Filesystem::flush_interval`].
+    fn flush(&mut self, rng: &mut SimRng) -> Vec<Extent>;
+
+    /// How often [`Filesystem::flush`] should run, if the model needs
+    /// periodic background work.
+    fn flush_interval(&self) -> Option<SimDuration> {
+        None
+    }
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extent_constructor() {
+        let e = Extent::new(IoDirection::Read, Lba::new(8), 16);
+        assert_eq!(e.sectors, 16);
+        assert!(e.direction.is_read());
+    }
+}

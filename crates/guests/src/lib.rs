@@ -1,0 +1,46 @@
+//! # guests — guest OS, filesystem and application workload models
+//!
+//! Everything that runs *inside* the virtual machines of the paper's
+//! experiments: application workload generators (Filebench OLTP, DBT-2,
+//! large file copy, Iometer) and the filesystem behaviour models that
+//! reshape their I/O before it reaches the virtual disk (UFS, ZFS
+//! copy-on-write, ext3 journalling).
+//!
+//! The unifying abstraction is [`Workload`]: a closed-loop block-I/O
+//! generator the hypervisor drives through `start` / `on_complete` /
+//! `on_timer` hooks.
+//!
+//! # Examples
+//!
+//! ```
+//! use guests::{AccessSpec, IometerWorkload, Workload};
+//! use simkit::{SimRng, SimTime};
+//!
+//! // The Table 2 microbenchmark pattern: 4 KiB sequential reads, 16 deep.
+//! let mut w = IometerWorkload::new(
+//!     "microbench",
+//!     AccessSpec::seq_read_4k(16, 1024 * 1024 * 1024),
+//!     SimRng::seed_from(42),
+//! );
+//! assert_eq!(w.start(SimTime::ZERO).issue.len(), 16);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dbt2;
+mod delayed;
+pub mod filebench;
+mod filecopy;
+pub mod fs;
+mod iometer;
+mod replay;
+mod workload;
+
+pub use dbt2::{Dbt2Params, Dbt2Workload};
+pub use delayed::Delayed;
+pub use filebench::FilebenchWorkload;
+pub use filecopy::{FileCopyParams, FileCopyWorkload};
+pub use iometer::{AccessSpec, IometerWorkload};
+pub use replay::{ReplayWorkload, ScheduledIo};
+pub use workload::{BlockIo, Poll, Workload};

@@ -1,0 +1,210 @@
+//! Distances between histograms.
+//!
+//! Support for the paper's stated future work (§7): "automatic
+//! categorization of workloads". Categorization needs a notion of how far
+//! apart two binned distributions are; this module provides the standard
+//! ones over *normalized* histograms sharing a layout.
+
+use crate::histogram::{Histogram, MergeError};
+
+/// Normalizes a histogram's counts to a probability vector (sums to 1).
+/// Returns an empty vector for an empty histogram.
+pub fn normalize(h: &Histogram) -> Vec<f64> {
+    let total = h.total();
+    if total == 0 {
+        return Vec::new();
+    }
+    h.counts()
+        .iter()
+        .map(|&c| c as f64 / total as f64)
+        .collect()
+}
+
+fn check_layouts(a: &Histogram, b: &Histogram) -> Result<(), MergeError> {
+    if a.edges() != b.edges() {
+        return Err(MergeError::LayoutMismatch);
+    }
+    Ok(())
+}
+
+/// Total-variation distance: `0.5 * Σ |p_i - q_i|`, in `[0, 1]`.
+/// Empty histograms are treated as uniform over nothing (distance 1 to any
+/// non-empty histogram, 0 to another empty one).
+///
+/// # Errors
+///
+/// Returns [`MergeError::LayoutMismatch`] if the layouts differ.
+///
+/// # Examples
+///
+/// ```
+/// use histo::{distance, Histogram};
+///
+/// let mut a = Histogram::with_edges(vec![0, 10])?;
+/// let mut b = Histogram::with_edges(vec![0, 10])?;
+/// a.record(5);
+/// b.record(5);
+/// assert_eq!(distance::total_variation(&a, &b)?, 0.0);
+/// b.record(100);
+/// assert!(distance::total_variation(&a, &b)? > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn total_variation(a: &Histogram, b: &Histogram) -> Result<f64, MergeError> {
+    check_layouts(a, b)?;
+    let pa = normalize(a);
+    let pb = normalize(b);
+    Ok(match (pa.is_empty(), pb.is_empty()) {
+        (true, true) => 0.0,
+        (true, false) | (false, true) => 1.0,
+        (false, false) => {
+            0.5 * pa
+                .iter()
+                .zip(&pb)
+                .map(|(x, y)| (x - y).abs())
+                .sum::<f64>()
+        }
+    })
+}
+
+/// Squared Hellinger distance: `1 - Σ sqrt(p_i q_i)`, in `[0, 1]`.
+/// Symmetric and bounded, well-defined with zero bins — the workhorse for
+/// fingerprint similarity.
+///
+/// # Errors
+///
+/// Returns [`MergeError::LayoutMismatch`] if the layouts differ.
+pub fn hellinger_sq(a: &Histogram, b: &Histogram) -> Result<f64, MergeError> {
+    check_layouts(a, b)?;
+    let pa = normalize(a);
+    let pb = normalize(b);
+    Ok(match (pa.is_empty(), pb.is_empty()) {
+        (true, true) => 0.0,
+        (true, false) | (false, true) => 1.0,
+        (false, false) => {
+            let bc: f64 = pa.iter().zip(&pb).map(|(x, y)| (x * y).sqrt()).sum();
+            (1.0 - bc).max(0.0)
+        }
+    })
+}
+
+/// Chi-square statistic `Σ (o_i - e_i)^2 / e_i` comparing observed counts
+/// in `a` against the distribution of `b` scaled to `a`'s total. Bins where
+/// both are zero are skipped; bins where only `b` is zero contribute the
+/// observed count (a pseudo-count of 1 is used as the expected value).
+///
+/// # Errors
+///
+/// Returns [`MergeError::LayoutMismatch`] if the layouts differ.
+pub fn chi_square(a: &Histogram, b: &Histogram) -> Result<f64, MergeError> {
+    check_layouts(a, b)?;
+    if a.total() == 0 || b.total() == 0 {
+        return Ok(if a.total() == b.total() { 0.0 } else { f64::INFINITY });
+    }
+    let scale = a.total() as f64 / b.total() as f64;
+    let mut stat = 0.0;
+    for (&o, &e_raw) in a.counts().iter().zip(b.counts()) {
+        let e = e_raw as f64 * scale;
+        if o == 0 && e == 0.0 {
+            continue;
+        }
+        let e = e.max(1.0);
+        let d = o as f64 - e;
+        stat += d * d / e;
+    }
+    Ok(stat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layouts;
+
+    fn pair() -> (Histogram, Histogram) {
+        (
+            Histogram::new(layouts::latency_us()),
+            Histogram::new(layouts::latency_us()),
+        )
+    }
+
+    #[test]
+    fn identical_histograms_distance_zero() {
+        let (mut a, mut b) = pair();
+        for v in [5, 50, 500, 5_000] {
+            a.record(v);
+            b.record(v);
+        }
+        assert_eq!(total_variation(&a, &b).unwrap(), 0.0);
+        assert!(hellinger_sq(&a, &b).unwrap() < 1e-12);
+        assert!(chi_square(&a, &b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_histograms_distance_one() {
+        let (mut a, mut b) = pair();
+        a.record_n(5, 100);
+        b.record_n(50_000, 100);
+        assert_eq!(total_variation(&a, &b).unwrap(), 1.0);
+        assert!((hellinger_sq(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert!(chi_square(&a, &b).unwrap() > 100.0);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // Same shape at different totals: zero TV/Hellinger distance.
+        let (mut a, mut b) = pair();
+        a.record_n(5, 10);
+        a.record_n(500, 30);
+        b.record_n(5, 100);
+        b.record_n(500, 300);
+        assert!(total_variation(&a, &b).unwrap() < 1e-12);
+        assert!(hellinger_sq(&a, &b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry() {
+        let (mut a, mut b) = pair();
+        a.record_n(5, 7);
+        a.record_n(5_000, 3);
+        b.record_n(50, 4);
+        b.record_n(5_000, 9);
+        assert_eq!(
+            total_variation(&a, &b).unwrap(),
+            total_variation(&b, &a).unwrap()
+        );
+        assert!(
+            (hellinger_sq(&a, &b).unwrap() - hellinger_sq(&b, &a).unwrap()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn empty_cases() {
+        let (a, b) = pair();
+        assert_eq!(total_variation(&a, &b).unwrap(), 0.0);
+        assert_eq!(hellinger_sq(&a, &b).unwrap(), 0.0);
+        assert_eq!(chi_square(&a, &b).unwrap(), 0.0);
+        let mut c = Histogram::new(layouts::latency_us());
+        c.record(5);
+        assert_eq!(total_variation(&a, &c).unwrap(), 1.0);
+        assert_eq!(chi_square(&c, &a).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn layout_mismatch_rejected() {
+        let a = Histogram::new(layouts::latency_us());
+        let b = Histogram::new(layouts::io_length_bytes());
+        assert_eq!(total_variation(&a, &b), Err(MergeError::LayoutMismatch));
+        assert_eq!(hellinger_sq(&a, &b), Err(MergeError::LayoutMismatch));
+        assert_eq!(chi_square(&a, &b), Err(MergeError::LayoutMismatch));
+    }
+
+    #[test]
+    fn normalize_sums_to_one() {
+        let mut a = Histogram::new(layouts::outstanding_ios());
+        for v in 0..100 {
+            a.record(v % 40);
+        }
+        let p = normalize(&a);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(normalize(&Histogram::new(layouts::outstanding_ios())).is_empty());
+    }
+}

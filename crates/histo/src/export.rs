@@ -1,0 +1,305 @@
+//! Plain-text exports (CSV) for post-processing.
+//!
+//! The paper notes "a post-processing script could easily compress ranges
+//! back into powers of two or some other desired scheme" (§4); these
+//! exporters produce the machine-readable form such scripts consume. The
+//! format is dependency-free CSV: labels never contain commas or quotes by
+//! construction.
+
+use crate::histogram::Histogram;
+use crate::series::HistogramSeries;
+use crate::Histogram2d;
+use std::io::{self, Write};
+
+/// Writes `histogram` as CSV rows `bin_upper_bound,count` with a header.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+///
+/// # Examples
+///
+/// ```
+/// use histo::{export, Histogram};
+///
+/// let mut h = Histogram::with_edges(vec![0, 10])?;
+/// h.record(5);
+/// let mut out = Vec::new();
+/// export::histogram_csv(&h, &mut out)?;
+/// let text = String::from_utf8(out).unwrap();
+/// assert!(text.starts_with("bin,count\n"));
+/// assert!(text.contains("10,1"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn histogram_csv<W: Write>(histogram: &Histogram, mut w: W) -> io::Result<()> {
+    writeln!(w, "bin,count")?;
+    for (label, count) in histogram.iter_labeled() {
+        writeln!(w, "{label},{count}")?;
+    }
+    Ok(())
+}
+
+/// Writes a [`HistogramSeries`] as CSV: one row per interval, one column per
+/// bin, with an `interval` leading column.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn series_csv<W: Write>(series: &HistogramSeries, mut w: W) -> io::Result<()> {
+    write!(w, "interval")?;
+    for i in 0..series.edges().bin_count() {
+        write!(w, ",{}", series.edges().bin_label(i))?;
+    }
+    writeln!(w)?;
+    for (i, h) in series.iter() {
+        write!(w, "{i}")?;
+        for &c in h.counts() {
+            write!(w, ",{c}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Writes a [`Histogram2d`] as CSV: one row per y bin, one column per x bin.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn histogram2d_csv<W: Write>(h: &Histogram2d, mut w: W) -> io::Result<()> {
+    write!(w, "y_bin")?;
+    for xi in 0..h.x_edges().bin_count() {
+        write!(w, ",{}", h.x_edges().bin_label(xi))?;
+    }
+    writeln!(w)?;
+    for yi in 0..h.y_edges().bin_count() {
+        write!(w, "{}", h.y_edges().bin_label(yi))?;
+        for xi in 0..h.x_edges().bin_count() {
+            write!(w, ",{}", h.count(xi, yi))?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Error returned by [`histogram_from_csv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCsvError {
+    /// 1-based line number of the failure.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "histogram csv parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseCsvError {}
+
+/// Parses a histogram previously produced by [`histogram_csv`]: the bin
+/// layout is reconstructed from the labels (plain upper bounds plus the
+/// final `">edge"` overflow label) and counts are re-inserted via
+/// representative values.
+///
+/// # Errors
+///
+/// Returns [`ParseCsvError`] on a malformed header, label, count, or an
+/// invalid (non-increasing) reconstructed layout.
+///
+/// # Examples
+///
+/// ```
+/// use histo::{export, Histogram};
+///
+/// let mut h = Histogram::with_edges(vec![0, 10])?;
+/// h.record(5);
+/// h.record(99);
+/// let mut buf = Vec::new();
+/// export::histogram_csv(&h, &mut buf)?;
+/// let back = export::histogram_from_csv(std::str::from_utf8(&buf).unwrap())?;
+/// assert_eq!(back.counts(), h.counts());
+/// assert_eq!(back.edges(), h.edges());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn histogram_from_csv(text: &str) -> Result<Histogram, ParseCsvError> {
+    let err = |line: usize, message: &str| ParseCsvError {
+        line,
+        message: message.to_owned(),
+    };
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, "bin,count")) => {}
+        _ => return Err(err(1, "expected header 'bin,count'")),
+    }
+    let mut edges: Vec<i64> = Vec::new();
+    let mut counts: Vec<u64> = Vec::new();
+    let mut saw_overflow = false;
+    for (idx, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let (label, count) = line
+            .split_once(',')
+            .ok_or_else(|| err(lineno, "expected 'bin,count'"))?;
+        let count: u64 = count
+            .trim()
+            .parse()
+            .map_err(|_| err(lineno, "bad count"))?;
+        if let Some(rest) = label.strip_prefix('>') {
+            if saw_overflow {
+                return Err(err(lineno, "multiple overflow bins"));
+            }
+            let edge: i64 = rest.parse().map_err(|_| err(lineno, "bad overflow label"))?;
+            if edges.last() != Some(&edge) {
+                return Err(err(lineno, "overflow label must repeat the last edge"));
+            }
+            saw_overflow = true;
+        } else {
+            if saw_overflow {
+                return Err(err(lineno, "rows after the overflow bin"));
+            }
+            edges.push(label.parse().map_err(|_| err(lineno, "bad bin label"))?);
+        }
+        counts.push(count);
+    }
+    if !saw_overflow {
+        return Err(err(text.lines().count(), "missing overflow (>edge) row"));
+    }
+    let layout = crate::BinEdges::new(edges)
+        .map_err(|e| err(0, &format!("reconstructed layout invalid: {e}")))?;
+    let mut h = Histogram::new(layout);
+    for (i, &c) in counts.iter().enumerate() {
+        let rep = match h.edges().bin_range(i) {
+            (_, Some(hi)) => hi,
+            (Some(lo), None) => lo.saturating_add(1),
+            (None, None) => unreachable!(),
+        };
+        h.record_n(rep, c);
+    }
+    Ok(h)
+}
+
+/// Re-bins a histogram's counts onto a coarser power-of-two-style layout for
+/// post-processing, assigning each source bin's count to the target bin of
+/// its representative value. This is lossy exactly the way §4 describes:
+/// precise special-size information is folded into the enclosing range.
+pub fn rebin(source: &Histogram, target_edges: crate::BinEdges) -> Histogram {
+    let mut out = Histogram::new(target_edges);
+    for (i, &c) in source.counts().iter().enumerate() {
+        let (lo, hi) = source.edges().bin_range(i);
+        let rep = match (lo, hi) {
+            (_, Some(hi)) => hi,
+            (Some(lo), None) => lo.saturating_add(1),
+            (None, None) => unreachable!(),
+        };
+        out.record_n(rep, c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{layouts, BinEdges, HistogramSeries};
+    use simkit::{SimDuration, SimTime};
+
+    #[test]
+    fn histogram_csv_round_shape() {
+        let mut h = Histogram::with_edges(vec![0, 10]).unwrap();
+        h.record(1);
+        h.record(100);
+        let mut buf = Vec::new();
+        histogram_csv(&h, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["bin,count", "0,0", "10,1", ">10,1"]);
+    }
+
+    #[test]
+    fn series_csv_shape() {
+        let mut s = HistogramSeries::new(
+            BinEdges::new(vec![5]).unwrap(),
+            SimDuration::from_secs(1),
+        );
+        s.record(SimTime::from_millis(100), 1);
+        s.record(SimTime::from_millis(1500), 10);
+        let mut buf = Vec::new();
+        series_csv(&s, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["interval,5,>5", "0,1,0", "1,0,1"]);
+    }
+
+    #[test]
+    fn hist2d_csv_shape() {
+        let mut h = crate::Histogram2d::new(
+            BinEdges::new(vec![0]).unwrap(),
+            BinEdges::new(vec![0]).unwrap(),
+        );
+        h.record(1, -1);
+        let mut buf = Vec::new();
+        histogram2d_csv(&h, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 3); // header + 2 y bins
+        assert!(text.contains("0,0,1"));
+    }
+
+    #[test]
+    fn csv_roundtrip_all_paper_layouts() {
+        for edges in [
+            layouts::io_length_bytes(),
+            layouts::seek_distance_sectors(),
+            layouts::latency_us(),
+            layouts::outstanding_ios(),
+        ] {
+            let mut h = Histogram::new(edges);
+            for v in [-100i64, 0, 1, 4096, 99_999, 10_000_000] {
+                h.record(v);
+            }
+            let mut buf = Vec::new();
+            histogram_csv(&h, &mut buf).unwrap();
+            let back = histogram_from_csv(std::str::from_utf8(&buf).unwrap()).unwrap();
+            assert_eq!(back.edges(), h.edges());
+            assert_eq!(back.counts(), h.counts());
+            assert_eq!(back.total(), h.total());
+        }
+    }
+
+    #[test]
+    fn csv_import_rejects_garbage() {
+        assert!(histogram_from_csv("").is_err());
+        assert!(histogram_from_csv("nope\n0,1\n>0,2\n").is_err(), "bad header");
+        assert!(histogram_from_csv("bin,count\n0,x\n>0,1\n").is_err(), "bad count");
+        assert!(histogram_from_csv("bin,count\n0,1\n").is_err(), "missing overflow");
+        assert!(
+            histogram_from_csv("bin,count\n0,1\n>5,1\n").is_err(),
+            "overflow label mismatch"
+        );
+        assert!(
+            histogram_from_csv("bin,count\n5,1\n0,1\n>0,1\n").is_err(),
+            "non-increasing edges"
+        );
+        assert!(
+            histogram_from_csv("bin,count\n0,1\n>0,1\n7,2\n").is_err(),
+            "rows after overflow"
+        );
+        assert!(histogram_from_csv("bin,count\n0,1\n>0,1\n\n").is_ok(), "trailing blank ok");
+    }
+
+    #[test]
+    fn rebin_to_pow2_preserves_total() {
+        let mut h = Histogram::new(layouts::io_length_bytes());
+        for v in [512i64, 4096, 4096, 16_384, 700_000] {
+            h.record(v);
+        }
+        let coarse = rebin(&h, layouts::pow2(20));
+        assert_eq!(coarse.total(), h.total());
+        // 4095/4096 distinction is folded away: both 4096s are in the 4096 pow2 bin.
+        let idx = coarse.edges().bin_index(4096);
+        assert_eq!(coarse.count(idx), 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! The paper's bin layouts, one constructor per metric.
+//!
+//! Edges transcribed from the x-axes of Figures 2–6 of the paper. Two small
+//! deliberate deviations, both documented in `DESIGN.md`:
+//!
+//! * the seek-distance layout adds explicit `-1`/`1` bins (the production
+//!   `vscsiStats` tool has them; the figure axis elides them for space, yet
+//!   §3.1 expects the sequential peak "centered around 1");
+//! * the interarrival layout reuses the latency edges with two extra
+//!   fine-grained low buckets (the paper does not print its interarrival
+//!   axis).
+
+use crate::bins::BinEdges;
+
+/// I/O length histogram edges, in **bytes** (Figures 2(a), 3(a), 4(b), 5(b)).
+///
+/// Irregular on purpose: 4095/4096 and similar pairs single out the sizes
+/// storage subsystems optimize for, so an exactly-16 KiB command is
+/// distinguishable from "something in (8 KiB, 16 KiB)".
+///
+/// # Examples
+///
+/// ```
+/// use histo::layouts;
+///
+/// let e = layouts::io_length_bytes();
+/// assert_eq!(e.bin_label(e.bin_index(4096)), "4096");
+/// assert_eq!(e.bin_label(e.bin_index(4097)), "8191");
+/// ```
+pub fn io_length_bytes() -> BinEdges {
+    BinEdges::new(vec![
+        512, 1024, 2048, 4095, 4096, 8191, 8192, 16383, 16384, 32768, 49152, 65535, 65536,
+        81920, 131072, 262144, 524288,
+    ])
+    .expect("static layout is valid")
+}
+
+/// Seek distance histogram edges, in **sectors**, signed (Figures 2(b)–(d),
+/// 3(b)–(d), 4(a), 5(c)). Negative distances are reverse seeks (§3.1).
+pub fn seek_distance_sectors() -> BinEdges {
+    BinEdges::new(vec![
+        -500_000, -50_000, -5_000, -500, -64, -16, -6, -2, -1, 0, 1, 2, 6, 16, 64, 500, 5_000,
+        50_000, 500_000,
+    ])
+    .expect("static layout is valid")
+}
+
+/// Device latency histogram edges, in **microseconds** (Figures 5(a), 6).
+pub fn latency_us() -> BinEdges {
+    BinEdges::new(vec![
+        1, 10, 100, 500, 1_000, 5_000, 15_000, 30_000, 50_000, 100_000,
+    ])
+    .expect("static layout is valid")
+}
+
+/// I/O interarrival-time histogram edges, in **microseconds** (§3.2).
+pub fn interarrival_us() -> BinEdges {
+    BinEdges::new(vec![
+        1, 10, 30, 100, 500, 1_000, 5_000, 15_000, 30_000, 50_000, 100_000,
+    ])
+    .expect("static layout is valid")
+}
+
+/// Outstanding-I/Os-at-arrival histogram edges (Figure 4(c)–(d)).
+pub fn outstanding_ios() -> BinEdges {
+    BinEdges::new(vec![1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 32, 64]).expect("static layout is valid")
+}
+
+/// A plain power-of-two layout spanning `[1, 2^max_pow2]`, used by the
+/// bins-ablation benchmark to contrast with the paper's irregular layout.
+///
+/// # Panics
+///
+/// Panics if `max_pow2 >= 63`.
+pub fn pow2(max_pow2: u32) -> BinEdges {
+    assert!(max_pow2 < 63, "pow2 layout exponent too large");
+    BinEdges::new((0..=max_pow2).map(|p| 1i64 << p).collect()).expect("static layout is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_layouts_valid_and_sized() {
+        assert_eq!(io_length_bytes().bin_count(), 18);
+        assert_eq!(seek_distance_sectors().bin_count(), 20);
+        assert_eq!(latency_us().bin_count(), 11);
+        assert_eq!(interarrival_us().bin_count(), 12);
+        assert_eq!(outstanding_ios().bin_count(), 13);
+    }
+
+    #[test]
+    fn io_length_singles_out_special_sizes() {
+        let e = io_length_bytes();
+        // Exactly 16 KiB is distinguishable from (8 KiB, 16 KiB).
+        assert_eq!(e.bin_label(e.bin_index(16_384)), "16384");
+        assert_eq!(e.bin_label(e.bin_index(12_000)), "16383");
+        assert_eq!(e.bin_label(e.bin_index(65_536)), "65536");
+        assert_eq!(e.bin_label(e.bin_index(1_048_576)), ">524288");
+        assert_eq!(e.bin_label(e.bin_index(512)), "512");
+    }
+
+    #[test]
+    fn seek_distance_is_signed_and_symmetric() {
+        let e = seek_distance_sectors();
+        let edges = e.edges();
+        // Symmetric around zero.
+        for (a, b) in edges.iter().zip(edges.iter().rev()) {
+            assert_eq!(*a, -b);
+        }
+        // Sequential I/O (distance 1) has its own bin.
+        assert_eq!(e.bin_label(e.bin_index(1)), "1");
+        assert_eq!(e.bin_label(e.bin_index(0)), "0");
+        assert_eq!(e.bin_label(e.bin_index(-1)), "-1");
+        // Far random seeks land at the extremes.
+        assert_eq!(e.bin_label(e.bin_index(10_000_000)), ">500000");
+        assert_eq!(e.bin_index(-10_000_000), 0);
+    }
+
+    #[test]
+    fn latency_paper_windows_are_exact_bins() {
+        // The paper quotes fractions for (5ms,15ms], (15ms,30ms], (100us,500us];
+        // each must be representable as whole bins.
+        let e = latency_us();
+        let edges = e.edges();
+        for pair in [(5_000, 15_000), (15_000, 30_000), (100, 500)] {
+            assert!(edges.contains(&pair.0) && edges.contains(&pair.1));
+        }
+    }
+
+    #[test]
+    fn outstanding_matches_figure_axis() {
+        let e = outstanding_ios();
+        assert_eq!(e.bin_label(e.bin_index(32)), "32");
+        assert_eq!(e.bin_label(e.bin_index(33)), "64");
+        assert_eq!(e.bin_label(e.bin_index(65)), ">64");
+        assert_eq!(e.bin_label(e.bin_index(1)), "1");
+    }
+
+    #[test]
+    fn pow2_layout() {
+        let e = pow2(4);
+        assert_eq!(e.edges(), &[1, 2, 4, 8, 16]);
+        assert_eq!(e.bin_label(e.bin_index(9)), "16");
+    }
+}

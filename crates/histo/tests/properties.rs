@@ -1,0 +1,201 @@
+//! Property-based tests for the histogram core.
+
+use histo::{layouts, BinEdges, Histogram, SeekWindow};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Arbitrary strictly increasing edge lists.
+fn arb_edges() -> impl Strategy<Value = Vec<i64>> {
+    vec(-1_000_000i64..1_000_000, 1..24).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    /// Every value lands in exactly one bin, and that bin's range contains it.
+    #[test]
+    fn bin_index_is_consistent_with_range(edges in arb_edges(), value in any::<i64>()) {
+        let e = BinEdges::new(edges).unwrap();
+        let idx = e.bin_index(value);
+        prop_assert!(idx < e.bin_count());
+        let (lo, hi) = e.bin_range(idx);
+        if let Some(lo) = lo {
+            prop_assert!(value > lo, "value {value} <= lo {lo}");
+        }
+        if let Some(hi) = hi {
+            prop_assert!(value <= hi, "value {value} > hi {hi}");
+        }
+    }
+
+    /// Linear scan and binary search always agree.
+    #[test]
+    fn linear_equals_binary(edges in arb_edges(), values in vec(any::<i64>(), 1..100)) {
+        let e = BinEdges::new(edges).unwrap();
+        for v in values {
+            prop_assert_eq!(e.bin_index(v), e.bin_index_binary(v));
+        }
+    }
+
+    /// Total count equals number of inserts; per-bin counts sum to total.
+    #[test]
+    fn totals_conserved(values in vec(-600_000i64..600_000, 0..500)) {
+        let mut h = Histogram::new(layouts::seek_distance_sectors());
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), h.total());
+        if !values.is_empty() {
+            prop_assert_eq!(h.min(), values.iter().min().copied());
+            prop_assert_eq!(h.max(), values.iter().max().copied());
+            let exact: f64 = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+            prop_assert!((h.mean().unwrap() - exact).abs() < 1e-6);
+        }
+    }
+
+    /// merge(a, b) is equivalent to inserting both value sets into one histogram.
+    #[test]
+    fn merge_equals_union(
+        xs in vec(-1_000_000i64..1_000_000, 0..200),
+        ys in vec(-1_000_000i64..1_000_000, 0..200),
+    ) {
+        let edges = layouts::seek_distance_sectors();
+        let mut a = Histogram::new(edges.clone());
+        let mut b = Histogram::new(edges.clone());
+        let mut u = Histogram::new(edges);
+        for &x in &xs { a.record(x); u.record(x); }
+        for &y in &ys { b.record(y); u.record(y); }
+        a.merge(&b).unwrap();
+        prop_assert_eq!(a.counts(), u.counts());
+        prop_assert_eq!(a.total(), u.total());
+        prop_assert_eq!(a.min(), u.min());
+        prop_assert_eq!(a.max(), u.max());
+    }
+
+    /// Quantile upper bounds are monotone in q and bracket the data.
+    #[test]
+    fn quantiles_monotone(values in vec(0i64..1_000_000, 1..300)) {
+        let mut h = Histogram::new(layouts::io_length_bytes());
+        for &v in &values { h.record(v); }
+        let q25 = h.quantile_upper_bound(0.25).unwrap();
+        let q50 = h.quantile_upper_bound(0.50).unwrap();
+        let q99 = h.quantile_upper_bound(0.99).unwrap();
+        prop_assert!(q25 <= q50 && q50 <= q99);
+        // The max value must be <= the q=1.0 bin's upper representative
+        // unless it fell in the overflow bin.
+        let q100 = h.quantile_upper_bound(1.0).unwrap();
+        let top_edge = *h.edges().edges().last().unwrap();
+        if h.max().unwrap() <= top_edge {
+            prop_assert!(h.max().unwrap() <= q100);
+        }
+    }
+
+    /// A window of capacity 1 reproduces plain last-I/O seek distance.
+    #[test]
+    fn window1_equals_plain_distance(ios in vec((0u64..1_000_000, 1u64..256), 2..100)) {
+        let mut w = SeekWindow::new(1);
+        let mut last_end: Option<u64> = None;
+        for &(first, len) in &ios {
+            let got = w.observe(first, len);
+            let want = last_end.map(|e| histo::signed_distance(e, first));
+            prop_assert_eq!(got, want);
+            last_end = Some(first + len - 1);
+        }
+    }
+
+    /// The windowed distance is never larger in magnitude than the plain
+    /// last-I/O distance (the window can only find something closer).
+    #[test]
+    fn window_min_never_worse(ios in vec((0u64..1_000_000, 1u64..256), 2..100)) {
+        let mut w16 = SeekWindow::new(16);
+        let mut w1 = SeekWindow::new(1);
+        for &(first, len) in &ios {
+            let d16 = w16.observe(first, len);
+            let d1 = w1.observe(first, len);
+            if let (Some(a), Some(b)) = (d16, d1) {
+                prop_assert!(a.unsigned_abs() <= b.unsigned_abs());
+            }
+        }
+    }
+
+    /// Histogram2d marginals agree with direct 1-D histograms.
+    #[test]
+    fn hist2d_marginals(pts in vec((-600_000i64..600_000, 0i64..200_000), 0..200)) {
+        let mut h2 = histo::Histogram2d::new(
+            layouts::seek_distance_sectors(),
+            layouts::latency_us(),
+        );
+        let mut hx = Histogram::new(layouts::seek_distance_sectors());
+        let mut hy = Histogram::new(layouts::latency_us());
+        for &(x, y) in &pts {
+            h2.record(x, y);
+            hx.record(x);
+            hy.record(y);
+        }
+        let mx = h2.marginal_x();
+        let my = h2.marginal_y();
+        prop_assert_eq!(mx.counts(), hx.counts());
+        prop_assert_eq!(my.counts(), hy.counts());
+    }
+
+    /// Rebinning to any coarser layout preserves totals.
+    #[test]
+    fn rebin_preserves_total(values in vec(0i64..2_000_000, 0..200)) {
+        let mut h = Histogram::new(layouts::io_length_bytes());
+        for &v in &values { h.record(v); }
+        let coarse = histo::export::rebin(&h, layouts::pow2(24));
+        prop_assert_eq!(coarse.total(), h.total());
+    }
+
+    /// Cumulative counts are monotone and end at the total; fraction_at_most
+    /// is monotone in its bound and consistent with the cumulative counts.
+    #[test]
+    fn cumulative_and_at_most_consistent(values in vec(-600_000i64..600_000, 0..300)) {
+        let mut h = Histogram::new(layouts::seek_distance_sectors());
+        for &v in &values { h.record(v); }
+        let cum = h.cumulative_counts();
+        prop_assert_eq!(cum.len(), h.edges().bin_count());
+        for w in cum.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert_eq!(*cum.last().unwrap(), h.total());
+        let mut last = -1.0f64;
+        for &hi in h.edges().edges() {
+            let f = h.fraction_at_most(hi);
+            prop_assert!(f >= last - 1e-12, "not monotone at {hi}");
+            last = f;
+            if h.total() > 0 {
+                // fraction_at_most(edge i) == cumulative up to bin i / total.
+                let i = h.edges().bin_index(hi);
+                prop_assert!((f - cum[i] as f64 / h.total() as f64).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Distance metrics are symmetric, bounded, and zero on identity.
+    #[test]
+    fn distances_well_behaved(
+        xs in vec(0i64..200_000, 1..150),
+        ys in vec(0i64..200_000, 1..150),
+    ) {
+        let mut a = Histogram::new(layouts::latency_us());
+        let mut b = Histogram::new(layouts::latency_us());
+        for &x in &xs { a.record(x); }
+        for &y in &ys { b.record(y); }
+        let tv_ab = histo::distance::total_variation(&a, &b).unwrap();
+        let tv_ba = histo::distance::total_variation(&b, &a).unwrap();
+        prop_assert!((tv_ab - tv_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&tv_ab));
+        prop_assert!(histo::distance::total_variation(&a, &a).unwrap() < 1e-12);
+        let hel = histo::distance::hellinger_sq(&a, &b).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&hel));
+        prop_assert!(histo::distance::hellinger_sq(&b, &b).unwrap() < 1e-12);
+        // TV and Hellinger agree on "identical" and "disjoint" extremes:
+        // if TV is 0 then Hellinger is 0.
+        if tv_ab < 1e-12 {
+            prop_assert!(hel < 1e-9);
+        }
+    }
+}

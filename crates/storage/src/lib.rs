@@ -1,0 +1,44 @@
+//! # storage — a discrete-event disk array simulator
+//!
+//! Stands in for the paper's physical SAN (EMC Symmetrix / CLARiiON CX3
+//! behind 4 Gb Fibre Channel — Table 1, §5.3). The model is built from
+//! first principles so the *relative* behaviours the paper's evaluation
+//! depends on all emerge rather than being scripted:
+//!
+//! * cache hits ≪ cache misses ([`ArrayCache`], read-ahead streams);
+//! * sequential ≪ random at the spindle ([`Disk`] seek/rotation model);
+//! * RAID striping parallelism and the RAID-5 small-write penalty
+//!   ([`RaidConfig`]);
+//! * FIFO queueing delay when multiple initiators share the group
+//!   ([`StorageArray`] per-spindle calendars) — the §3.7/Figure 6
+//!   interference mechanism.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::{SimRng, SimTime};
+//! use storage::{presets, StorageArray};
+//! use vscsi::{IoDirection, Lba};
+//!
+//! let mut array = StorageArray::new(presets::clariion_cx3(), SimRng::seed_from(7));
+//! let mut now = SimTime::ZERO;
+//! // Sequential reads warm the prefetcher, then ride the cache.
+//! for i in 0..32u64 {
+//!     now = array.submit(IoDirection::Read, Lba::new(i * 16), 16, now);
+//! }
+//! assert!(array.cache().hits() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod array;
+mod cache;
+mod disk;
+pub mod presets;
+mod raid;
+
+pub use array::{ArrayParams, ArrayStats, StorageArray};
+pub use cache::{ArrayCache, CacheParams, ReadOutcome, PAGE_SECTORS};
+pub use disk::{Disk, DiskParams};
+pub use raid::{RaidConfig, RaidLevel, StripeExtent};

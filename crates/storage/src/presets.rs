@@ -1,0 +1,110 @@
+//! Array presets matching the paper's testbed (Table 1, §5.3).
+
+use crate::array::ArrayParams;
+use crate::cache::CacheParams;
+use crate::disk::DiskParams;
+use crate::raid::{RaidConfig, RaidLevel};
+use simkit::SimDuration;
+
+/// The reference array: "EMC Symmetrix 500 GB RAID-5" behind a 4 Gb FC
+/// fabric (Table 1). Very large mirrored cache — §5.3 found interference
+/// "likely \[hidden\] due to the very large cache and the striping pattern".
+pub fn symmetrix() -> ArrayParams {
+    ArrayParams {
+        raid: RaidConfig::new(RaidLevel::Raid5, 16, 128),
+        cache: CacheParams {
+            read_capacity_bytes: 32 * 1024 * 1024 * 1024,
+            readahead_pages: 32,
+            max_streams: 128,
+            write_back: true,
+            ..CacheParams::default()
+        },
+        disk: DiskParams::fc_15k(),
+        controller_overhead: SimDuration::from_micros(40),
+        cache_hit_latency: SimDuration::from_micros(200),
+        write_ack_latency: SimDuration::from_micros(250),
+        link_rate: 400_000_000,
+    }
+}
+
+/// The "lower cost EMC CLARiiON CX3 RAID-0 with an active read cache
+/// (2.5 GB)" from §5.3.
+pub fn clariion_cx3() -> ArrayParams {
+    ArrayParams {
+        raid: RaidConfig::new(RaidLevel::Raid0, 15, 128),
+        cache: CacheParams {
+            read_capacity_bytes: 2_500 * 1024 * 1024,
+            readahead_pages: 16,
+            max_streams: 32,
+            write_back: true,
+            ..CacheParams::default()
+        },
+        disk: DiskParams::fc_15k(),
+        controller_overhead: SimDuration::from_micros(30),
+        cache_hit_latency: SimDuration::from_micros(120),
+        write_ack_latency: SimDuration::from_micros(150),
+        link_rate: 400_000_000,
+    }
+}
+
+/// The CX3 with its read cache turned off, "forcing all I/Os to hit the
+/// disk" — the paper's extreme worst case for Figure 6.
+pub fn clariion_cx3_cache_off() -> ArrayParams {
+    let mut p = clariion_cx3();
+    p.cache = CacheParams {
+        read_capacity_bytes: 0,
+        readahead_pages: 0,
+        write_back: p.cache.write_back,
+        ..p.cache
+    };
+    p
+}
+
+/// A single bare spindle, for unit-scale experiments and ablations.
+pub fn single_disk() -> ArrayParams {
+    ArrayParams {
+        raid: RaidConfig::new(RaidLevel::Raid0, 1, 128),
+        cache: CacheParams::read_cache_off(),
+        disk: DiskParams::fc_15k(),
+        controller_overhead: SimDuration::from_micros(20),
+        cache_hit_latency: SimDuration::from_micros(100),
+        write_ack_latency: SimDuration::from_micros(100),
+        link_rate: 400_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_internally_consistent() {
+        for p in [symmetrix(), clariion_cx3(), clariion_cx3_cache_off(), single_disk()] {
+            assert!(p.raid.disks >= 1);
+            assert!(p.link_rate > 0);
+        }
+    }
+
+    #[test]
+    fn symmetrix_cache_dwarfs_cx3() {
+        assert!(
+            symmetrix().cache.read_capacity_bytes
+                > 10 * clariion_cx3().cache.read_capacity_bytes
+        );
+    }
+
+    #[test]
+    fn cache_off_preserves_geometry() {
+        let on = clariion_cx3();
+        let off = clariion_cx3_cache_off();
+        assert_eq!(on.raid, off.raid);
+        assert_eq!(off.cache.read_capacity_bytes, 0);
+        assert_eq!(off.cache.readahead_pages, 0);
+    }
+
+    #[test]
+    fn raid_levels_match_table() {
+        assert_eq!(symmetrix().raid.level, RaidLevel::Raid5);
+        assert_eq!(clariion_cx3().raid.level, RaidLevel::Raid0);
+    }
+}

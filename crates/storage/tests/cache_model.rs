@@ -1,0 +1,104 @@
+//! Model-based property tests: the array cache against a reference LRU.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use storage::{ArrayCache, CacheParams, PAGE_SECTORS};
+use vscsi::{Lba, SECTOR_SIZE};
+
+/// Reference LRU over pages: a Vec ordered most-recent-first.
+#[derive(Debug, Default)]
+struct ModelLru {
+    pages: Vec<u64>,
+    capacity: usize,
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> Self {
+        ModelLru {
+            pages: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Returns `true` if resident; refreshes recency either way (inserting
+    /// when absent) and evicts the least-recent page beyond capacity.
+    fn touch(&mut self, page: u64) -> bool {
+        let hit = if let Some(pos) = self.pages.iter().position(|&p| p == page) {
+            self.pages.remove(pos);
+            true
+        } else {
+            false
+        };
+        self.pages.insert(0, page);
+        while self.pages.len() > self.capacity {
+            self.pages.pop();
+        }
+        hit
+    }
+}
+
+/// A cache op: read one page-aligned page (no read-ahead, no multi-page
+/// spans, so the model stays exact).
+fn arb_ops() -> impl Strategy<Value = Vec<u64>> {
+    vec(0u64..64, 1..400)
+}
+
+proptest! {
+    /// With read-ahead disabled and single-page accesses, the cache's
+    /// hit/miss sequence must match the reference LRU exactly.
+    #[test]
+    fn cache_matches_reference_lru(pages in arb_ops(), capacity in 1usize..32) {
+        let mut cache = ArrayCache::new(CacheParams {
+            read_capacity_bytes: capacity as u64 * PAGE_SECTORS * SECTOR_SIZE,
+            readahead_pages: 0,
+            ..CacheParams::default()
+        });
+        let mut model = ModelLru::new(capacity);
+        for &page in &pages {
+            let outcome = cache.read(Lba::new(page * PAGE_SECTORS), PAGE_SECTORS);
+            let model_hit = model.touch(page);
+            prop_assert_eq!(
+                outcome.is_full_hit(),
+                model_hit,
+                "divergence at page {} (capacity {})", page, capacity
+            );
+            prop_assert!(cache.resident_pages() <= capacity as u64);
+        }
+        prop_assert_eq!(cache.resident_pages(), model.pages.len() as u64);
+    }
+
+    /// Hit + miss counters always sum to the number of page touches, and
+    /// the hit rate is within [0, 1].
+    #[test]
+    fn counters_consistent(pages in arb_ops()) {
+        let mut cache = ArrayCache::new(CacheParams {
+            read_capacity_bytes: 16 * PAGE_SECTORS * SECTOR_SIZE,
+            readahead_pages: 0,
+            ..CacheParams::default()
+        });
+        for &page in &pages {
+            cache.read(Lba::new(page * PAGE_SECTORS), PAGE_SECTORS);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), pages.len() as u64);
+        if let Some(rate) = cache.hit_rate() {
+            prop_assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+
+    /// Writes admit pages (write-allocate): a write followed by a read of
+    /// the same page always hits, regardless of history.
+    #[test]
+    fn read_after_write_hits(pages in arb_ops(), probe in 0u64..64) {
+        let mut cache = ArrayCache::new(CacheParams {
+            read_capacity_bytes: 128 * PAGE_SECTORS * SECTOR_SIZE,
+            readahead_pages: 0,
+            ..CacheParams::default()
+        });
+        for &page in &pages {
+            cache.read(Lba::new(page * PAGE_SECTORS), PAGE_SECTORS);
+        }
+        cache.write(Lba::new(probe * PAGE_SECTORS), PAGE_SECTORS);
+        let outcome = cache.read(Lba::new(probe * PAGE_SECTORS), PAGE_SECTORS);
+        prop_assert!(outcome.is_full_hit());
+    }
+}

@@ -1,0 +1,37 @@
+//! # vscsi — virtual SCSI substrate
+//!
+//! The data-path types the hypervisor's SCSI emulation layer works with
+//! (§2 of the paper): logical block addresses, SCSI CDBs, in-flight
+//! requests/completions, and virtual-disk geometry.
+//!
+//! The characterization service in the `vscsi-stats` crate observes values
+//! of these types at exactly two points — command issue and command
+//! completion — which is all the paper's metrics require.
+//!
+//! # Examples
+//!
+//! ```
+//! use vscsi::{Cdb, IoDirection, Lba};
+//!
+//! // A guest driver encodes a 64 KiB read at LBA 2048...
+//! let cdb = Cdb::read(Lba::new(2048), 128);
+//! let wire = cdb.encode()?;
+//! // ...the VMM traps the port I/O and the vSCSI layer decodes it.
+//! let decoded = Cdb::decode(&wire)?;
+//! assert_eq!(decoded, cdb);
+//! # Ok::<(), vscsi::CdbError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cdb;
+pub mod emulation;
+mod request;
+mod types;
+mod vdisk;
+
+pub use cdb::{opcodes, Cdb, CdbError, RwVariant};
+pub use request::{IoCompletion, IoRequest};
+pub use types::{IoDirection, Lba, RequestId, TargetId, VDiskId, VmId, SECTOR_SIZE};
+pub use vdisk::{OutOfRange, VirtualDisk};

@@ -1,0 +1,69 @@
+//! Property tests: CDB encode/decode round-trips across the full field space.
+
+use proptest::prelude::*;
+use vscsi::{Cdb, IoDirection, Lba, RwVariant};
+
+fn arb_direction() -> impl Strategy<Value = IoDirection> {
+    prop_oneof![Just(IoDirection::Read), Just(IoDirection::Write)]
+}
+
+proptest! {
+    /// Every (lba, blocks) pair encodes with the auto-selected variant and
+    /// decodes to the same command.
+    #[test]
+    fn auto_variant_roundtrip(
+        dir in arb_direction(),
+        lba in 0u64..=u64::MAX,
+        blocks in 1u32..=u32::MAX,
+    ) {
+        let cdb = Cdb::rw(dir, Lba::new(lba), blocks);
+        let wire = cdb.encode().unwrap();
+        prop_assert_eq!(Cdb::decode(&wire).unwrap(), cdb);
+    }
+
+    /// The 10-byte variant round-trips over its whole legal field space.
+    #[test]
+    fn ten_byte_roundtrip(
+        dir in arb_direction(),
+        lba in 0u64..=u32::MAX as u64,
+        blocks in 1u32..=u16::MAX as u32,
+    ) {
+        let cdb = Cdb::Rw { direction: dir, variant: RwVariant::Ten, lba: Lba::new(lba), blocks };
+        let wire = cdb.encode().unwrap();
+        prop_assert_eq!(wire.len(), 10);
+        prop_assert_eq!(Cdb::decode(&wire).unwrap(), cdb);
+    }
+
+    /// The 6-byte variant round-trips over its whole legal field space,
+    /// including the blocks==256 special encoding.
+    #[test]
+    fn six_byte_roundtrip(
+        dir in arb_direction(),
+        lba in 0u64..=0x1F_FFFF,
+        blocks in 1u32..=256,
+    ) {
+        let cdb = Cdb::Rw { direction: dir, variant: RwVariant::Six, lba: Lba::new(lba), blocks };
+        let wire = cdb.encode().unwrap();
+        prop_assert_eq!(wire.len(), 6);
+        prop_assert_eq!(Cdb::decode(&wire).unwrap(), cdb);
+    }
+
+    /// The 16-byte variant covers any 64-bit LBA.
+    #[test]
+    fn sixteen_byte_roundtrip(
+        dir in arb_direction(),
+        lba in any::<u64>(),
+        blocks in 1u32..=u32::MAX,
+    ) {
+        let cdb = Cdb::Rw { direction: dir, variant: RwVariant::Sixteen, lba: Lba::new(lba), blocks };
+        let wire = cdb.encode().unwrap();
+        prop_assert_eq!(wire.len(), 16);
+        prop_assert_eq!(Cdb::decode(&wire).unwrap(), cdb);
+    }
+
+    /// Decoding never panics on arbitrary bytes.
+    #[test]
+    fn decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..20)) {
+        let _ = Cdb::decode(&bytes);
+    }
+}

@@ -1,0 +1,54 @@
+//! Property tests for the vSCSI emulation responder.
+
+use proptest::prelude::*;
+use vscsi::emulation::{InquiryData, ReadCapacity10Data, Responder, ScsiStatus};
+use vscsi::{Cdb, Lba, TargetId, VirtualDisk};
+
+proptest! {
+    /// The responder is total over every decodable CDB: non-transfer
+    /// commands answer GOOD, transfer commands answer CHECK CONDITION,
+    /// and nothing panics.
+    #[test]
+    fn responder_total_over_decoded_cdbs(bytes in proptest::collection::vec(any::<u8>(), 0..20)) {
+        let disk = VirtualDisk::new(TargetId::default(), 1 << 30, Lba::ZERO);
+        let responder = Responder::default();
+        if let Ok(cdb) = Cdb::decode(&bytes) {
+            let resp = responder.respond(&disk, &cdb);
+            if cdb.is_rw() {
+                let rejected = matches!(resp.status, ScsiStatus::CheckCondition { .. });
+                prop_assert!(rejected, "rw command must be rejected by the responder");
+            } else {
+                prop_assert_eq!(resp.status, ScsiStatus::Good);
+            }
+        }
+    }
+
+    /// INQUIRY data is truncated to exactly min(36, allocation length) for
+    /// every allocation length and any identity strings.
+    #[test]
+    fn inquiry_length_contract(
+        alloc in any::<u8>(),
+        vendor in "[ -~]{0,20}",
+        product in "[ -~]{0,30}",
+    ) {
+        let data = InquiryData {
+            vendor,
+            product,
+            ..InquiryData::default()
+        }
+        .encode(alloc);
+        prop_assert_eq!(data.len(), usize::from(alloc).min(36));
+    }
+
+    /// READ CAPACITY round-trips and reports the last LBA consistently
+    /// with the disk's capacity for any disk size.
+    #[test]
+    fn read_capacity_consistent(capacity_mib in 1u64..8192) {
+        let disk = VirtualDisk::new(TargetId::default(), capacity_mib * 1024 * 1024, Lba::ZERO);
+        let cap = ReadCapacity10Data::for_disk(&disk);
+        prop_assert_eq!(u64::from(cap.last_lba), disk.capacity_sectors() - 1);
+        prop_assert_eq!(cap.block_size, 512);
+        let wire = cap.encode();
+        prop_assert_eq!(ReadCapacity10Data::decode(&wire), cap);
+    }
+}

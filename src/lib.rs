@@ -1,0 +1,61 @@
+//! # vscsistats-repro — facade crate
+//!
+//! One-stop entry point for the reproduction of *"Easy and Efficient Disk
+//! I/O Workload Characterization in VMware ESX Server"* (IISWC 2007).
+//! Re-exports every layer of the stack and provides a [`prelude`] for the
+//! examples and integration tests.
+//!
+//! Layers, bottom-up:
+//!
+//! * [`simkit`] — discrete-event simulation substrate;
+//! * [`histo`] — online histograms with the paper's irregular bin layouts;
+//! * [`vscsi`] — virtual SCSI data-path types (CDBs, requests, disks);
+//! * [`storage`] — the simulated disk arrays (Symmetrix / CX3 presets);
+//! * [`guests`] — filesystem models (UFS, ZFS, ext3) and application
+//!   workloads (Filebench OLTP, DBT-2, file copy, Iometer);
+//! * [`esx`] — the hypervisor event loop with vSCSI stats hooks;
+//! * [`vscsi_stats`] — **the paper's contribution**: the online
+//!   characterization service and tracing framework.
+//!
+//! # Examples
+//!
+//! ```
+//! use vscsistats_repro::prelude::*;
+//!
+//! let service = std::sync::Arc::new(StatsService::default());
+//! service.enable_all();
+//! let mut sim = Simulation::new(presets::clariion_cx3(), service.clone(), 1);
+//! sim.add_vm(VmBuilder::new(0).with_disk(1 << 30).attach(
+//!     sim.rng().fork("wl"),
+//!     |rng| Box::new(IometerWorkload::new("q", AccessSpec::seq_read_4k(8, 1 << 29), rng)),
+//! ));
+//! sim.run_until(SimTime::from_millis(50));
+//! assert!(!service.summaries().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use esx;
+pub use guests;
+pub use histo;
+pub use simkit;
+pub use storage;
+pub use vscsi;
+pub use vscsi_stats;
+
+/// Commonly used items from every layer.
+pub mod prelude {
+    pub use esx::{EsxTop, Simulation, Testbed, TopSample, Vm, VmBuilder};
+    pub use guests::{
+        AccessSpec, BlockIo, Dbt2Params, Dbt2Workload, Delayed, FileCopyParams, FileCopyWorkload,
+        FilebenchWorkload, IometerWorkload, Poll, ReplayWorkload, ScheduledIo, Workload,
+    };
+    pub use histo::{layouts, BinEdges, Histogram, Histogram2d, HistogramSeries, SeekWindow};
+    pub use simkit::{Dist, SimDuration, SimRng, SimTime};
+    pub use storage::{presets, ArrayParams, StorageArray};
+    pub use vscsi::{Cdb, IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId};
+    pub use vscsi_stats::{
+        replay, CollectorConfig, FingerprintLibrary, IoStatsCollector, Lens, Metric,
+        StatsService, TraceCapacity, VscsiTracer, WorkloadClass, WorkloadFingerprint,
+    };
+}

@@ -1,0 +1,223 @@
+//! End-to-end integration tests spanning every crate: guest workload ->
+//! filesystem model -> vSCSI layer -> stats service -> storage array.
+
+use std::sync::Arc;
+use vscsistats_repro::guests::filebench::{oltp_model, parse_model};
+use vscsistats_repro::guests::fs::{Ufs, UfsParams, Zfs, ZfsParams};
+use vscsistats_repro::prelude::*;
+
+fn oltp_collector(zfs: bool, seed: u64) -> IoStatsCollector {
+    let service = Arc::new(StatsService::new(CollectorConfig::paper_figures()));
+    service.enable_all();
+    let mut sim = Simulation::new(presets::symmetrix(), Arc::clone(&service), seed);
+    let spec = parse_model(&oltp_model()).unwrap();
+    sim.add_vm(
+        VmBuilder::new(0)
+            .with_disk(32 * 1024 * 1024 * 1024)
+            .attach(sim.rng().fork("fb"), move |rng| {
+                let fs: Box<dyn vscsistats_repro::guests::fs::Filesystem> = if zfs {
+                    Box::new(Zfs::new(ZfsParams::default()))
+                } else {
+                    Box::new(Ufs::new(UfsParams::default()))
+                };
+                Box::new(FilebenchWorkload::new("oltp", spec, fs, rng))
+            }),
+    );
+    sim.run_until(SimTime::from_secs(8));
+    service.collector(sim.attachment_target(0)).unwrap()
+}
+
+#[test]
+fn ufs_vs_zfs_signature() {
+    let ufs = oltp_collector(false, 1);
+    let zfs = oltp_collector(true, 1);
+
+    // UFS: small I/Os; ZFS: large aggregated I/Os.
+    let ufs_len = ufs.histogram(Metric::IoLength, Lens::All);
+    let zfs_len = zfs.histogram(Metric::IoLength, Lens::All);
+    assert!(ufs_len.mean().unwrap() < 10_000.0);
+    assert!(zfs_len.mean().unwrap() > 40_000.0);
+
+    // UFS writes random, ZFS writes sequential (COW).
+    let ufs_w = ufs.histogram(Metric::SeekDistance, Lens::Writes);
+    let zfs_w = zfs.histogram(Metric::SeekDistance, Lens::Writes);
+    assert!(ufs_w.fraction_in(0, 500) < 0.3);
+    assert!(zfs_w.fraction_in(0, 500) > 0.6);
+
+    // Reads stay random on both.
+    for c in [&ufs, &zfs] {
+        let r = c.histogram(Metric::SeekDistance, Lens::Reads);
+        assert!(r.fraction_in(-5_000, 5_000) < 0.4);
+    }
+}
+
+#[test]
+fn accounting_is_consistent_across_layers() {
+    let service = Arc::new(StatsService::default());
+    service.enable_all();
+    let mut sim = Simulation::new(presets::clariion_cx3(), Arc::clone(&service), 9);
+    sim.add_vm(
+        VmBuilder::new(0)
+            .with_disk(2 * 1024 * 1024 * 1024)
+            .attach(sim.rng().fork("io"), |rng| {
+                Box::new(IometerWorkload::new(
+                    "io",
+                    AccessSpec::random_read_8k(16, 1024 * 1024 * 1024),
+                    rng,
+                ))
+            }),
+    );
+    sim.run_until(SimTime::from_secs(1));
+
+    let c = service.collector(sim.attachment_target(0)).unwrap();
+    // The hypervisor's esxtop-style counter and the collector agree.
+    let summary = &service.summaries()[0];
+    assert_eq!(summary.completed, c.completed_commands());
+    // The array saw exactly the commands that were sent to the device.
+    let array_reads = sim.array().stats().reads;
+    assert!(array_reads >= c.completed_commands());
+    assert!(array_reads <= c.issued_commands());
+    // Bytes: all 8 KiB reads.
+    assert_eq!(c.bytes_read(), c.issued_commands() * 8192);
+    assert_eq!(c.bytes_written(), 0);
+}
+
+#[test]
+fn trace_through_full_stack_replays_identically() {
+    let service = Arc::new(StatsService::default());
+    service.enable_all();
+    let target = TargetId::new(vscsistats_repro::vscsi::VmId(0), vscsistats_repro::vscsi::VDiskId(0));
+    service.start_trace(target, TraceCapacity::Unbounded);
+
+    let mut sim = Simulation::new(presets::clariion_cx3_cache_off(), Arc::clone(&service), 11);
+    sim.add_vm(
+        VmBuilder::new(0)
+            .with_disk(2 * 1024 * 1024 * 1024)
+            .attach(sim.rng().fork("io"), |rng| {
+                Box::new(IometerWorkload::new(
+                    "io",
+                    AccessSpec {
+                        block_bytes: 4096,
+                        read_fraction: 0.5,
+                        random_fraction: 0.7,
+                        outstanding: 12,
+                        region_bytes: 1024 * 1024 * 1024,
+                        region_base: Lba::ZERO,
+                    },
+                    rng,
+                ))
+            }),
+    );
+    sim.run_until(SimTime::from_millis(500));
+
+    let records = service.stop_trace(target);
+    assert!(records.len() > 100);
+    let online = service.collector(target).unwrap();
+    let offline = replay(&records, CollectorConfig::default());
+    for metric in Metric::ALL {
+        for lens in Lens::ALL {
+            assert_eq!(
+                online.histogram(metric, lens).counts(),
+                offline.histogram(metric, lens).counts(),
+                "{metric}/{lens}"
+            );
+        }
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = |seed| {
+        let c = oltp_collector(true, seed);
+        c.histogram(Metric::SeekDistance, Lens::All).counts().to_vec()
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5), run(6), "different seeds should differ");
+}
+
+#[test]
+fn service_toggle_mid_run() {
+    let service = Arc::new(StatsService::default());
+    let mut sim = Simulation::new(presets::clariion_cx3(), Arc::clone(&service), 3);
+    sim.add_vm(
+        VmBuilder::new(0)
+            .with_disk(1024 * 1024 * 1024)
+            .attach(sim.rng().fork("io"), |rng| {
+                Box::new(IometerWorkload::new(
+                    "io",
+                    AccessSpec::seq_read_4k(8, 512 * 1024 * 1024),
+                    rng,
+                ))
+            }),
+    );
+    // Disabled for the first phase: nothing collected.
+    sim.run_until(SimTime::from_millis(100));
+    assert!(service.summaries().is_empty());
+    // Enable and keep running: collection starts from here.
+    service.enable_all();
+    sim.run_until(SimTime::from_millis(200));
+    let c = service.collector(sim.attachment_target(0)).unwrap();
+    assert!(c.issued_commands() > 0);
+    assert!(c.issued_commands() < sim.attachment_stats(0).completed + 64);
+}
+
+#[test]
+fn multi_vm_multi_disk_targets_are_isolated() {
+    let service = Arc::new(StatsService::default());
+    service.enable_all();
+    let mut sim = Simulation::new(presets::symmetrix(), Arc::clone(&service), 4);
+    // VM 0 with two disks, VM 1 with one.
+    sim.add_vm(
+        VmBuilder::new(0)
+            .with_disk(1024 * 1024 * 1024)
+            .attach(sim.rng().fork("a"), |rng| {
+                Box::new(IometerWorkload::new(
+                    "a",
+                    AccessSpec::seq_read_4k(4, 512 * 1024 * 1024),
+                    rng,
+                ))
+            })
+            .with_disk(1024 * 1024 * 1024)
+            .attach(sim.rng().fork("b"), |rng| {
+                Box::new(IometerWorkload::new(
+                    "b",
+                    AccessSpec::random_read_8k(4, 512 * 1024 * 1024),
+                    rng,
+                ))
+            }),
+    );
+    sim.add_vm(
+        VmBuilder::new(1)
+            .with_disk(1024 * 1024 * 1024)
+            .attach(sim.rng().fork("c"), |rng| {
+                Box::new(IometerWorkload::new(
+                    "c",
+                    AccessSpec {
+                        block_bytes: 65_536,
+                        read_fraction: 0.0,
+                        random_fraction: 0.0,
+                        outstanding: 2,
+                        region_bytes: 512 * 1024 * 1024,
+                        region_base: Lba::ZERO,
+                    },
+                    rng,
+                ))
+            }),
+    );
+    sim.run_until(SimTime::from_millis(300));
+
+    let targets = service.targets();
+    assert_eq!(targets.len(), 3);
+    // Each target's histograms reflect its own workload only.
+    let a = service.collector(sim.attachment_target(0)).unwrap();
+    let b = service.collector(sim.attachment_target(1)).unwrap();
+    let c = service.collector(sim.attachment_target(2)).unwrap();
+    let mode = |col: &IoStatsCollector| {
+        let h = col.histogram(Metric::IoLength, Lens::All);
+        h.edges().bin_label(h.mode_bin().unwrap())
+    };
+    assert_eq!(mode(&a), "4096");
+    assert_eq!(mode(&b), "8192");
+    assert_eq!(mode(&c), "65536");
+    assert_eq!(c.read_fraction(), Some(0.0));
+}
