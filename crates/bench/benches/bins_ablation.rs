@@ -11,7 +11,9 @@ use simkit::SimRng;
 fn values(n: usize, lo: i64, hi: i64) -> Vec<i64> {
     let mut rng = SimRng::seed_from(5);
     let span = (hi - lo) as u64;
-    (0..n).map(|_| lo + rng.range_inclusive(0, span) as i64).collect()
+    (0..n)
+        .map(|_| lo + rng.range_inclusive(0, span) as i64)
+        .collect()
 }
 
 fn bench(c: &mut Criterion) {

@@ -6,7 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use simkit::{SimDuration, SimRng, SimTime};
 use vscsi::{IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId};
-use vscsi_stats::{CollectorConfig, IoStatsCollector, StatsService};
+use vscsi_stats::{CollectorConfig, IoStatsCollector, StatsService, VscsiEvent};
 
 fn make_requests(n: usize) -> Vec<IoRequest> {
     let mut rng = SimRng::seed_from(3);
@@ -65,6 +65,35 @@ fn bench_overhead(c: &mut Criterion) {
                 req.issue_time + SimDuration::from_micros(500),
             )));
             j = j.wrapping_add(1);
+        })
+    });
+
+    // Batched front-end: 64 issue/complete pairs per call (128 events per
+    // iteration — compare per-event cost against `service_enabled`).
+    let batched = StatsService::default();
+    batched.enable_all();
+    let batches: Vec<Vec<VscsiEvent>> = requests
+        .chunks(64)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .flat_map(|req| {
+                    [
+                        VscsiEvent::Issue(*req),
+                        VscsiEvent::Complete(IoCompletion::new(
+                            *req,
+                            req.issue_time + SimDuration::from_micros(500),
+                        )),
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+    let mut m = 0usize;
+    group.bench_function("service_enabled_batch64", |b| {
+        b.iter(|| {
+            batched.handle_batch(black_box(&batches[m % batches.len()]));
+            m = m.wrapping_add(1);
         })
     });
 

@@ -14,7 +14,12 @@ fn bench_insert(c: &mut Criterion) {
 
     let cases: Vec<(&str, histo::BinEdges, i64, i64)> = vec![
         ("io_length", layouts::io_length_bytes(), 512, 1_048_576),
-        ("seek_distance", layouts::seek_distance_sectors(), -600_000, 600_000),
+        (
+            "seek_distance",
+            layouts::seek_distance_sectors(),
+            -600_000,
+            600_000,
+        ),
         ("latency", layouts::latency_us(), 1, 200_000),
         ("outstanding", layouts::outstanding_ios(), 0, 80),
     ];

@@ -13,7 +13,9 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
 
     let mut rng = SimRng::seed_from(8);
-    let blocks: Vec<u64> = (0..4096).map(|_| rng.range_inclusive(0, 100_000_000)).collect();
+    let blocks: Vec<u64> = (0..4096)
+        .map(|_| rng.range_inclusive(0, 100_000_000))
+        .collect();
     for n in [1usize, 4, 8, 16, 32, 64, 128] {
         let mut w = SeekWindow::new(n);
         let mut i = 0usize;

@@ -66,9 +66,7 @@ fn main() {
     }
     println!("\n(cell = fraction of I/Os the windowed histogram calls sequential)\n");
 
-    let at = |n: usize, ki: usize| {
-        table.iter().find(|(m, _)| *m == n).unwrap().1[ki]
-    };
+    let at = |n: usize, ki: usize| table.iter().find(|(m, _)| *m == n).unwrap().1[ki];
     let checks = vec![
         ShapeCheck::new(
             "a single stream is sequential at any N",

@@ -1,0 +1,183 @@
+//! Multi-VM ingestion contention experiment: the sharded `StatsService`
+//! vs the pre-sharding global-lock baseline under parallel load.
+//!
+//! Spawns 1→8 crossbeam scoped worker threads, each replaying its share of
+//! 8 VMs' pre-generated issue/completion streams, and reports aggregate
+//! ingestion throughput for three paths: sharded per-event, sharded
+//! batched (64-event batches), and the global-lock baseline. Emits the
+//! results as machine-readable `BENCH_contention.json` next to the table.
+//!
+//! Shape criteria (exit non-zero on mismatch):
+//! * sharded per-event throughput at 8 threads ≥ 3× the global lock's;
+//! * sharded single-thread throughput within 10% of the global lock's
+//!   (the rewrite must not tax the uncontended Table 2 case).
+
+use std::fmt::Write as _;
+use vscsi_stats::StatsService;
+use vscsistats_bench::contention::{events_per_second, make_workload, run_threads};
+use vscsistats_bench::legacy::GlobalLockService;
+use vscsistats_bench::reporting::{shape_report, ShapeCheck};
+
+const TARGETS: u32 = 8;
+const BATCH: usize = 64;
+const REPS: usize = 3;
+
+struct Row {
+    threads: usize,
+    sharded: f64,
+    sharded_batch: f64,
+    global_lock: f64,
+}
+
+fn best_of<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
+    (0..reps).map(|_| run()).fold(0.0, f64::max)
+}
+
+fn measure(threads: usize, commands_per_target: u64) -> Row {
+    let workload = make_workload(threads, TARGETS, commands_per_target, 0xC047);
+    let sharded = best_of(REPS, || {
+        let service = StatsService::default();
+        service.enable_all();
+        events_per_second(&workload, run_threads(&service, &workload, 1))
+    });
+    let sharded_batch = best_of(REPS, || {
+        let service = StatsService::default();
+        service.enable_all();
+        events_per_second(&workload, run_threads(&service, &workload, BATCH))
+    });
+    let global_lock = best_of(REPS, || {
+        let service = GlobalLockService::default();
+        service.enable_all();
+        events_per_second(&workload, run_threads(&service, &workload, 1))
+    });
+    Row {
+        threads,
+        sharded,
+        sharded_batch,
+        global_lock,
+    }
+}
+
+fn to_json(
+    rows: &[Row],
+    commands_per_target: u64,
+    speedup: f64,
+    regression_pct: f64,
+    pass: bool,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"service_contention\",");
+    let _ = writeln!(out, "  \"targets\": {TARGETS},");
+    let _ = writeln!(out, "  \"commands_per_target\": {commands_per_target},");
+    let _ = writeln!(out, "  \"batch_size\": {BATCH},");
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"threads\": {}, \"sharded_events_per_sec\": {:.0}, \
+             \"sharded_batch_events_per_sec\": {:.0}, \"global_lock_events_per_sec\": {:.0}, \
+             \"speedup_vs_global_lock\": {:.2}}}{comma}",
+            r.threads,
+            r.sharded,
+            r.sharded_batch,
+            r.global_lock,
+            r.sharded / r.global_lock.max(1.0),
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"speedup_at_max_threads\": {speedup:.2},");
+    let _ = writeln!(
+        out,
+        "  \"single_thread_regression_pct\": {regression_pct:.1},"
+    );
+    let _ = writeln!(out, "  \"pass\": {pass}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn main() {
+    let mut commands_per_target: u64 = 20_000;
+    let mut json_path = Some(String::from("BENCH_contention.json"));
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => commands_per_target = 2_000,
+            "--commands" => {
+                commands_per_target = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--commands needs a number");
+            }
+            "--json" => json_path = it.next(),
+            "--no-json" => json_path = None,
+            other => {
+                eprintln!("unknown argument {other:?} (flags: --quick --commands N --json PATH --no-json)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("=== Sharded vs global-lock ingestion: {TARGETS} VMs, {commands_per_target} commands each ===\n");
+    let rows: Vec<Row> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| measure(threads, commands_per_target))
+        .collect();
+
+    println!(
+        "{:>8} {:>18} {:>18} {:>18} {:>10}",
+        "threads", "sharded (ev/s)", "batched (ev/s)", "global lock (ev/s)", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>18.0} {:>18.0} {:>18.0} {:>9.2}x",
+            r.threads,
+            r.sharded,
+            r.sharded_batch,
+            r.global_lock,
+            r.sharded / r.global_lock.max(1.0)
+        );
+    }
+    println!();
+
+    let single = &rows[0];
+    let max = rows.last().expect("rows nonempty");
+    let speedup = max.sharded / max.global_lock.max(1.0);
+    // Positive = sharded slower than the global lock with one thread.
+    let regression_pct = (1.0 - single.sharded / single.global_lock.max(1.0)) * 100.0;
+
+    let checks = [
+        ShapeCheck::new(
+            "sharded ingestion ≥ 3× the global-lock baseline at 8 threads / 8 targets",
+            format!("{speedup:.2}× at {} threads", max.threads),
+            speedup >= 3.0,
+        ),
+        ShapeCheck::new(
+            "single-threaded per-event cost regresses < 10% vs the global lock",
+            format!("{regression_pct:+.1}% (negative = sharded faster)"),
+            regression_pct < 10.0,
+        ),
+        ShapeCheck::new(
+            "batched ingestion at least matches per-event ingestion at 8 threads",
+            format!("{:.0} vs {:.0} events/s", max.sharded_batch, max.sharded),
+            max.sharded_batch >= max.sharded * 0.9,
+        ),
+    ];
+    let (report, ok) = shape_report(&checks);
+    println!("{report}");
+
+    if let Some(path) = json_path {
+        let json = to_json(&rows, commands_per_target, speedup, regression_pct, ok);
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error writing {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -6,20 +6,20 @@
 //! §3.7 environment-independence claim, applied.
 
 use simkit::SimTime;
+use vscsi_stats::{fingerprint, FingerprintLibrary, WorkloadClass, WorkloadFingerprint};
 use vscsistats_bench::reporting::{shape_report, ShapeCheck};
 use vscsistats_bench::scenarios::{
-    run_dbt2, run_filebench_oltp, run_filecopy, run_interference, CopyOs, FsKind,
-    InterferenceMode,
+    run_dbt2, run_filebench_oltp, run_filecopy, run_interference, CopyOs, FsKind, InterferenceMode,
 };
-use vscsi_stats::{fingerprint, FingerprintLibrary, WorkloadClass, WorkloadFingerprint};
 
 fn main() {
     println!("=== Extension: automatic workload categorization (paper §7) ===\n");
     let dur = SimTime::from_secs(12);
 
     let mut named: Vec<(&str, WorkloadFingerprint, WorkloadClass)> = Vec::new();
-    let add = |name: &'static str, collector: &vscsi_stats::IoStatsCollector,
-                   named: &mut Vec<(&str, WorkloadFingerprint, WorkloadClass)>| {
+    let add = |name: &'static str,
+               collector: &vscsi_stats::IoStatsCollector,
+               named: &mut Vec<(&str, WorkloadFingerprint, WorkloadClass)>| {
         let fp = WorkloadFingerprint::from_collector(collector, 200)
             .expect("enough commands to fingerprint");
         let class = fp.classify();
@@ -37,7 +37,7 @@ fn main() {
     add("filebench-oltp-ufs", &ufs.collectors[0], &mut named);
     let dbt2 = run_dbt2(dur, 0xE2);
     add("dbt2", &dbt2.collectors[0], &mut named);
-    let copy = run_filecopy(CopyOs::Vista, dur, 0xE3, );
+    let copy = run_filecopy(CopyOs::Vista, dur, 0xE3);
     add("file-copy-vista", &copy.collectors[0], &mut named);
     let seq = run_interference(InterferenceMode::SoloSequential, false, dur, 0xE4);
     add("8k-sequential-reader", &seq.collectors[0], &mut named);

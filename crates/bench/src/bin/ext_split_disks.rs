@@ -13,15 +13,15 @@
 //! signals: the WAL disk shows a pure sequential-append signature and the
 //! data disk a pure random-with-bursts signature.
 
+use esx::{Simulation, VmBuilder};
 use guests::filebench::{parse_model, FilebenchWorkload};
 use guests::fs::{Ufs, UfsParams};
 use guests::{Dbt2Params, Dbt2Workload};
 use simkit::SimTime;
 use std::sync::Arc;
 use storage::presets;
-use vscsistats_bench::reporting::{panel, pct, shape_report, ShapeCheck};
 use vscsi_stats::{CollectorConfig, IoStatsCollector, Lens, Metric, StatsService};
-use esx::{Simulation, VmBuilder};
+use vscsistats_bench::reporting::{panel, pct, shape_report, ShapeCheck};
 
 /// A WAL-only appender guest: one thread appending 8 KiB sync records,
 /// rate-limited to a commit-like cadence.
@@ -99,9 +99,18 @@ fn main() {
     let seek_data = data.histogram(Metric::SeekDistance, Lens::Writes);
     let seek_wal = wal.histogram(Metric::SeekDistance, Lens::Writes);
 
-    println!("{}", panel("Write seek distance — combined disk (WAL + data)", seek_all));
-    println!("{}", panel("Write seek distance — data disk only (split)", seek_data));
-    println!("{}", panel("Write seek distance — WAL disk only (split)", seek_wal));
+    println!(
+        "{}",
+        panel("Write seek distance — combined disk (WAL + data)", seek_all)
+    );
+    println!(
+        "{}",
+        panel("Write seek distance — data disk only (split)", seek_data)
+    );
+    println!(
+        "{}",
+        panel("Write seek distance — WAL disk only (split)", seek_wal)
+    );
 
     let seq = |h: &histo::Histogram| h.fraction_in(0, 2);
     let near = |h: &histo::Histogram| h.fraction_in(-500, 500);
@@ -118,7 +127,10 @@ fn main() {
         ),
         ShapeCheck::new(
             "dedicated WAL disk shows a pure sequential-append signature",
-            format!("WAL disk: {} of write seeks exactly sequential", pct(seq(seek_wal))),
+            format!(
+                "WAL disk: {} of write seeks exactly sequential",
+                pct(seq(seek_wal))
+            ),
             seq(seek_wal) > 0.95,
         ),
         ShapeCheck::new(

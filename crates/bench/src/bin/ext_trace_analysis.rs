@@ -7,14 +7,14 @@
 //! offline, over traces captured by the vSCSI tracing framework, plus
 //! burst-size and popularity-skew analyses.
 
+use esx::{Simulation, VmBuilder};
 use guests::{AccessSpec, Dbt2Params, Dbt2Workload, IometerWorkload};
 use simkit::{SimDuration, SimTime};
 use std::sync::Arc;
 use storage::presets;
-use vscsistats_bench::reporting::{panel, pct, shape_report, ShapeCheck};
 use vscsi::{TargetId, VDiskId, VmId};
 use vscsi_stats::{analysis, StatsService, TraceCapacity, TraceRecord};
-use esx::{Simulation, VmBuilder};
+use vscsistats_bench::reporting::{panel, pct, shape_report, ShapeCheck};
 
 fn capture<F>(disk_bytes: u64, seconds: u64, seed: u64, factory: F) -> Vec<TraceRecord>
 where
@@ -24,10 +24,11 @@ where
     let target = TargetId::new(VmId(0), VDiskId(0));
     service.start_trace(target, TraceCapacity::Unbounded);
     let mut sim = Simulation::new(presets::symmetrix(), Arc::clone(&service), seed);
-    sim.add_vm(VmBuilder::new(0).with_disk(disk_bytes).attach(
-        sim.rng().fork("app"),
-        factory,
-    ));
+    sim.add_vm(
+        VmBuilder::new(0)
+            .with_disk(disk_bytes)
+            .attach(sim.rng().fork("app"), factory),
+    );
     sim.run_until(SimTime::from_secs(seconds));
     service.stop_trace(target)
 }
@@ -47,7 +48,11 @@ fn main() {
             rng,
         ))
     });
-    println!("captured: dbt2 = {} commands, scan = {} commands\n", dbt2.len(), scan.len());
+    println!(
+        "captured: dbt2 = {} commands, scan = {} commands\n",
+        dbt2.len(),
+        scan.len()
+    );
 
     // Temporal locality: reuse distances at 8 KiB blocks, window 64k blocks.
     let window = 65_536;
@@ -55,19 +60,22 @@ fn main() {
     let reuse_scan = analysis::reuse_distance_histogram(&scan, 16, window);
     println!(
         "{}",
-        panel("Reuse distance (DBT-2) [distinct 8 KiB blocks]", &reuse_dbt2)
+        panel(
+            "Reuse distance (DBT-2) [distinct 8 KiB blocks]",
+            &reuse_dbt2
+        )
     );
-    println!(
-        "{}",
-        panel("Reuse distance (sequential scan)", &reuse_scan)
-    );
+    println!("{}", panel("Reuse distance (sequential scan)", &reuse_scan));
     let reuse_frac = |h: &histo::Histogram| {
         1.0 - h.count(h.edges().bin_count() - 1) as f64 / h.total().max(1) as f64
     };
 
     // Bursts: 1 ms idle-gap threshold.
     let bursts_dbt2 = analysis::burst_histogram(&dbt2, SimDuration::from_millis(1));
-    println!("{}", panel("Arrival burst sizes (DBT-2, 1 ms gap)", &bursts_dbt2));
+    println!(
+        "{}",
+        panel("Arrival burst sizes (DBT-2, 1 ms gap)", &bursts_dbt2)
+    );
 
     // Popularity skew: top-16 1 MiB regions.
     let conc_dbt2 = analysis::top_k_concentration(&dbt2, 2_048, 16);
@@ -89,7 +97,8 @@ fn main() {
                 pct(reuse_frac(&reuse_dbt2)),
                 pct(reuse_frac(&reuse_scan))
             ),
-            reuse_frac(&reuse_dbt2) > 0.05 && reuse_frac(&reuse_dbt2) > 10.0 * reuse_frac(&reuse_scan),
+            reuse_frac(&reuse_dbt2) > 0.05
+                && reuse_frac(&reuse_dbt2) > 10.0 * reuse_frac(&reuse_scan),
         ),
         ShapeCheck::new(
             "a pure sequential scan has (almost) no reuse",
@@ -98,7 +107,10 @@ fn main() {
         ),
         ShapeCheck::new(
             "the background writer produces large arrival bursts",
-            format!("burst mode bin = {max_burst_bin}; bursts > 4 commands: {}", pct(big_bursts)),
+            format!(
+                "burst mode bin = {max_burst_bin}; bursts > 4 commands: {}",
+                pct(big_bursts)
+            ),
             big_bursts > 0.05,
         ),
         ShapeCheck::new(

@@ -8,14 +8,16 @@
 //! latency histograms while the environment-independent characteristics
 //! stay fixed by construction (§3.7).
 
+use esx::{Simulation, VmBuilder};
 use guests::{BlockIo, ReplayWorkload, ScheduledIo};
 use simkit::SimTime;
 use std::sync::Arc;
 use storage::presets;
-use vscsistats_bench::reporting::{panel2, shape_report, ShapeCheck};
 use vscsi::{TargetId, VDiskId, VmId};
-use vscsi_stats::{CollectorConfig, IoStatsCollector, Lens, Metric, StatsService, TraceCapacity, TraceRecord};
-use esx::{Simulation, VmBuilder};
+use vscsi_stats::{
+    CollectorConfig, IoStatsCollector, Lens, Metric, StatsService, TraceCapacity, TraceRecord,
+};
+use vscsistats_bench::reporting::{panel2, shape_report, ShapeCheck};
 
 const DISK_BYTES: u64 = 6 * 1024 * 1024 * 1024;
 
@@ -25,17 +27,22 @@ fn capture() -> Vec<TraceRecord> {
     let service = Arc::new(StatsService::default());
     let target = TargetId::new(VmId(0), VDiskId(0));
     service.start_trace(target, TraceCapacity::Unbounded);
-    let mut sim = Simulation::new(presets::clariion_cx3_cache_off(), Arc::clone(&service), 0xCAF);
-    sim.add_vm(VmBuilder::new(0).with_disk(DISK_BYTES).attach(
-        sim.rng().fork("app"),
-        |rng| {
-            Box::new(guests::IometerWorkload::new(
-                "8k-sequential",
-                guests::AccessSpec::seq_read_8k(16, 4 * 1024 * 1024 * 1024),
-                rng,
-            ))
-        },
-    ));
+    let mut sim = Simulation::new(
+        presets::clariion_cx3_cache_off(),
+        Arc::clone(&service),
+        0xCAF,
+    );
+    sim.add_vm(
+        VmBuilder::new(0)
+            .with_disk(DISK_BYTES)
+            .attach(sim.rng().fork("app"), |rng| {
+                Box::new(guests::IometerWorkload::new(
+                    "8k-sequential",
+                    guests::AccessSpec::seq_read_8k(16, 4 * 1024 * 1024 * 1024),
+                    rng,
+                ))
+            }),
+    );
     sim.run_until(SimTime::from_secs(5));
     service.stop_trace(target)
 }
@@ -55,10 +62,13 @@ fn replay_on(array: storage::ArrayParams, schedule: Vec<ScheduledIo>) -> IoStats
     let service = Arc::new(StatsService::new(CollectorConfig::default()));
     service.enable_all();
     let mut sim = Simulation::new(array, Arc::clone(&service), 0xCAF);
-    sim.add_vm(VmBuilder::new(0).with_disk(DISK_BYTES).attach(
-        sim.rng().fork("replay"),
-        move |_rng| Box::new(ReplayWorkload::new("replay", schedule)),
-    ));
+    sim.add_vm(
+        VmBuilder::new(0)
+            .with_disk(DISK_BYTES)
+            .attach(sim.rng().fork("replay"), move |_rng| {
+                Box::new(ReplayWorkload::new("replay", schedule))
+            }),
+    );
     sim.run_until(SimTime::from_secs(30)); // enough to drain
     service.collector(sim.attachment_target(0)).unwrap()
 }
@@ -66,7 +76,10 @@ fn replay_on(array: storage::ArrayParams, schedule: Vec<ScheduledIo>) -> IoStats
 fn main() {
     println!("=== Extension: what-if placement via trace replay ===\n");
     let records = capture();
-    println!("captured {} commands on the cache-off CX3 model\n", records.len());
+    println!(
+        "captured {} commands on the cache-off CX3 model\n",
+        records.len()
+    );
     let schedule = to_schedule(&records);
 
     let on_cx3_off = replay_on(presets::clariion_cx3_cache_off(), schedule.clone());
@@ -96,7 +109,11 @@ fn main() {
 
     // Environment-independent histograms must be identical across replays.
     let mut independent_identical = true;
-    for metric in [Metric::IoLength, Metric::SeekDistance, Metric::SeekDistanceWindowed] {
+    for metric in [
+        Metric::IoLength,
+        Metric::SeekDistance,
+        Metric::SeekDistanceWindowed,
+    ] {
         for lens in [Lens::All, Lens::Reads, Lens::Writes] {
             independent_identical &= on_cx3_off.histogram(metric, lens).counts()
                 == on_symm.histogram(metric, lens).counts();

@@ -7,13 +7,16 @@
 
 use esx::Testbed;
 use simkit::SimTime;
+use vscsi_stats::{Lens, Metric};
 use vscsistats_bench::reporting::{panel, pct, shape_report, ShapeCheck};
 use vscsistats_bench::scenarios::{run_filebench_oltp, FsKind};
-use vscsi_stats::{Lens, Metric};
 
 fn main() {
     println!("=== Figure 2: Filebench OLTP, Solaris 11 on UFS (simulated) ===\n");
-    println!("{}\n", Testbed::reference("EMC Symmetrix-like RAID-5 model (4Gb SAN)"));
+    println!(
+        "{}\n",
+        Testbed::reference("EMC Symmetrix-like RAID-5 model (4Gb SAN)")
+    );
 
     let duration = SimTime::from_secs(30);
     let result = run_filebench_oltp(FsKind::Ufs, duration, 0xF16_2);
@@ -26,8 +29,14 @@ fn main() {
 
     println!("{}", panel("(a) I/O Length Histogram [bytes]", len));
     println!("{}", panel("(b) Seek Distance Histogram [sectors]", seek));
-    println!("{}", panel("(c) Seek Distance Histogram (Writes) [sectors]", seek_w));
-    println!("{}", panel("(d) Seek Distance Histogram (Reads) [sectors]", seek_r));
+    println!(
+        "{}",
+        panel("(c) Seek Distance Histogram (Writes) [sectors]", seek_w)
+    );
+    println!(
+        "{}",
+        panel("(d) Seek Distance Histogram (Reads) [sectors]", seek_r)
+    );
     println!(
         "commands={} IOps={:.0} MBps={:.1} read%={}\n",
         result.completed[0],
@@ -41,9 +50,7 @@ fn main() {
     let small_frac = (len.count(i4) + len.count(i8)) as f64 / len.total().max(1) as f64;
 
     // "Quite random": mass at the far edges of the seek histogram.
-    let far = |h: &histo::Histogram| {
-        1.0 - h.fraction_in(-5_000, 5_000)
-    };
+    let far = |h: &histo::Histogram| 1.0 - h.fraction_in(-5_000, 5_000);
     let seq = |h: &histo::Histogram| h.fraction_in(0, 2);
 
     let checks = vec![

@@ -8,13 +8,16 @@
 
 use esx::Testbed;
 use simkit::SimTime;
+use vscsi_stats::{Lens, Metric};
 use vscsistats_bench::reporting::{panel, pct, shape_report, ShapeCheck};
 use vscsistats_bench::scenarios::{run_filebench_oltp, FsKind};
-use vscsi_stats::{Lens, Metric};
 
 fn main() {
     println!("=== Figure 3: Filebench OLTP, Solaris 11 on ZFS (simulated) ===\n");
-    println!("{}\n", Testbed::reference("EMC Symmetrix-like RAID-5 model (4Gb SAN)"));
+    println!(
+        "{}\n",
+        Testbed::reference("EMC Symmetrix-like RAID-5 model (4Gb SAN)")
+    );
 
     let duration = SimTime::from_secs(30);
     let result = run_filebench_oltp(FsKind::Zfs, duration, 0xF16_3);
@@ -28,8 +31,14 @@ fn main() {
 
     println!("{}", panel("(a) I/O Length Histogram [bytes]", len));
     println!("{}", panel("(b) Seek Distance Histogram [sectors]", seek));
-    println!("{}", panel("(c) Seek Distance Histogram (Writes) [sectors]", seek_w));
-    println!("{}", panel("(d) Seek Distance Histogram (Reads) [sectors]", seek_r));
+    println!(
+        "{}",
+        panel("(c) Seek Distance Histogram (Writes) [sectors]", seek_w)
+    );
+    println!(
+        "{}",
+        panel("(d) Seek Distance Histogram (Reads) [sectors]", seek_r)
+    );
     println!(
         "{}",
         panel(

@@ -8,13 +8,16 @@
 
 use esx::Testbed;
 use simkit::SimTime;
+use vscsi_stats::{Lens, Metric};
 use vscsistats_bench::reporting::{panel, panel2, pct, shape_report, ShapeCheck};
 use vscsistats_bench::scenarios::run_dbt2;
-use vscsi_stats::{Lens, Metric};
 
 fn main() {
     println!("=== Figure 4: DBT-2, Linux 2.6.17 / PostgreSQL / ext3 (simulated) ===\n");
-    println!("{}\n", Testbed::reference("EMC Symmetrix-like RAID-5 model (4Gb SAN)"));
+    println!(
+        "{}\n",
+        Testbed::reference("EMC Symmetrix-like RAID-5 model (4Gb SAN)")
+    );
 
     let duration = SimTime::from_secs(120); // the paper's 2-minute window
     let result = run_dbt2(duration, 0xF16_4);
@@ -25,11 +28,20 @@ fn main() {
     let oio_r = c.histogram(Metric::OutstandingIos, Lens::Reads);
     let oio_w = c.histogram(Metric::OutstandingIos, Lens::Writes);
 
-    println!("{}", panel("(a) Seek Distance Histogram (Writes) [sectors]", seek_w));
+    println!(
+        "{}",
+        panel("(a) Seek Distance Histogram (Writes) [sectors]", seek_w)
+    );
     println!("{}", panel("(b) I/O Length Histogram [bytes]", len));
     println!(
         "{}",
-        panel2("(c) Outstanding I/Os Histogram", "Reads", oio_r, "Writes", oio_w)
+        panel2(
+            "(c) Outstanding I/Os Histogram",
+            "Reads",
+            oio_r,
+            "Writes",
+            oio_w
+        )
     );
     if let Some(series) = c.outstanding_series() {
         println!("(d) Outstanding I/Os Histogram over Time (6 s intervals)");
@@ -75,7 +87,11 @@ fn main() {
         ),
         ShapeCheck::new(
             "PostgreSQL is always issuing around 32 writes simultaneously",
-            format!("write-OIO mode bin = {:?}, mean = {:.1}", w_mode, oio_w.mean().unwrap_or(0.0)),
+            format!(
+                "write-OIO mode bin = {:?}, mean = {:.1}",
+                w_mode,
+                oio_w.mean().unwrap_or(0.0)
+            ),
             w_mode.as_deref() == Some("32") || oio_w.mean().unwrap_or(0.0) > 20.0,
         ),
         ShapeCheck::new(

@@ -7,13 +7,16 @@
 
 use esx::Testbed;
 use simkit::SimTime;
+use vscsi_stats::{Lens, Metric};
 use vscsistats_bench::reporting::{panel2, pct, shape_report, ShapeCheck};
 use vscsistats_bench::scenarios::{run_filecopy, CopyOs};
-use vscsi_stats::{Lens, Metric};
 
 fn main() {
     println!("=== Figure 5: Large File Copy, NTFS, 10 s duration (simulated) ===\n");
-    println!("{}\n", Testbed::reference("EMC Symmetrix-like RAID-5 model (4Gb SAN)"));
+    println!(
+        "{}\n",
+        Testbed::reference("EMC Symmetrix-like RAID-5 model (4Gb SAN)")
+    );
 
     let duration = SimTime::from_secs(10); // the paper's caption: 10 sec duration
     let xp = run_filecopy(CopyOs::Xp, duration, 0xF16_5);
@@ -30,11 +33,23 @@ fn main() {
 
     println!(
         "{}",
-        panel2("(a) I/O Latency Histogram [us]", "XP Pro", lat_x, "Vista", lat_v)
+        panel2(
+            "(a) I/O Latency Histogram [us]",
+            "XP Pro",
+            lat_x,
+            "Vista",
+            lat_v
+        )
     );
     println!(
         "{}",
-        panel2("(b) I/O Length Histogram [bytes]", "XP Pro", len_x, "Vista", len_v)
+        panel2(
+            "(b) I/O Length Histogram [bytes]",
+            "XP Pro",
+            len_x,
+            "Vista",
+            len_v
+        )
     );
     println!(
         "{}",

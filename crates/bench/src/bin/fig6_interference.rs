@@ -10,9 +10,9 @@
 
 use esx::Testbed;
 use simkit::SimTime;
+use vscsi_stats::{Lens, Metric};
 use vscsistats_bench::reporting::{panel2, pct, shape_report, ShapeCheck};
 use vscsistats_bench::scenarios::{run_interference, InterferenceMode};
-use vscsi_stats::{Lens, Metric};
 
 fn main() {
     let with_cache = std::env::args().any(|a| a == "--with-cache");
@@ -61,7 +61,12 @@ fn main() {
 
     // (c): staggered run — the sequential reader's latency series shifts
     // when the random reader joins a third of the way in.
-    let staggered = run_interference(InterferenceMode::Staggered, with_cache, SimTime::from_secs(30), seed);
+    let staggered = run_interference(
+        InterferenceMode::Staggered,
+        with_cache,
+        SimTime::from_secs(30),
+        seed,
+    );
     if let Some(series) = staggered.collectors[1].latency_series() {
         println!("(c) I/O Latency Histogram over Time (8K Seq Reader; random VM joins at t=10s)");
         println!("{series}");
@@ -74,12 +79,20 @@ fn main() {
     let rand_iops_drop = 1.0 - dual.iops[0] / solo_rand.iops[0].max(1e-9);
     let seq_iops_drop = 1.0 - dual.iops[1] / solo_seq.iops[0].max(1e-9);
 
-    println!("random reader: solo {:.0} IOps / {:.2} ms -> dual {:.0} IOps / {:.2} ms",
-        solo_rand.iops[0], solo_rand.mean_latency_us[0] / 1000.0,
-        dual.iops[0], dual.mean_latency_us[0] / 1000.0);
-    println!("seq reader:    solo {:.0} IOps / {:.2} ms -> dual {:.0} IOps / {:.2} ms\n",
-        solo_seq.iops[0], solo_seq.mean_latency_us[0] / 1000.0,
-        dual.iops[1], dual.mean_latency_us[1] / 1000.0);
+    println!(
+        "random reader: solo {:.0} IOps / {:.2} ms -> dual {:.0} IOps / {:.2} ms",
+        solo_rand.iops[0],
+        solo_rand.mean_latency_us[0] / 1000.0,
+        dual.iops[0],
+        dual.mean_latency_us[0] / 1000.0
+    );
+    println!(
+        "seq reader:    solo {:.0} IOps / {:.2} ms -> dual {:.0} IOps / {:.2} ms\n",
+        solo_seq.iops[0],
+        solo_seq.mean_latency_us[0] / 1000.0,
+        dual.iops[1],
+        dual.mean_latency_us[1] / 1000.0
+    );
 
     // Device-independent histograms must not move (§3.7 / §5.3).
     let len_solo = solo_seq.collectors[0].histogram(Metric::IoLength, Lens::All);

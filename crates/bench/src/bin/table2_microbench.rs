@@ -17,7 +17,10 @@ use vscsistats_bench::scenarios::run_microbench;
 
 fn main() {
     println!("=== Table 2: Microbenchmark Performance (simulated) ===\n");
-    println!("{}\n", Testbed::reference("EMC Symmetrix-like RAID-5 model (4Gb SAN)"));
+    println!(
+        "{}\n",
+        Testbed::reference("EMC Symmetrix-like RAID-5 model (4Gb SAN)")
+    );
     println!("workload: Iometer 4KB Sequential Read, 16 outstanding\n");
 
     let duration = SimTime::from_secs(5);
@@ -69,18 +72,16 @@ fn main() {
     );
     println!(
         "{:<34} {:>14.3} {:>14.3}",
-        "Host CPU seconds per rep", disabled.4.mean(), enabled.4.mean()
+        "Host CPU seconds per rep",
+        disabled.4.mean(),
+        enabled.4.mean()
     );
     let per_cmd_ns = (enabled.4.mean() - disabled.4.mean()) * 1e9
         / (disabled.1.mean() * duration.as_secs_f64()).max(1.0);
-    println!(
-        "{:<34} {:>29.1}",
-        "Derived overhead ns/command", per_cmd_ns
-    );
+    println!("{:<34} {:>29.1}", "Derived overhead ns/command", per_cmd_ns);
     println!();
 
-    let iops_delta =
-        (disabled.1.mean() - enabled.1.mean()).abs() / disabled.1.mean().max(1.0);
+    let iops_delta = (disabled.1.mean() - enabled.1.mean()).abs() / disabled.1.mean().max(1.0);
     let checks = vec![
         ShapeCheck::new(
             "negligible degradation in throughput (within noise)",
@@ -100,7 +101,9 @@ fn main() {
     ];
     let (report, ok) = shape_report(&checks);
     println!("{report}");
-    println!("(precise per-command cost: cargo bench -p vscsistats-bench --bench collector_overhead)");
+    println!(
+        "(precise per-command cost: cargo bench -p vscsistats-bench --bench collector_overhead)"
+    );
     if !ok {
         std::process::exit(1);
     }

@@ -10,11 +10,11 @@
 //! ```
 
 use simkit::SimTime;
-use vscsistats_bench::scenarios::{
-    run_dbt2, run_filebench_oltp, run_filecopy, run_interference, CopyOs, FsKind,
-    InterferenceMode, RunResult,
-};
 use vscsi_stats::{fingerprint, report, WorkloadFingerprint};
+use vscsistats_bench::scenarios::{
+    run_dbt2, run_filebench_oltp, run_filecopy, run_interference, CopyOs, FsKind, InterferenceMode,
+    RunResult,
+};
 
 const WORKLOADS: &[(&str, &str)] = &[
     ("oltp-ufs", "Filebench OLTP on the UFS model (Figure 2)"),
@@ -24,7 +24,10 @@ const WORKLOADS: &[(&str, &str)] = &[
     ("dbt2", "DBT-2 / PostgreSQL model (Figure 4)"),
     ("copy-xp", "Windows XP large file copy (Figure 5)"),
     ("copy-vista", "Windows Vista large file copy (Figure 5)"),
-    ("interfere", "8K random + 8K sequential readers on one array (Figure 6)"),
+    (
+        "interfere",
+        "8K random + 8K sequential readers on one array (Figure 6)",
+    ),
 ];
 
 struct Args {
@@ -128,7 +131,10 @@ fn main() {
         std::process::exit(2);
     };
     let duration = SimTime::from_secs(args.seconds.max(1));
-    eprintln!("running {workload} for {} simulated seconds (seed {})...", args.seconds, args.seed);
+    eprintln!(
+        "running {workload} for {} simulated seconds (seed {})...",
+        args.seconds, args.seed
+    );
     let result = match run_workload(workload, duration, args.seed) {
         Ok(r) => r,
         Err(e) => {

@@ -1,0 +1,115 @@
+//! Shared harness for the multi-threaded ingestion experiments: event
+//! generation and a crossbeam-scoped-thread driver that replays
+//! pre-generated per-VM event streams against any [`IngestionPath`].
+//!
+//! Used by the `service_contention` Criterion bench and the
+//! `contention_multi_vm` experiment binary.
+
+use crate::legacy::IngestionPath;
+use simkit::{SimRng, SimTime};
+use std::time::{Duration, Instant};
+use vscsi::{IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId, VDiskId, VmId};
+use vscsi_stats::VscsiEvent;
+
+/// Builds one VM's event stream: `commands` issue/complete pairs with a
+/// deterministic mixed random/sequential access pattern.
+pub fn make_events(vm: u32, commands: u64, seed: u64) -> Vec<VscsiEvent> {
+    let target = TargetId::new(VmId(vm), VDiskId(0));
+    let mut rng = SimRng::seed_from(seed ^ (u64::from(vm) << 17));
+    let mut events = Vec::with_capacity(commands as usize * 2);
+    let mut now_us = 0u64;
+    for i in 0..commands {
+        now_us += rng.range_inclusive(10, 200);
+        let req = IoRequest::new(
+            RequestId(u64::from(vm) << 40 | i),
+            target,
+            if i % 3 == 0 {
+                IoDirection::Write
+            } else {
+                IoDirection::Read
+            },
+            Lba::new(rng.range_inclusive(0, 10_000_000)),
+            8,
+            SimTime::from_micros(now_us),
+        );
+        events.push(VscsiEvent::Issue(req));
+        events.push(VscsiEvent::Complete(IoCompletion::new(
+            req,
+            SimTime::from_micros(now_us + rng.range_inclusive(100, 2_000)),
+        )));
+    }
+    events
+}
+
+/// Pre-generated per-thread event streams: `threads` workers, `targets`
+/// VMs assigned round-robin, `commands_per_target` commands each.
+pub fn make_workload(
+    threads: usize,
+    targets: u32,
+    commands_per_target: u64,
+    seed: u64,
+) -> Vec<Vec<VscsiEvent>> {
+    let mut per_thread: Vec<Vec<VscsiEvent>> = (0..threads).map(|_| Vec::new()).collect();
+    for vm in 0..targets {
+        per_thread[vm as usize % threads].extend(make_events(vm, commands_per_target, seed));
+    }
+    per_thread
+}
+
+/// Replays each stream on its own crossbeam scoped thread, ingesting in
+/// chunks of `batch` events (1 = the per-event hook path). Returns the
+/// wall-clock time from first event to last thread joined.
+pub fn run_threads<S: IngestionPath>(
+    service: &S,
+    per_thread: &[Vec<VscsiEvent>],
+    batch: usize,
+) -> Duration {
+    let batch = batch.max(1);
+    let start = Instant::now();
+    crossbeam::thread::scope(|scope| {
+        for events in per_thread {
+            scope.spawn(move |_| {
+                for chunk in events.chunks(batch) {
+                    service.ingest_batch(chunk);
+                }
+            });
+        }
+    })
+    .expect("ingestion worker panicked");
+    start.elapsed()
+}
+
+/// Events per second for a run over `per_thread` streams.
+pub fn events_per_second(per_thread: &[Vec<VscsiEvent>], elapsed: Duration) -> f64 {
+    let total: usize = per_thread.iter().map(Vec::len).sum();
+    total as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legacy::GlobalLockService;
+    use vscsi_stats::StatsService;
+
+    #[test]
+    fn driver_ingests_every_command_on_both_paths() {
+        let threads = 4;
+        let targets = 8u32;
+        let per_target = 200u64;
+        let workload = make_workload(threads, targets, per_target, 7);
+
+        let sharded = StatsService::default();
+        sharded.enable_all();
+        run_threads(&sharded, &workload, 32);
+
+        let legacy = GlobalLockService::default();
+        legacy.enable_all();
+        run_threads(&legacy, &workload, 32);
+
+        for vm in 0..targets {
+            let target = TargetId::new(VmId(vm), VDiskId(0));
+            assert_eq!(sharded.issued(target), per_target, "sharded vm{vm}");
+            assert_eq!(legacy.issued(target), per_target, "legacy vm{vm}");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The pre-sharding stats service, preserved as a contention baseline.
+//!
+//! This is the original `StatsService` design: one global
+//! `Mutex<BTreeMap<…>>` that every issue and completion from every
+//! (VM, vdisk) pair serializes through, with the collector configuration
+//! cloned on each issue. It exists so the `service_contention` Criterion
+//! bench and the `contention_multi_vm` driver can measure exactly what the
+//! sharded rewrite buys; it is not part of the library proper and should
+//! never be used outside benchmarks.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use vscsi::{IoCompletion, IoRequest, TargetId};
+use vscsi_stats::{CollectorConfig, IoStatsCollector, VscsiEvent};
+
+struct Inner {
+    enabled: bool,
+    config: CollectorConfig,
+    targets: BTreeMap<TargetId, IoStatsCollector>,
+}
+
+/// Global-single-lock statistics service (the seed implementation).
+pub struct GlobalLockService {
+    inner: Mutex<Inner>,
+}
+
+impl Default for GlobalLockService {
+    fn default() -> Self {
+        GlobalLockService::new(CollectorConfig::default())
+    }
+}
+
+impl GlobalLockService {
+    /// Creates a disabled service that builds collectors with `config`.
+    pub fn new(config: CollectorConfig) -> Self {
+        GlobalLockService {
+            inner: Mutex::new(Inner {
+                enabled: false,
+                config,
+                targets: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Turns collection on.
+    pub fn enable_all(&self) {
+        self.inner.lock().enabled = true;
+    }
+
+    /// Hot-path hook: command issue. Takes the one global lock and clones
+    /// the config, exactly as the seed implementation did.
+    pub fn handle_issue(&self, req: &IoRequest) {
+        let mut inner = self.inner.lock();
+        if !inner.enabled {
+            return;
+        }
+        let config = inner.config.clone();
+        inner
+            .targets
+            .entry(req.target)
+            .or_insert_with(|| IoStatsCollector::new(config))
+            .on_issue(req);
+    }
+
+    /// Hot-path hook: command completion. Takes the one global lock.
+    pub fn handle_complete(&self, completion: &IoCompletion) {
+        let mut inner = self.inner.lock();
+        if let Some(collector) = inner.targets.get_mut(&completion.request.target) {
+            collector.on_complete(completion);
+        }
+    }
+
+    /// Clones out a target's collector, blocking all ingestion meanwhile.
+    pub fn collector(&self, target: TargetId) -> Option<IoStatsCollector> {
+        self.inner.lock().targets.get(&target).cloned()
+    }
+}
+
+/// A uniform ingestion front-end so drivers and benches can run the same
+/// workload against either service implementation.
+pub trait IngestionPath: Sync {
+    /// Applies one event.
+    fn ingest(&self, event: &VscsiEvent);
+
+    /// Applies a slice of events (defaults to per-event ingestion; the
+    /// sharded service overrides this with its batch path).
+    fn ingest_batch(&self, events: &[VscsiEvent]) {
+        for event in events {
+            self.ingest(event);
+        }
+    }
+
+    /// Total commands issued for `target`, for end-of-run verification.
+    fn issued(&self, target: TargetId) -> u64;
+}
+
+impl IngestionPath for GlobalLockService {
+    fn ingest(&self, event: &VscsiEvent) {
+        match event {
+            VscsiEvent::Issue(req) => self.handle_issue(req),
+            VscsiEvent::Complete(completion) => self.handle_complete(completion),
+        }
+    }
+
+    fn issued(&self, target: TargetId) -> u64 {
+        self.collector(target).map_or(0, |c| c.issued_commands())
+    }
+}
+
+impl IngestionPath for vscsi_stats::StatsService {
+    fn ingest(&self, event: &VscsiEvent) {
+        match event {
+            VscsiEvent::Issue(req) => self.handle_issue(req),
+            VscsiEvent::Complete(completion) => self.handle_complete(completion),
+        }
+    }
+
+    fn ingest_batch(&self, events: &[VscsiEvent]) {
+        self.handle_batch(events);
+    }
+
+    fn issued(&self, target: TargetId) -> u64 {
+        self.collector(target).map_or(0, |c| c.issued_commands())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimTime;
+    use vscsi::{IoDirection, Lba, RequestId, VDiskId, VmId};
+
+    #[test]
+    fn legacy_matches_sharded_single_threaded() {
+        let legacy = GlobalLockService::default();
+        legacy.enable_all();
+        let sharded = vscsi_stats::StatsService::default();
+        sharded.enable_all();
+        let target = TargetId::new(VmId(3), VDiskId(1));
+        for i in 0..500u64 {
+            let req = IoRequest::new(
+                RequestId(i),
+                target,
+                if i % 3 == 0 {
+                    IoDirection::Write
+                } else {
+                    IoDirection::Read
+                },
+                Lba::new((i * 769) % 100_000),
+                8,
+                SimTime::from_micros(i * 12),
+            );
+            let events = [
+                VscsiEvent::Issue(req),
+                VscsiEvent::Complete(IoCompletion::new(req, SimTime::from_micros(i * 12 + 6))),
+            ];
+            legacy.ingest_batch(&events);
+            sharded.ingest_batch(&events);
+        }
+        let a = legacy.collector(target).unwrap();
+        let b = sharded.collector(target).unwrap();
+        assert_eq!(a.issued_commands(), b.issued_commands());
+        assert_eq!(a.completed_commands(), b.completed_commands());
+        use vscsi_stats::{Lens, Metric};
+        for metric in Metric::ALL {
+            assert_eq!(
+                a.histogram(metric, Lens::All).counts(),
+                b.histogram(metric, Lens::All).counts(),
+                "{metric}"
+            );
+        }
+    }
+}

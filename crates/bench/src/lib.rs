@@ -15,8 +15,11 @@
 //! | `fig5_filecopy` | Figure 5 — XP vs Vista large file copy |
 //! | `table2_microbench` | Table 2 — service overhead microbenchmark |
 //! | `fig6_interference` | Figure 6 / §5.3 — multi-VM interference |
+//! | `contention_multi_vm` | sharded vs global-lock ingestion scaling (`BENCH_contention.json`) |
 
 #![warn(missing_docs)]
 
+pub mod contention;
+pub mod legacy;
 pub mod reporting;
 pub mod scenarios;

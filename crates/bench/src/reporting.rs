@@ -71,7 +71,11 @@ pub fn shape_report(checks: &[ShapeCheck]) -> (String, bool) {
     let _ = writeln!(
         out,
         "result: {}",
-        if all { "ALL SHAPES MATCH" } else { "SHAPE MISMATCH" }
+        if all {
+            "ALL SHAPES MATCH"
+        } else {
+            "SHAPE MISMATCH"
+        }
     );
     (out, all)
 }

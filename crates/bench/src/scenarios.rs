@@ -4,7 +4,10 @@
 use esx::{Simulation, VmBuilder};
 use guests::filebench::{oltp_model, parse_model, FilebenchWorkload};
 use guests::fs::{Ext3Params, NtfsParams, Ufs, UfsParams, Zfs, ZfsParams};
-use guests::{AccessSpec, Dbt2Params, Dbt2Workload, Delayed, FileCopyParams, FileCopyWorkload, IometerWorkload};
+use guests::{
+    AccessSpec, Dbt2Params, Dbt2Workload, Delayed, FileCopyParams, FileCopyWorkload,
+    IometerWorkload,
+};
 use simkit::SimTime;
 use std::sync::Arc;
 use storage::presets;
@@ -80,17 +83,23 @@ pub fn run_filebench_oltp(fs: FsKind, duration: SimTime, seed: u64) -> RunResult
         FsKind::Ntfs | FsKind::Ext3 => 64 * 1024 * 1024 * 1024,
         _ => 32 * 1024 * 1024 * 1024,
     };
-    let vm = VmBuilder::new(0)
-        .with_disk(disk_bytes)
-        .attach(sim.rng().fork("filebench"), move |rng| {
-            let fs_model: Box<dyn guests::fs::Filesystem> = match fs {
-                FsKind::Ufs => Box::new(Ufs::new(UfsParams::default())),
-                FsKind::Zfs => Box::new(Zfs::new(ZfsParams::default())),
-                FsKind::Ext3 => Box::new(guests::fs::Ext3::new(Ext3Params::default())),
-                FsKind::Ntfs => Box::new(guests::fs::Ntfs::new(NtfsParams::default())),
-            };
-            Box::new(FilebenchWorkload::new("filebench-oltp", spec, fs_model, rng))
-        });
+    let vm =
+        VmBuilder::new(0)
+            .with_disk(disk_bytes)
+            .attach(sim.rng().fork("filebench"), move |rng| {
+                let fs_model: Box<dyn guests::fs::Filesystem> = match fs {
+                    FsKind::Ufs => Box::new(Ufs::new(UfsParams::default())),
+                    FsKind::Zfs => Box::new(Zfs::new(ZfsParams::default())),
+                    FsKind::Ext3 => Box::new(guests::fs::Ext3::new(Ext3Params::default())),
+                    FsKind::Ntfs => Box::new(guests::fs::Ntfs::new(NtfsParams::default())),
+                };
+                Box::new(FilebenchWorkload::new(
+                    "filebench-oltp",
+                    spec,
+                    fs_model,
+                    rng,
+                ))
+            });
     sim.add_vm(vm);
     sim.run_until(duration);
     collect(&sim, &service, duration)
@@ -133,9 +142,9 @@ pub fn run_filecopy(os: CopyOs, duration: SimTime, seed: u64) -> RunResult {
         CopyOs::Xp => FileCopyParams::xp(file_bytes),
         CopyOs::Vista => FileCopyParams::vista(file_bytes),
     };
-    let vm = VmBuilder::new(0)
-        .with_disk(8 * 1024 * 1024 * 1024)
-        .attach(sim.rng().fork("copy"), move |_rng| {
+    let vm = VmBuilder::new(0).with_disk(8 * 1024 * 1024 * 1024).attach(
+        sim.rng().fork("copy"),
+        move |_rng| {
             Box::new(FileCopyWorkload::new(
                 match os {
                     CopyOs::Xp => "xp-copy",
@@ -143,7 +152,8 @@ pub fn run_filecopy(os: CopyOs, duration: SimTime, seed: u64) -> RunResult {
                 },
                 params,
             ))
-        });
+        },
+    );
     sim.add_vm(vm);
     sim.run_until(duration);
     collect(&sim, &service, duration)
@@ -179,15 +189,16 @@ pub fn run_microbench(service_enabled: bool, duration: SimTime, seed: u64) -> Mi
         service.enable_all();
     }
     let mut sim = Simulation::new(presets::symmetrix(), Arc::clone(&service), seed);
-    let vm = VmBuilder::new(0)
-        .with_disk(8 * 1024 * 1024 * 1024)
-        .attach(sim.rng().fork("iometer"), |rng| {
+    let vm = VmBuilder::new(0).with_disk(8 * 1024 * 1024 * 1024).attach(
+        sim.rng().fork("iometer"),
+        |rng| {
             Box::new(IometerWorkload::new(
                 "4k-seq-read",
                 AccessSpec::seq_read_4k(16, 4 * 1024 * 1024 * 1024),
                 rng,
             ))
-        });
+        },
+    );
     sim.add_vm(vm);
     let t0 = std::time::Instant::now();
     sim.run_until(duration);
@@ -281,10 +292,13 @@ pub fn run_interference(
         }
         InterferenceMode::Staggered => {
             let join_at = SimTime::from_nanos(duration.as_nanos() / 3);
-            sim.add_vm(VmBuilder::new(0).with_disk(disk_bytes).attach(
-                sim.rng().fork("rand"),
-                move |rng| Box::new(Delayed::new(random(rng), join_at)),
-            ));
+            sim.add_vm(
+                VmBuilder::new(0)
+                    .with_disk(disk_bytes)
+                    .attach(sim.rng().fork("rand"), move |rng| {
+                        Box::new(Delayed::new(random(rng), join_at))
+                    }),
+            );
             sim.add_vm(
                 VmBuilder::new(1)
                     .with_disk(disk_bytes)
@@ -334,8 +348,11 @@ mod tests {
         let lx = xp.collectors[0].histogram(Metric::IoLength, Lens::All);
         let lv = vista.collectors[0].histogram(Metric::IoLength, Lens::All);
         assert_eq!(lx.mode_bin(), Some(lx.edges().bin_index(65_536)));
-        assert_eq!(lv.mode_bin(), Some(lv.edges().bin_index(524_288 + 1)),
-            "1 MiB lands in the >524288 overflow bin");
+        assert_eq!(
+            lv.mode_bin(),
+            Some(lv.edges().bin_index(524_288 + 1)),
+            "1 MiB lands in the >524288 overflow bin"
+        );
         // Vista completes far fewer commands.
         assert!(xp.completed[0] > vista.completed[0] * 4);
     }
@@ -352,7 +369,12 @@ mod tests {
 
     #[test]
     fn interference_mode_attachment_counts() {
-        let solo = run_interference(InterferenceMode::SoloRandom, false, SimTime::from_millis(300), 5);
+        let solo = run_interference(
+            InterferenceMode::SoloRandom,
+            false,
+            SimTime::from_millis(300),
+            5,
+        );
         assert_eq!(solo.collectors.len(), 1);
         let dual = run_interference(InterferenceMode::Dual, false, SimTime::from_millis(300), 5);
         assert_eq!(dual.collectors.len(), 2);

@@ -13,7 +13,13 @@ fn list_prints_all_workloads() {
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     for name in [
-        "oltp-ufs", "oltp-zfs", "oltp-ext3", "oltp-ntfs", "dbt2", "copy-xp", "copy-vista",
+        "oltp-ufs",
+        "oltp-zfs",
+        "oltp-ext3",
+        "oltp-ntfs",
+        "dbt2",
+        "copy-xp",
+        "copy-vista",
         "interfere",
     ] {
         assert!(text.contains(name), "missing workload {name} in:\n{text}");
@@ -51,7 +57,11 @@ fn copy_workload_fingerprints_as_streaming() {
         .args(["--workload", "copy-xp", "--seconds", "2", "--fingerprint"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("class: streaming"), "output:\n{text}");
     assert!(text.contains("advice:"));
@@ -65,7 +75,9 @@ fn csv_output_is_parseable() {
         .expect("binary runs");
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
-    let csv_start = text.find("metric,lens,bin,count").expect("csv header present");
+    let csv_start = text
+        .find("metric,lens,bin,count")
+        .expect("csv header present");
     for line in text[csv_start..].lines().skip(1) {
         if line.is_empty() {
             continue;

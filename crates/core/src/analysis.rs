@@ -88,8 +88,8 @@ pub fn reuse_distance_histogram(
 /// Panics if `idle_gap` is zero.
 pub fn burst_histogram(records: &[TraceRecord], idle_gap: SimDuration) -> Histogram {
     assert!(!idle_gap.is_zero(), "idle gap must be positive");
-    let mut h = Histogram::with_edges(vec![1, 2, 4, 8, 16, 32, 64, 128, 256])
-        .expect("static layout");
+    let mut h =
+        Histogram::with_edges(vec![1, 2, 4, 8, 16, 32, 64, 128, 256]).expect("static layout");
     let mut sorted: Vec<u64> = records.iter().map(|r| r.issue_ns).collect();
     sorted.sort_unstable();
     let mut burst = 0i64;
@@ -142,7 +142,11 @@ pub fn hot_regions(records: &[TraceRecord], region_sectors: u64, k: usize) -> Ve
             touches,
         })
         .collect();
-    regions.sort_by(|a, b| b.touches.cmp(&a.touches).then(a.start_sector.cmp(&b.start_sector)));
+    regions.sort_by(|a, b| {
+        b.touches
+            .cmp(&a.touches)
+            .then(a.start_sector.cmp(&b.start_sector))
+    });
     regions.truncate(k);
     regions
 }
@@ -218,13 +222,16 @@ mod tests {
             rec(4, 0, 8, 4),
         ];
         let h = reuse_distance_histogram(&trace, 8, 2);
-        assert_eq!(h.count(h.edges().bin_count() - 1), 5, "all cold in window 2");
+        assert_eq!(
+            h.count(h.edges().bin_count() - 1),
+            5,
+            "all cold in window 2"
+        );
     }
 
     #[test]
     fn sequential_scan_never_reuses() {
-        let trace: Vec<TraceRecord> =
-            (0..100).map(|i| rec(i, i * 8, 8, i)).collect();
+        let trace: Vec<TraceRecord> = (0..100).map(|i| rec(i, i * 8, 8, i)).collect();
         let h = reuse_distance_histogram(&trace, 8, 64);
         assert_eq!(h.count(h.edges().bin_count() - 1), 100);
     }

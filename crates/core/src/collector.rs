@@ -202,7 +202,11 @@ impl IoStatsCollector {
         // Plain seek distance (§3.1): current first block minus previous
         // I/O's last block, signed.
         if let Some(prev_end) = self.last_end_block {
-            self.record_single(Metric::SeekDistance, Lens::All, signed_distance(prev_end, first));
+            self.record_single(
+                Metric::SeekDistance,
+                Lens::All,
+                signed_distance(prev_end, first),
+            );
         }
         let dir_idx = usize::from(req.direction.is_write());
         if let Some(prev_end) = self.last_end_block_by_dir[dir_idx] {
@@ -211,7 +215,11 @@ impl IoStatsCollector {
             } else {
                 Lens::Writes
             };
-            self.record_single(Metric::SeekDistance, lens_hist, signed_distance(prev_end, first));
+            self.record_single(
+                Metric::SeekDistance,
+                lens_hist,
+                signed_distance(prev_end, first),
+            );
         }
 
         // Windowed min seek distance (§3.1).
@@ -271,11 +279,7 @@ impl IoStatsCollector {
             series.record(completion.complete_time, lat_us);
         }
         if let Some(h2) = &mut self.seek_latency {
-            if let Some(pos) = self
-                .inflight_seeks
-                .iter()
-                .position(|(id, _)| *id == req.id)
-            {
+            if let Some(pos) = self.inflight_seeks.iter().position(|(id, _)| *id == req.id) {
                 let (_, seek) = self.inflight_seeks.swap_remove(pos);
                 h2.record(seek, lat_us);
             }
@@ -468,14 +472,8 @@ mod tests {
         let writes = c.histogram(Metric::IoLength, Lens::Writes);
         assert_eq!(reads.total(), 1);
         assert_eq!(writes.total(), 1);
-        assert_eq!(
-            reads.count(reads.edges().bin_index(4096)),
-            1
-        );
-        assert_eq!(
-            writes.count(writes.edges().bin_index(8192)),
-            1
-        );
+        assert_eq!(reads.count(reads.edges().bin_index(4096)), 1);
+        assert_eq!(writes.count(writes.edges().bin_index(8192)), 1);
     }
 
     #[test]
@@ -503,8 +501,11 @@ mod tests {
             // still must (each command contributes once per lens).
             if metric == Metric::SeekDistance {
                 assert_eq!(all.total(), 199);
-                assert_eq!(r.total() + w.total(), 199 - 1,
-                    "each direction's first I/O has no predecessor");
+                assert_eq!(
+                    r.total() + w.total(),
+                    199 - 1,
+                    "each direction's first I/O has no predecessor"
+                );
                 continue;
             }
             assert_eq!(r.total() + w.total(), all.total(), "{metric}");
@@ -550,7 +551,11 @@ mod tests {
         // Plain histogram sees almost no distance-1 transitions...
         assert!(plain.count(one) < 5);
         // ...while the windowed histogram sees nearly all of them.
-        assert!(windowed.count(one) > 90, "windowed seq count = {}", windowed.count(one));
+        assert!(
+            windowed.count(one) > 90,
+            "windowed seq count = {}",
+            windowed.count(one)
+        );
     }
 
     #[test]

@@ -92,8 +92,7 @@ impl WorkloadFingerprint {
     pub fn similarity(&self, other: &WorkloadFingerprint) -> f64 {
         let a = self.feature_vector();
         let b = other.feature_vector();
-        let dist: f64 =
-            a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64;
+        let dist: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64;
         (1.0 - dist).clamp(0.0, 1.0)
     }
 
@@ -346,10 +345,7 @@ mod tests {
             inflight.push(req);
             if inflight.len() > outstanding as usize {
                 let done = inflight.remove(0);
-                c.on_complete(&IoCompletion::new(
-                    done,
-                    SimTime::from_micros(i * 100 + 50),
-                ));
+                c.on_complete(&IoCompletion::new(done, SimTime::from_micros(i * 100 + 50)));
             }
         }
         let end = SimTime::from_micros(n * 100) + SimDuration::from_millis(10);
@@ -400,9 +396,12 @@ mod tests {
 
     #[test]
     fn similarity_orders_correctly() {
-        let oltp_a = WorkloadFingerprint::from_collector(&feed(2_000, 16, 0.7, false, 16), 1).unwrap();
-        let oltp_b = WorkloadFingerprint::from_collector(&feed(2_000, 16, 0.65, false, 12), 1).unwrap();
-        let stream = WorkloadFingerprint::from_collector(&feed(2_000, 256, 1.0, true, 4), 1).unwrap();
+        let oltp_a =
+            WorkloadFingerprint::from_collector(&feed(2_000, 16, 0.7, false, 16), 1).unwrap();
+        let oltp_b =
+            WorkloadFingerprint::from_collector(&feed(2_000, 16, 0.65, false, 12), 1).unwrap();
+        let stream =
+            WorkloadFingerprint::from_collector(&feed(2_000, 256, 1.0, true, 4), 1).unwrap();
         assert!(oltp_a.similarity(&oltp_b) > oltp_a.similarity(&stream));
         assert!(oltp_a.similarity(&oltp_a) > 0.999);
     }
@@ -411,10 +410,9 @@ mod tests {
     fn library_nearest_neighbour() {
         let mut lib = FingerprintLibrary::new();
         assert!(lib.is_empty());
-        assert!(lib.nearest(
-            &WorkloadFingerprint::from_collector(&feed(100, 8, 1.0, true, 1), 1).unwrap()
-        )
-        .is_none());
+        assert!(lib
+            .nearest(&WorkloadFingerprint::from_collector(&feed(100, 8, 1.0, true, 1), 1).unwrap())
+            .is_none());
         lib.insert(
             "oltp",
             WorkloadFingerprint::from_collector(&feed(2_000, 16, 0.7, false, 16), 1).unwrap(),
@@ -433,17 +431,23 @@ mod tests {
 
     #[test]
     fn recommendations_mention_key_risks() {
-        let stream = WorkloadFingerprint::from_collector(&feed(2_000, 256, 1.0, true, 4), 1).unwrap();
+        let stream =
+            WorkloadFingerprint::from_collector(&feed(2_000, 256, 1.0, true, 4), 1).unwrap();
         let recs = recommendations(&stream);
         assert!(recs.iter().any(|r| r.contains("interference")));
 
-        let mut oltp = WorkloadFingerprint::from_collector(&feed(2_000, 16, 0.3, false, 16), 1).unwrap();
+        let mut oltp =
+            WorkloadFingerprint::from_collector(&feed(2_000, 16, 0.3, false, 16), 1).unwrap();
         let recs = recommendations(&oltp);
         assert!(recs.iter().any(|r| r.contains("stripe")));
-        assert!(recs.iter().any(|r| r.contains("RAID-10") || r.contains("write-back")));
+        assert!(recs
+            .iter()
+            .any(|r| r.contains("RAID-10") || r.contains("write-back")));
         // Deep queues trigger the queue-depth advice.
         oltp.deep_queue_fraction = 0.9;
-        assert!(recommendations(&oltp).iter().any(|r| r.contains("queue depth")));
+        assert!(recommendations(&oltp)
+            .iter()
+            .any(|r| r.contains("queue depth")));
     }
 
     #[test]
@@ -462,10 +466,7 @@ mod tests {
                     SimTime::from_micros(id * 50),
                 );
                 c.on_issue(&req);
-                c.on_complete(&IoCompletion::new(
-                    req,
-                    SimTime::from_micros(id * 50 + 20),
-                ));
+                c.on_complete(&IoCompletion::new(req, SimTime::from_micros(id * 50 + 20)));
                 id += 1;
             }
         }
@@ -473,7 +474,8 @@ mod tests {
         assert!(fp.sequentiality > 0.9);
         let recs = recommendations(&fp);
         assert!(
-            recs.iter().any(|r| r.contains("interleaved sequential streams")),
+            recs.iter()
+                .any(|r| r.contains("interleaved sequential streams")),
             "recs = {recs:?}"
         );
     }

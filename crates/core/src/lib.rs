@@ -11,7 +11,9 @@
 //!   interarrival time, outstanding I/Os and device latency, each split
 //!   into all/reads/writes ([`Metric`] × [`Lens`]).
 //! * [`StatsService`] — the host-wide enable/disable registry with the
-//!   `vscsiStats`-style command interface.
+//!   `vscsiStats`-style command interface, sharded so concurrent VMs
+//!   ingest without contending and the disabled path takes no locks
+//!   (batch ingestion via [`VscsiEvent`] slices).
 //! * [`VscsiTracer`] / [`replay`] — the command tracing framework for
 //!   analyses that need more than histograms, plus offline replay (which
 //!   reproduces the online histograms exactly).
@@ -59,5 +61,5 @@ mod trace;
 pub use collector::{CollectorConfig, IoStatsCollector, LatencyPercentiles};
 pub use fingerprint::{recommendations, FingerprintLibrary, WorkloadClass, WorkloadFingerprint};
 pub use metrics::{Lens, Metric};
-pub use service::{StatsService, TargetSummary};
+pub use service::{StatsService, TargetSummary, VscsiEvent};
 pub use trace::{replay, ParseTraceError, TraceCapacity, TraceRecord, VscsiTracer};

@@ -177,7 +177,10 @@ mod tests {
                 SimTime::from_micros(i * 100),
             );
             after.on_issue(&r);
-            after.on_complete(&IoCompletion::new(r, SimTime::from_micros(i * 100 + 20_000)));
+            after.on_complete(&IoCompletion::new(
+                r,
+                SimTime::from_micros(i * 100 + 20_000),
+            ));
         }
         let cmp = compare(&before, &after);
         assert!(cmp.contains("I/O Latency (All): mode 500 -> 30000 [SHIFTED]"));

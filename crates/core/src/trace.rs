@@ -307,8 +307,7 @@ impl VscsiTracer {
     /// Rough resident size in bytes (O(n) in trace length — contrast with
     /// [`IoStatsCollector::memory_footprint_bytes`]).
     pub fn memory_footprint_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.records.capacity() * std::mem::size_of::<TraceRecord>()
+        std::mem::size_of::<Self>() + self.records.capacity() * std::mem::size_of::<TraceRecord>()
     }
 }
 
@@ -417,7 +416,10 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(TraceRecord::from_str("").is_err());
         assert!(TraceRecord::from_str("0 0 0 X 0 8 0 - -").is_err());
-        assert!(TraceRecord::from_str("0 0 0 R 0 0 0 - -").is_err(), "zero sectors");
+        assert!(
+            TraceRecord::from_str("0 0 0 R 0 0 0 - -").is_err(),
+            "zero sectors"
+        );
         assert!(
             TraceRecord::from_str("0 0 0 R 0 8 100 50 1").is_err(),
             "completion before issue"

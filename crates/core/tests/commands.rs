@@ -1,0 +1,155 @@
+//! Coverage for the `vscsiStats`-style textual command interface
+//! (`StatsService::command`) under the sharded implementation: the
+//! enable → collect → stop → reset life cycle an administrator drives from
+//! the command line, including its interaction with concurrent ingestion.
+
+use simkit::SimTime;
+use std::sync::Arc;
+use std::thread;
+use vscsi::{IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId, VDiskId, VmId};
+use vscsi_stats::StatsService;
+
+fn drive(service: &StatsService, vm: u32, commands: u64) {
+    let target = TargetId::new(VmId(vm), VDiskId(0));
+    for i in 0..commands {
+        let req = IoRequest::new(
+            RequestId(u64::from(vm) * 1_000_000 + i),
+            target,
+            if i % 4 == 0 {
+                IoDirection::Write
+            } else {
+                IoDirection::Read
+            },
+            Lba::new((i * 613) % 500_000),
+            8,
+            SimTime::from_micros(i * 20),
+        );
+        service.handle_issue(&req);
+        service.handle_complete(&IoCompletion::new(req, SimTime::from_micros(i * 20 + 9)));
+    }
+}
+
+#[test]
+fn start_collect_stop_list_reset_sequence() {
+    let s = StatsService::default();
+
+    // Fresh service: off, empty.
+    assert!(s.command("status").unwrap().contains("OFF"));
+    assert_eq!(s.command("list").unwrap(), "no targets\n");
+
+    // Commands before `start` leave no trace.
+    drive(&s, 1, 10);
+    assert_eq!(s.command("list").unwrap(), "no targets\n");
+
+    // start → collect.
+    assert_eq!(
+        s.command("start").unwrap(),
+        "vscsiStats: started collection"
+    );
+    assert!(s.command("status").unwrap().contains("ON"));
+    drive(&s, 1, 25);
+    let listing = s.command("list").unwrap();
+    assert!(listing.contains("vm1"), "listing:\n{listing}");
+    assert!(listing.contains("issued=25"), "listing:\n{listing}");
+
+    // stop retains data and stops counting.
+    assert_eq!(s.command("stop").unwrap(), "vscsiStats: stopped collection");
+    assert!(!s.is_enabled());
+    drive(&s, 1, 40);
+    let listing = s.command("list").unwrap();
+    assert!(
+        listing.contains("issued=25"),
+        "stop must freeze counters:\n{listing}"
+    );
+
+    // reset zeroes histograms but keeps the target registered.
+    assert_eq!(s.command("reset").unwrap(), "vscsiStats: histograms reset");
+    let listing = s.command("list").unwrap();
+    assert!(
+        listing.contains("issued=0"),
+        "listing after reset:\n{listing}"
+    );
+    assert_eq!(s.targets(), vec![TargetId::new(VmId(1), VDiskId(0))]);
+
+    // restart keeps collecting into the same (reset) collector.
+    s.command("start").unwrap();
+    drive(&s, 1, 5);
+    assert!(s.command("list").unwrap().contains("issued=5"));
+}
+
+#[test]
+fn list_orders_targets_across_shards() {
+    let s = StatsService::default();
+    s.command("start").unwrap();
+    // Insertion order deliberately scrambled; more targets than shards so
+    // several shards hold multiple entries.
+    for vm in [
+        31u32, 2, 17, 0, 25, 9, 4, 12, 29, 7, 21, 14, 3, 27, 11, 19, 5, 23,
+    ] {
+        drive(&s, vm, 3);
+    }
+    let listing = s.command("list").unwrap();
+    let positions: Vec<usize> = s
+        .targets()
+        .iter()
+        .map(|t| listing.find(&format!("{t}:")).expect("target listed"))
+        .collect();
+    assert!(
+        positions.windows(2).all(|w| w[0] < w[1]),
+        "list output must be in target order:\n{listing}"
+    );
+    assert_eq!(s.summaries().len(), 18);
+}
+
+#[test]
+fn unknown_and_whitespace_commands() {
+    let s = StatsService::default();
+    assert!(s.command("fetchall-histograms").is_err());
+    assert!(s.command("").is_err());
+    // Leading/trailing whitespace is tolerated.
+    assert!(s.command("  status ").unwrap().contains("OFF"));
+    assert_eq!(
+        s.command(" start\n").unwrap(),
+        "vscsiStats: started collection"
+    );
+    assert!(s.is_enabled());
+}
+
+#[test]
+fn command_toggles_are_safe_under_concurrent_ingestion() {
+    // The string API is the admin's window into a service that VMs hammer
+    // concurrently: commands must never panic, deadlock, or corrupt state,
+    // and the final reset/start/stop sequencing must win.
+    let s = Arc::new(StatsService::default());
+    s.command("start").unwrap();
+    thread::scope(|scope| {
+        for vm in 0..4u32 {
+            let s = Arc::clone(&s);
+            scope.spawn(move || drive(&s, vm, 2_000));
+        }
+        let admin = Arc::clone(&s);
+        scope.spawn(move || {
+            for i in 0..200 {
+                let cmd = match i % 4 {
+                    0 => "status",
+                    1 => "list",
+                    2 => "reset",
+                    _ => "start",
+                };
+                admin.command(cmd).unwrap();
+            }
+        });
+    });
+    // Service is still coherent and controllable after the storm.
+    assert!(s.is_enabled());
+    s.command("reset").unwrap();
+    for summary in s.summaries() {
+        assert_eq!(summary.issued, 0, "reset must zero {}", summary.target);
+    }
+    s.command("stop").unwrap();
+    drive(&s, 42, 50);
+    assert!(
+        s.collector(TargetId::new(VmId(42), VDiskId(0))).is_none(),
+        "stopped service must not create new collectors"
+    );
+}

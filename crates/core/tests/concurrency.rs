@@ -2,11 +2,12 @@
 //! multiprocessor hypervisor — concurrent VMs hammer it from different
 //! physical CPUs.
 
+use proptest::prelude::*;
 use simkit::SimTime;
 use std::sync::Arc;
 use std::thread;
 use vscsi::{IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId, VDiskId, VmId};
-use vscsi_stats::{Lens, Metric, StatsService};
+use vscsi_stats::{Lens, Metric, StatsService, VscsiEvent};
 
 const PER_THREAD: u64 = 5_000;
 
@@ -129,4 +130,183 @@ fn tracing_concurrent_with_collection() {
     assert_eq!(records.len(), 1024, "ring retains its capacity");
     // Every retained record belongs to the traced target.
     assert!(records.iter().all(|r| r.target == target));
+}
+
+#[test]
+fn batched_ingestion_from_many_threads() {
+    // Each thread drives its own target through handle_batch in bursts;
+    // per-target results must match the per-event path exactly.
+    let service = Arc::new(StatsService::default());
+    service.enable_all();
+    thread::scope(|scope| {
+        for vm in 0..8u32 {
+            let service = Arc::clone(&service);
+            scope.spawn(move || {
+                let target = TargetId::new(VmId(vm), VDiskId(0));
+                let mut batch = Vec::with_capacity(64);
+                for i in 0..PER_THREAD {
+                    let req = IoRequest::new(
+                        RequestId(u64::from(vm) * PER_THREAD + i),
+                        target,
+                        if i % 2 == 0 {
+                            IoDirection::Read
+                        } else {
+                            IoDirection::Write
+                        },
+                        Lba::new((i * 977) % 1_000_000),
+                        8,
+                        SimTime::from_micros(i * 10),
+                    );
+                    batch.push(VscsiEvent::Issue(req));
+                    batch.push(VscsiEvent::Complete(IoCompletion::new(
+                        req,
+                        SimTime::from_micros(i * 10 + 5),
+                    )));
+                    if batch.len() >= 64 {
+                        service.handle_batch(&batch);
+                        batch.clear();
+                    }
+                }
+                service.handle_batch(&batch);
+            });
+        }
+    });
+    for vm in 0..8u32 {
+        let c = service
+            .collector(TargetId::new(VmId(vm), VDiskId(0)))
+            .expect("collector exists");
+        assert_eq!(c.issued_commands(), PER_THREAD);
+        assert_eq!(c.completed_commands(), PER_THREAD);
+        assert_eq!(c.outstanding_now(), 0);
+    }
+}
+
+/// One target's scripted command sequence for the partition property test.
+#[derive(Debug, Clone)]
+struct TargetScript {
+    /// Which thread ingests this target (mod thread count).
+    thread: usize,
+    /// Batch size used by that thread for this target's events (1 = the
+    /// per-event path).
+    chunk: usize,
+    /// Per-command parameters: (write?, lba, gap to previous issue in µs,
+    /// device latency in µs).
+    ops: Vec<(bool, u64, u64, u64)>,
+}
+
+fn target_script() -> impl Strategy<Value = TargetScript> {
+    (
+        0..4usize,
+        1..8usize,
+        prop::collection::vec(
+            (any::<bool>(), 0..1_000_000u64, 1..500u64, 1..20_000u64),
+            1..40,
+        ),
+    )
+        .prop_map(|(thread, chunk, ops)| TargetScript { thread, chunk, ops })
+}
+
+/// Builds the exact event sequence for one target: issues spaced by the
+/// scripted gaps, each completing after its scripted latency.
+fn events_for(vm: u32, script: &TargetScript) -> Vec<VscsiEvent> {
+    let target = TargetId::new(VmId(vm), VDiskId(0));
+    let mut events = Vec::with_capacity(script.ops.len() * 2);
+    let mut now_us = 0u64;
+    for (i, &(write, lba, gap_us, lat_us)) in script.ops.iter().enumerate() {
+        now_us += gap_us;
+        let req = IoRequest::new(
+            RequestId(u64::from(vm) << 32 | i as u64),
+            target,
+            if write {
+                IoDirection::Write
+            } else {
+                IoDirection::Read
+            },
+            Lba::new(lba),
+            8,
+            SimTime::from_micros(now_us),
+        );
+        events.push(VscsiEvent::Issue(req));
+        events.push(VscsiEvent::Complete(IoCompletion::new(
+            req,
+            SimTime::from_micros(now_us + lat_us),
+        )));
+    }
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// DESIGN §7's "online == offline replay" invariant, extended to the
+    /// concurrent case: however an event set is partitioned across threads
+    /// (each target's ordered stream assigned wholly to one thread, in
+    /// arbitrary batch sizes), every per-target histogram is bit-identical
+    /// to single-threaded ingestion of the same events.
+    #[test]
+    fn concurrent_partition_matches_serial_ingestion(
+        scripts in prop::collection::vec(target_script(), 1..7),
+        threads in 1..4usize,
+    ) {
+        let per_target: Vec<Vec<VscsiEvent>> = scripts
+            .iter()
+            .enumerate()
+            .map(|(vm, s)| events_for(vm as u32, s))
+            .collect();
+
+        // Reference: one thread, per-event ingestion, target by target.
+        let serial = StatsService::default();
+        serial.enable_all();
+        for events in &per_target {
+            for ev in events {
+                match ev {
+                    VscsiEvent::Issue(r) => serial.handle_issue(r),
+                    VscsiEvent::Complete(c) => serial.handle_complete(c),
+                }
+            }
+        }
+
+        // Concurrent: targets partitioned over `threads` workers, each
+        // feeding its targets' streams in scripted batch sizes.
+        let sharded = Arc::new(StatsService::default());
+        sharded.enable_all();
+        thread::scope(|scope| {
+            for worker in 0..threads {
+                let sharded = Arc::clone(&sharded);
+                let work: Vec<(usize, &Vec<VscsiEvent>)> = scripts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.thread % threads == worker)
+                    .map(|(vm, _)| (vm, &per_target[vm]))
+                    .collect();
+                let chunks: Vec<usize> = scripts.iter().map(|s| s.chunk).collect();
+                scope.spawn(move || {
+                    for (vm, events) in work {
+                        for chunk in events.chunks(chunks[vm]) {
+                            sharded.handle_batch(chunk);
+                        }
+                    }
+                });
+            }
+        });
+
+        prop_assert_eq!(sharded.targets(), serial.targets());
+        for vm in 0..scripts.len() {
+            let target = TargetId::new(VmId(vm as u32), VDiskId(0));
+            let cs = serial.collector(target).expect("serial collector");
+            let cc = sharded.collector(target).expect("sharded collector");
+            prop_assert_eq!(cs.issued_commands(), cc.issued_commands());
+            prop_assert_eq!(cs.completed_commands(), cc.completed_commands());
+            prop_assert_eq!(cs.outstanding_now(), cc.outstanding_now());
+            for metric in Metric::ALL {
+                for lens in [Lens::All, Lens::Reads, Lens::Writes] {
+                    prop_assert_eq!(
+                        cs.histogram(metric, lens).counts(),
+                        cc.histogram(metric, lens).counts(),
+                        "{} {} {:?}", target, metric, lens
+                    );
+                }
+            }
+        }
+    }
 }

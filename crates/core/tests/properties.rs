@@ -22,7 +22,13 @@ struct Step {
 
 fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
     vec(
-        (0u64..2_000_000, 1u32..2048, any::<bool>(), 0u64..10_000, 1u64..50_000)
+        (
+            0u64..2_000_000,
+            1u32..2048,
+            any::<bool>(),
+            0u64..10_000,
+            1u64..50_000,
+        )
             .prop_map(|(lba, sectors, is_read, gap_us, service_us)| Step {
                 lba,
                 sectors,
@@ -46,9 +52,9 @@ fn run(steps: &[Step]) -> (IoStatsCollector, VscsiTracer, u64) {
     let mut inflight: Vec<(IoRequest, u64)> = Vec::new();
     let mut id = 0u64;
     let deliver_due = |inflight: &mut Vec<(IoRequest, u64)>,
-                           collector: &mut IoStatsCollector,
-                           tracer: &mut VscsiTracer,
-                           now_us: u64| {
+                       collector: &mut IoStatsCollector,
+                       tracer: &mut VscsiTracer,
+                       now_us: u64| {
         while let Some(pos) = inflight
             .iter()
             .enumerate()

@@ -10,12 +10,12 @@
 use crate::vm::Attachment;
 use guests::{Poll, Workload};
 use simkit::{EventQueue, IntervalCounter, SimDuration, SimTime};
-use vscsi::SECTOR_SIZE;
 use std::collections::HashMap;
 use std::sync::Arc;
 use storage::StorageArray;
+use vscsi::SECTOR_SIZE;
 use vscsi::{IoCompletion, IoRequest, RequestId};
-use vscsi_stats::StatsService;
+use vscsi_stats::{StatsService, VscsiEvent};
 
 /// Per-attachment runtime counters, the `esxtop`-style view (§5.2).
 #[derive(Debug, Clone)]
@@ -157,6 +157,9 @@ pub struct Simulation {
     cpu_used_ns: u64,
     rng: simkit::SimRng,
     started: bool,
+    /// Reusable buffer for batched stats ingestion (one shard-lock
+    /// acquisition per issue burst instead of one per command).
+    event_buf: Vec<VscsiEvent>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -188,6 +191,7 @@ impl Simulation {
             cpu_used_ns: 0,
             rng,
             started: false,
+            event_buf: Vec::new(),
         }
     }
 
@@ -321,6 +325,7 @@ impl Simulation {
     }
 
     fn apply_poll(&mut self, attach: usize, now: SimTime, poll: Poll) {
+        let mut events = std::mem::take(&mut self.event_buf);
         for io in poll.issue {
             let id = RequestId(self.next_request_id);
             self.next_request_id += 1;
@@ -342,18 +347,23 @@ impl Simulation {
                 io.sectors,
                 now,
             );
-            // The vSCSI layer sees the command the moment the guest issues
-            // it — this is the paper's first hook point.
-            self.service.handle_issue(&request);
+            events.push(VscsiEvent::Issue(request));
             runtime.tags.insert(id.0, io.tag);
             runtime.requests.insert(id.0, request);
             runtime.pending.push(request);
         }
+        // The vSCSI layer sees commands the moment the guest issues them —
+        // this is the paper's first hook point; the burst is ingested as
+        // one batch so the service takes each shard lock at most once.
+        self.service.handle_batch(&events);
+        events.clear();
+        self.event_buf = events;
         if let Some(at) = poll.timer {
             let runtime = &mut self.attachments[attach];
             runtime.timer_generation += 1;
             let generation = runtime.timer_generation;
-            self.queue.schedule(at.max(now), Event::Timer { attach, generation });
+            self.queue
+                .schedule(at.max(now), Event::Timer { attach, generation });
         }
         self.pump(attach, now);
     }
@@ -398,8 +408,11 @@ impl Simulation {
             (request, tag)
         };
         let completion = IoCompletion::new(request, now);
-        // Second hook point: completion at the vSCSI layer.
-        self.service.handle_complete(&completion);
+        // Second hook point: completion at the vSCSI layer, fed through the
+        // batched ingestion path (a batch of one takes the per-event route,
+        // so this stays allocation-free).
+        self.service
+            .handle_batch(&[VscsiEvent::Complete(completion)]);
         {
             let stats = &mut self.attachments[attach].stats;
             stats.completed += 1;
@@ -465,10 +478,7 @@ mod tests {
         let c = service.collector(sim.attachment_target(0)).unwrap();
         assert_eq!(c.completed_commands(), stats);
         assert!(c.issued_commands() >= stats);
-        assert_eq!(
-            c.histogram(Metric::Latency, Lens::All).total(),
-            stats
-        );
+        assert_eq!(c.histogram(Metric::Latency, Lens::All).total(), stats);
     }
 
     #[test]
@@ -477,15 +487,16 @@ mod tests {
         service.enable_all();
         let mut sim = Simulation::new(presets::clariion_cx3_cache_off(), Arc::clone(&service), 2);
         sim.set_queue_depth(4);
-        let vm = VmBuilder::new(0)
-            .with_disk(8 * 1024 * 1024 * 1024)
-            .attach(sim.rng().fork("w"), |rng| {
+        let vm = VmBuilder::new(0).with_disk(8 * 1024 * 1024 * 1024).attach(
+            sim.rng().fork("w"),
+            |rng| {
                 Box::new(IometerWorkload::new(
                     "w",
                     AccessSpec::random_read_8k(32, 6 * 1024 * 1024 * 1024),
                     rng,
                 ))
-            });
+            },
+        );
         sim.add_vm(vm);
         sim.run_until(SimTime::from_millis(500));
         // The guest sees 32 outstanding (vSCSI layer)...
@@ -558,15 +569,16 @@ mod tests {
                 service.enable_all();
             }
             let mut sim = Simulation::new(presets::clariion_cx3(), service, 1);
-            let vm = VmBuilder::new(0)
-                .with_disk(8 * 1024 * 1024 * 1024)
-                .attach(sim.rng().fork("w"), |rng| {
+            let vm = VmBuilder::new(0).with_disk(8 * 1024 * 1024 * 1024).attach(
+                sim.rng().fork("w"),
+                |rng| {
                     Box::new(IometerWorkload::new(
                         "w",
                         AccessSpec::seq_read_4k(8, 1024 * 1024 * 1024),
                         rng,
                     ))
-                });
+                },
+            );
             sim.add_vm(vm);
             sim.run_until(SimTime::from_millis(200));
             (sim.attachment_stats(0).completed, sim.cpu_used_seconds())
@@ -575,7 +587,10 @@ mod tests {
         let (c_on, cpu_on) = run(true);
         assert_eq!(c_off, c_on, "observation must not change the workload");
         let delta_per_cmd = (cpu_on - cpu_off) / c_on as f64;
-        assert!((delta_per_cmd - 350e-9).abs() < 1e-12, "delta = {delta_per_cmd}");
+        assert!(
+            (delta_per_cmd - 350e-9).abs() < 1e-12,
+            "delta = {delta_per_cmd}"
+        );
     }
 
     #[test]

@@ -121,17 +121,16 @@ mod tests {
     fn sim() -> Simulation {
         let service = Arc::new(StatsService::default());
         let mut sim = Simulation::new(presets::clariion_cx3(), service, 17);
-        sim.add_vm(
-            VmBuilder::new(0)
-                .with_disk(2 * 1024 * 1024 * 1024)
-                .attach(sim.rng().fork("w"), |rng| {
-                    Box::new(IometerWorkload::new(
-                        "w",
-                        AccessSpec::seq_read_4k(8, 1024 * 1024 * 1024),
-                        rng,
-                    ))
-                }),
-        );
+        sim.add_vm(VmBuilder::new(0).with_disk(2 * 1024 * 1024 * 1024).attach(
+            sim.rng().fork("w"),
+            |rng| {
+                Box::new(IometerWorkload::new(
+                    "w",
+                    AccessSpec::seq_read_4k(8, 1024 * 1024 * 1024),
+                    rng,
+                ))
+            },
+        ));
         sim
     }
 
@@ -151,7 +150,11 @@ mod tests {
         assert_eq!(stats.count(), 6);
         assert!(stats.mean() > 0.0);
         // Steady closed-loop workload: tight per-interval variation.
-        assert!(stats.std_dev_pct_of_mean() < 20.0, "cv = {}", stats.std_dev_pct_of_mean());
+        assert!(
+            stats.std_dev_pct_of_mean() < 20.0,
+            "cv = {}",
+            stats.std_dev_pct_of_mean()
+        );
     }
 
     #[test]

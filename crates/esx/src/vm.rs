@@ -40,7 +40,9 @@ pub struct Vm {
 
 impl std::fmt::Debug for Vm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Vm").field("disks", &self.disks.len()).finish()
+        f.debug_struct("Vm")
+            .field("disks", &self.disks.len())
+            .finish()
     }
 }
 

@@ -14,18 +14,17 @@ fn filebench_sim(model: String, fs_is_ntfs: bool, seed: u64) -> (Simulation, Arc
     service.enable_all();
     let mut sim = Simulation::new(presets::symmetrix(), Arc::clone(&service), seed);
     let spec = parse_model(&model).expect("bundled model parses");
-    sim.add_vm(
-        VmBuilder::new(0)
-            .with_disk(64 * 1024 * 1024 * 1024)
-            .attach(sim.rng().fork("fb"), move |rng| {
-                let fs: Box<dyn guests::fs::Filesystem> = if fs_is_ntfs {
-                    Box::new(Ntfs::new(NtfsParams::default()))
-                } else {
-                    Box::new(Ufs::new(UfsParams::default()))
-                };
-                Box::new(FilebenchWorkload::new("fb", spec, fs, rng))
-            }),
-    );
+    sim.add_vm(VmBuilder::new(0).with_disk(64 * 1024 * 1024 * 1024).attach(
+        sim.rng().fork("fb"),
+        move |rng| {
+            let fs: Box<dyn guests::fs::Filesystem> = if fs_is_ntfs {
+                Box::new(Ntfs::new(NtfsParams::default()))
+            } else {
+                Box::new(Ufs::new(UfsParams::default()))
+            };
+            Box::new(FilebenchWorkload::new("fb", spec, fs, rng))
+        },
+    ));
     (sim, service)
 }
 
@@ -63,28 +62,26 @@ fn esxtop_over_two_vms_separates_rates() {
     let service = Arc::new(StatsService::default());
     let mut sim = Simulation::new(presets::clariion_cx3(), Arc::clone(&service), 33);
     // VM 0: fast cache-friendly sequential; VM 1: slow random.
-    sim.add_vm(
-        VmBuilder::new(0)
-            .with_disk(2 * 1024 * 1024 * 1024)
-            .attach(sim.rng().fork("seq"), |rng| {
-                Box::new(IometerWorkload::new(
-                    "seq",
-                    AccessSpec::seq_read_4k(8, 1024 * 1024 * 1024),
-                    rng,
-                ))
-            }),
-    );
-    sim.add_vm(
-        VmBuilder::new(1)
-            .with_disk(2 * 1024 * 1024 * 1024)
-            .attach(sim.rng().fork("rand"), |rng| {
-                Box::new(IometerWorkload::new(
-                    "rand",
-                    AccessSpec::random_read_8k(8, 1024 * 1024 * 1024),
-                    rng,
-                ))
-            }),
-    );
+    sim.add_vm(VmBuilder::new(0).with_disk(2 * 1024 * 1024 * 1024).attach(
+        sim.rng().fork("seq"),
+        |rng| {
+            Box::new(IometerWorkload::new(
+                "seq",
+                AccessSpec::seq_read_4k(8, 1024 * 1024 * 1024),
+                rng,
+            ))
+        },
+    ));
+    sim.add_vm(VmBuilder::new(1).with_disk(2 * 1024 * 1024 * 1024).attach(
+        sim.rng().fork("rand"),
+        |rng| {
+            Box::new(IometerWorkload::new(
+                "rand",
+                AccessSpec::random_read_8k(8, 1024 * 1024 * 1024),
+                rng,
+            ))
+        },
+    ));
     let top = EsxTop::run(
         &mut sim,
         SimDuration::from_millis(200),
@@ -94,7 +91,12 @@ fn esxtop_over_two_vms_separates_rates() {
     let seq = top.iops_stats(0);
     let rand = top.iops_stats(1);
     assert_eq!(seq.count(), 3);
-    assert!(seq.mean() > rand.mean() * 3.0, "seq {} vs rand {}", seq.mean(), rand.mean());
+    assert!(
+        seq.mean() > rand.mean() * 3.0,
+        "seq {} vs rand {}",
+        seq.mean(),
+        rand.mean()
+    );
     // Latency separation too.
     let seq_lat: Vec<f64> = top.for_attachment(0).map(|s| s.mean_latency_us).collect();
     let rand_lat: Vec<f64> = top.for_attachment(1).map(|s| s.mean_latency_us).collect();

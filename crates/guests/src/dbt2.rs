@@ -197,7 +197,11 @@ impl Dbt2Workload {
         } else {
             self.rng.range_inclusive(0, pages - 1)
         };
-        BlockIo::read(self.page_lba(page % pages), self.page_sectors(), u64::from(conn))
+        BlockIo::read(
+            self.page_lba(page % pages),
+            self.page_sectors(),
+            u64::from(conn),
+        )
     }
 
     fn wal_io(&mut self, conn: u32) -> BlockIo {
@@ -230,7 +234,12 @@ impl Dbt2Workload {
     }
 
     fn begin_txn(&mut self, conn: u32) -> Vec<BlockIo> {
-        let reads = self.params.reads_per_txn.sample(&mut self.rng).round().max(1.0) as u32;
+        let reads = self
+            .params
+            .reads_per_txn
+            .sample(&mut self.rng)
+            .round()
+            .max(1.0) as u32;
         self.conns[conn as usize] = ConnState::Reading { remaining: reads };
         vec![self.read_io(conn)]
     }
@@ -245,7 +254,11 @@ impl Dbt2Workload {
 
     fn bgw_write(&mut self, page: u64) -> BlockIo {
         self.bgw_outstanding += 1;
-        BlockIo::write(self.page_lba(page), self.page_sectors(), BGW_TAG_BASE + page)
+        BlockIo::write(
+            self.page_lba(page),
+            self.page_sectors(),
+            BGW_TAG_BASE + page,
+        )
     }
 
     /// Tops the background writer's in-flight window back up to its target
@@ -466,9 +479,17 @@ mod tests {
         let ios = drive(&mut wl, 30_000);
         let writes: Vec<&BlockIo> = ios
             .iter()
-            .filter(|io| io.direction == IoDirection::Write && io.tag >= BGW_TAG_BASE && io.tag < WAL_TAG_BASE)
+            .filter(|io| {
+                io.direction == IoDirection::Write
+                    && io.tag >= BGW_TAG_BASE
+                    && io.tag < WAL_TAG_BASE
+            })
             .collect();
-        assert!(writes.len() > 50, "not enough bgwriter writes: {}", writes.len());
+        assert!(
+            writes.len() > 50,
+            "not enough bgwriter writes: {}",
+            writes.len()
+        );
         // Consecutive bgwriter writes within a batch are ascending; a good
         // fraction are within 5000 sectors (Figure 4(a) locality bursts).
         let mut near = 0;

@@ -199,8 +199,7 @@ impl FilebenchWorkload {
                 } => {
                     let (fid, size) = self.files[file.as_str()];
                     let mut cursor = self.threads[t].cursors[pc];
-                    let off =
-                        Self::offset_for(&mut self.rng, &mut cursor, pattern, size, iosize);
+                    let off = Self::offset_for(&mut self.rng, &mut cursor, pattern, size, iosize);
                     self.threads[t].cursors[pc] = cursor;
                     self.fs.read(fid, off, iosize, &mut self.rng)
                 }
@@ -213,8 +212,7 @@ impl FilebenchWorkload {
                 } => {
                     let (fid, size) = self.files[file.as_str()];
                     let mut cursor = self.threads[t].cursors[pc];
-                    let off =
-                        Self::offset_for(&mut self.rng, &mut cursor, pattern, size, iosize);
+                    let off = Self::offset_for(&mut self.rng, &mut cursor, pattern, size, iosize);
                     self.threads[t].cursors[pc] = cursor;
                     self.fs.write(fid, off, iosize, sync, &mut self.rng)
                 }
@@ -365,7 +363,10 @@ mod tests {
         let p2 = wl.on_complete(SimTime::from_micros(500), tag);
         assert!(p2.issue.is_empty());
         let timer = p2.timer.expect("think must arm a timer");
-        assert_eq!(timer, SimTime::from_micros(500) + SimDuration::from_millis(1));
+        assert_eq!(
+            timer,
+            SimTime::from_micros(500) + SimDuration::from_millis(1)
+        );
         // When the timer fires, the thread loops back to the read.
         let p3 = wl.on_timer(timer);
         assert_eq!(p3.issue.len(), 1);
@@ -514,12 +515,15 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert!(parse_model(
-            "define file name=d,size=1m\n\
+        assert!(
+            parse_model(
+                "define file name=d,size=1m\n\
              define process name=p {\n thread name=t {\n\
                flowop read name=r,file=d,iosize=4k,rate=0\n }\n}\n"
-        )
-        .is_err(), "rate=0 rejected");
+            )
+            .is_err(),
+            "rate=0 rejected"
+        );
     }
 
     #[test]

@@ -33,7 +33,11 @@ pub struct ParseModelError {
 
 impl fmt::Display for ParseModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "model parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "model parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -163,11 +167,7 @@ fn find<'a>(attrs: &'a [Attr], key: &str) -> Option<&'a Attr> {
     attrs.iter().find(|a| a.key == key)
 }
 
-fn required<'a>(
-    lx: &Lexer,
-    attrs: &'a [Attr],
-    key: &str,
-) -> Result<&'a str, ParseModelError> {
+fn required<'a>(lx: &Lexer, attrs: &'a [Attr], key: &str) -> Result<&'a str, ParseModelError> {
     find(attrs, key)
         .and_then(|a| a.value.as_deref())
         .ok_or_else(|| lx.err(format!("missing required attribute {key}")))
@@ -340,14 +340,13 @@ pub fn parse_model(text: &str) -> Result<ModelSpec, ParseModelError> {
                     "process" => {
                         let attrs = parse_attrs(&mut lx)?;
                         let name = required(&lx, &attrs, "name")?.to_owned();
-                        let instances = match find(&attrs, "instances")
-                            .and_then(|a| a.value.as_deref())
-                        {
-                            Some(v) => v
-                                .parse::<u32>()
-                                .map_err(|e| lx.err(format!("bad instances: {e}")))?,
-                            None => 1,
-                        };
+                        let instances =
+                            match find(&attrs, "instances").and_then(|a| a.value.as_deref()) {
+                                Some(v) => v
+                                    .parse::<u32>()
+                                    .map_err(|e| lx.err(format!("bad instances: {e}")))?,
+                                None => 1,
+                            };
                         lx.expect(Tok::LBrace)?;
                         let mut threads = Vec::new();
                         loop {
@@ -361,9 +360,9 @@ pub fn parse_model(text: &str) -> Result<ModelSpec, ParseModelError> {
                                     threads.push(parse_thread(&mut lx)?);
                                 }
                                 other => {
-                                    return Err(lx.err(format!(
-                                        "expected thread or '}}', found {other:?}"
-                                    )))
+                                    return Err(
+                                        lx.err(format!("expected thread or '}}', found {other:?}"))
+                                    )
                                 }
                             }
                         }
@@ -396,7 +395,10 @@ pub fn parse_model(text: &str) -> Result<ModelSpec, ParseModelError> {
                     if spec.file(file).is_none() {
                         return Err(ParseModelError {
                             line: 0,
-                            message: format!("flowop {:?} references undeclared file {file:?}", f.name),
+                            message: format!(
+                                "flowop {:?} references undeclared file {file:?}",
+                                f.name
+                            ),
                         });
                     }
                 }
@@ -439,7 +441,12 @@ define process name=oltp,instances=1 {
         assert_eq!(p.threads[1].instances, 1);
         assert_eq!(spec.total_threads(), 21);
         match &p.threads[0].flowops[0].kind {
-            FlowopKind::Read { file, iosize, pattern, .. } => {
+            FlowopKind::Read {
+                file,
+                iosize,
+                pattern,
+                ..
+            } => {
                 assert_eq!(file, "data");
                 assert_eq!(*iosize, 4096);
                 assert_eq!(*pattern, AccessPattern::Random);
@@ -516,7 +523,8 @@ define process name=oltp,instances=1 {
 
     #[test]
     fn comments_and_whitespace_ignored() {
-        let spec = parse_model("  # nothing\n\ndefine file name=d , size = 1m # trailing\n").unwrap();
+        let spec =
+            parse_model("  # nothing\n\ndefine file name=d , size = 1m # trailing\n").unwrap();
         assert_eq!(spec.files.len(), 1);
     }
 

@@ -223,7 +223,10 @@ mod tests {
     fn chunk_sizes_match_presets() {
         let mut xp = FileCopyWorkload::new("xp", FileCopyParams::xp(16 * 1024 * 1024));
         let vista = FileCopyWorkload::new("vista", FileCopyParams::vista(16 * 1024 * 1024));
-        assert_eq!(u64::from(xp.start(SimTime::ZERO).issue[0].sectors) * 512, 64 * 1024);
+        assert_eq!(
+            u64::from(xp.start(SimTime::ZERO).issue[0].sectors) * 512,
+            64 * 1024
+        );
         let mut v = vista;
         assert_eq!(
             u64::from(v.start(SimTime::ZERO).issue[0].sectors) * 512,

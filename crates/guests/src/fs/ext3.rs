@@ -96,7 +96,9 @@ impl Ext3 {
         let data_base = self.params.journal_bytes;
         let chunks = (self.params.capacity_bytes - data_base) / self.params.chunk_bytes;
         let slot = layout_hash(self.params.layout_seed, file, chunk_idx) % chunks.max(1);
-        Lba::from_byte_offset(data_base + slot * self.params.chunk_bytes + within / SECTOR_SIZE * SECTOR_SIZE)
+        Lba::from_byte_offset(
+            data_base + slot * self.params.chunk_bytes + within / SECTOR_SIZE * SECTOR_SIZE,
+        )
     }
 
     fn journal_append(&mut self, sectors: u64) -> Lba {

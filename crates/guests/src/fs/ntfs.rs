@@ -274,7 +274,9 @@ mod tests {
         let mut fs = ntfs();
         let mut rng = SimRng::seed_from(5);
         for i in 0..10u64 {
-            assert!(fs.write(FileId(0), i * 4096, 4096, false, &mut rng).is_empty());
+            assert!(fs
+                .write(FileId(0), i * 4096, 4096, false, &mut rng)
+                .is_empty());
         }
         assert_eq!(fs.dirty_clusters(), 10);
         let out = fs.flush(&mut rng);

@@ -135,8 +135,7 @@ impl Zfs {
         let cap_sectors = self.params.capacity_bytes / SECTOR_SIZE;
         if self.frontier_sector + sectors > cap_sectors {
             // Wrap the frontier (free space reclaimed behind us).
-            self.frontier_sector =
-                self.params.frontier_start / SECTOR_SIZE + self.zil_len_sectors;
+            self.frontier_sector = self.params.frontier_start / SECTOR_SIZE + self.zil_len_sectors;
         }
         let at = self.frontier_sector;
         self.frontier_sector += sectors;
@@ -197,7 +196,11 @@ impl Filesystem for Zfs {
             // sequential append); data still lands with the next txg.
             let sectors = ((last - first + 1) * self.params.record_bytes / SECTOR_SIZE).max(1);
             let at = self.zil_append(sectors);
-            vec![Extent::new(IoDirection::Write, Lba::new(at), sectors as u32)]
+            vec![Extent::new(
+                IoDirection::Write,
+                Lba::new(at),
+                sectors as u32,
+            )]
         } else {
             Vec::new()
         }
@@ -304,7 +307,11 @@ mod tests {
                 "flush extents must be frontier-sequential"
             );
         }
-        let max = ext.iter().map(|e| u64::from(e.sectors) * SECTOR_SIZE).max().unwrap();
+        let max = ext
+            .iter()
+            .map(|e| u64::from(e.sectors) * SECTOR_SIZE)
+            .max()
+            .unwrap();
         assert!(max <= 128 * 1024);
         // Dirty set drained.
         assert_eq!(fs.dirty_records(), 0);

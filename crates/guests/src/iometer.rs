@@ -219,7 +219,11 @@ mod tests {
             seen.insert(io.lba);
             assert_eq!(io.sectors, 16);
         }
-        assert!(seen.len() > 90, "random offsets not spreading: {}", seen.len());
+        assert!(
+            seen.len() > 90,
+            "random offsets not spreading: {}",
+            seen.len()
+        );
     }
 
     #[test]

@@ -113,11 +113,20 @@ mod tests {
 
     #[test]
     fn poll_constructors() {
-        assert_eq!(Poll::idle(), Poll { issue: vec![], timer: None });
+        assert_eq!(
+            Poll::idle(),
+            Poll {
+                issue: vec![],
+                timer: None
+            }
+        );
         let io = BlockIo::read(Lba::new(0), 8, 7);
         assert_eq!(
             Poll::issue(vec![io]),
-            Poll { issue: vec![io], timer: None }
+            Poll {
+                issue: vec![io],
+                timer: None
+            }
         );
         let t = SimTime::from_micros(5);
         assert_eq!(Poll::timer(t).timer, Some(t));

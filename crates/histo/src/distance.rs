@@ -56,13 +56,7 @@ pub fn total_variation(a: &Histogram, b: &Histogram) -> Result<f64, MergeError> 
     Ok(match (pa.is_empty(), pb.is_empty()) {
         (true, true) => 0.0,
         (true, false) | (false, true) => 1.0,
-        (false, false) => {
-            0.5 * pa
-                .iter()
-                .zip(&pb)
-                .map(|(x, y)| (x - y).abs())
-                .sum::<f64>()
-        }
+        (false, false) => 0.5 * pa.iter().zip(&pb).map(|(x, y)| (x - y).abs()).sum::<f64>(),
     })
 }
 
@@ -98,7 +92,11 @@ pub fn hellinger_sq(a: &Histogram, b: &Histogram) -> Result<f64, MergeError> {
 pub fn chi_square(a: &Histogram, b: &Histogram) -> Result<f64, MergeError> {
     check_layouts(a, b)?;
     if a.total() == 0 || b.total() == 0 {
-        return Ok(if a.total() == b.total() { 0.0 } else { f64::INFINITY });
+        return Ok(if a.total() == b.total() {
+            0.0
+        } else {
+            f64::INFINITY
+        });
     }
     let scale = a.total() as f64 / b.total() as f64;
     let mut stat = 0.0;
@@ -171,9 +169,7 @@ mod tests {
             total_variation(&a, &b).unwrap(),
             total_variation(&b, &a).unwrap()
         );
-        assert!(
-            (hellinger_sq(&a, &b).unwrap() - hellinger_sq(&b, &a).unwrap()).abs() < 1e-12
-        );
+        assert!((hellinger_sq(&a, &b).unwrap() - hellinger_sq(&b, &a).unwrap()).abs() < 1e-12);
     }
 
     #[test]

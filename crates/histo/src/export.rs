@@ -93,7 +93,11 @@ pub struct ParseCsvError {
 
 impl std::fmt::Display for ParseCsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "histogram csv parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "histogram csv parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -145,15 +149,14 @@ pub fn histogram_from_csv(text: &str) -> Result<Histogram, ParseCsvError> {
         let (label, count) = line
             .split_once(',')
             .ok_or_else(|| err(lineno, "expected 'bin,count'"))?;
-        let count: u64 = count
-            .trim()
-            .parse()
-            .map_err(|_| err(lineno, "bad count"))?;
+        let count: u64 = count.trim().parse().map_err(|_| err(lineno, "bad count"))?;
         if let Some(rest) = label.strip_prefix('>') {
             if saw_overflow {
                 return Err(err(lineno, "multiple overflow bins"));
             }
-            let edge: i64 = rest.parse().map_err(|_| err(lineno, "bad overflow label"))?;
+            let edge: i64 = rest
+                .parse()
+                .map_err(|_| err(lineno, "bad overflow label"))?;
             if edges.last() != Some(&edge) {
                 return Err(err(lineno, "overflow label must repeat the last edge"));
             }
@@ -221,10 +224,8 @@ mod tests {
 
     #[test]
     fn series_csv_shape() {
-        let mut s = HistogramSeries::new(
-            BinEdges::new(vec![5]).unwrap(),
-            SimDuration::from_secs(1),
-        );
+        let mut s =
+            HistogramSeries::new(BinEdges::new(vec![5]).unwrap(), SimDuration::from_secs(1));
         s.record(SimTime::from_millis(100), 1);
         s.record(SimTime::from_millis(1500), 10);
         let mut buf = Vec::new();
@@ -272,9 +273,18 @@ mod tests {
     #[test]
     fn csv_import_rejects_garbage() {
         assert!(histogram_from_csv("").is_err());
-        assert!(histogram_from_csv("nope\n0,1\n>0,2\n").is_err(), "bad header");
-        assert!(histogram_from_csv("bin,count\n0,x\n>0,1\n").is_err(), "bad count");
-        assert!(histogram_from_csv("bin,count\n0,1\n").is_err(), "missing overflow");
+        assert!(
+            histogram_from_csv("nope\n0,1\n>0,2\n").is_err(),
+            "bad header"
+        );
+        assert!(
+            histogram_from_csv("bin,count\n0,x\n>0,1\n").is_err(),
+            "bad count"
+        );
+        assert!(
+            histogram_from_csv("bin,count\n0,1\n").is_err(),
+            "missing overflow"
+        );
         assert!(
             histogram_from_csv("bin,count\n0,1\n>5,1\n").is_err(),
             "overflow label mismatch"
@@ -287,7 +297,10 @@ mod tests {
             histogram_from_csv("bin,count\n0,1\n>0,1\n7,2\n").is_err(),
             "rows after overflow"
         );
-        assert!(histogram_from_csv("bin,count\n0,1\n>0,1\n\n").is_ok(), "trailing blank ok");
+        assert!(
+            histogram_from_csv("bin,count\n0,1\n>0,1\n\n").is_ok(),
+            "trailing blank ok"
+        );
     }
 
     #[test]

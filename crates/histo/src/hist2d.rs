@@ -92,7 +92,9 @@ impl Histogram2d {
     pub fn marginal_x(&self) -> crate::Histogram {
         let mut h = crate::Histogram::new(self.x_edges.clone());
         for xi in 0..self.x_edges.bin_count() {
-            let col: u64 = (0..self.y_edges.bin_count()).map(|yi| self.count(xi, yi)).sum();
+            let col: u64 = (0..self.y_edges.bin_count())
+                .map(|yi| self.count(xi, yi))
+                .sum();
             // Use a representative in-bin value so counts route to bin xi.
             h.record_n(representative(&self.x_edges, xi), col);
         }
@@ -103,7 +105,9 @@ impl Histogram2d {
     pub fn marginal_y(&self) -> crate::Histogram {
         let mut h = crate::Histogram::new(self.y_edges.clone());
         for yi in 0..self.y_edges.bin_count() {
-            let row: u64 = (0..self.x_edges.bin_count()).map(|xi| self.count(xi, yi)).sum();
+            let row: u64 = (0..self.x_edges.bin_count())
+                .map(|xi| self.count(xi, yi))
+                .sum();
             h.record_n(representative(&self.y_edges, yi), row);
         }
         h

@@ -448,7 +448,10 @@ mod tests {
         assert!((h.fraction_at_most(100) - 0.75).abs() < 1e-12);
         // The overflow bin has no upper bound: never included.
         assert!((h.fraction_at_most(i64::MAX) - 0.75).abs() < 1e-12);
-        assert_eq!(Histogram::with_edges(vec![0]).unwrap().fraction_at_most(0), 0.0);
+        assert_eq!(
+            Histogram::with_edges(vec![0]).unwrap().fraction_at_most(0),
+            0.0
+        );
     }
 
     #[test]
@@ -485,7 +488,10 @@ mod tests {
         }
         let exact = h.mean().unwrap();
         let binned = h.binned_mean_estimate().unwrap();
-        assert!((exact - binned).abs() < 1.5, "exact {exact}, binned {binned}");
+        assert!(
+            (exact - binned).abs() < 1.5,
+            "exact {exact}, binned {binned}"
+        );
     }
 
     #[test]

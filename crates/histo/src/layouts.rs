@@ -29,8 +29,8 @@ use crate::bins::BinEdges;
 /// ```
 pub fn io_length_bytes() -> BinEdges {
     BinEdges::new(vec![
-        512, 1024, 2048, 4095, 4096, 8191, 8192, 16383, 16384, 32768, 49152, 65535, 65536,
-        81920, 131072, 262144, 524288,
+        512, 1024, 2048, 4095, 4096, 8191, 8192, 16383, 16384, 32768, 49152, 65535, 65536, 81920,
+        131072, 262144, 524288,
     ])
     .expect("static layout is valid")
 }

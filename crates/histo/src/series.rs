@@ -180,7 +180,10 @@ mod tests {
             s.record(SimTime::from_millis(i * 100), 5);
         }
         for i in 0..10 {
-            s.record(SimTime::from_secs(6) + SimDuration::from_millis(i * 100), 500);
+            s.record(
+                SimTime::from_secs(6) + SimDuration::from_millis(i * 100),
+                500,
+            );
         }
         assert_eq!(s.mode_ridge(), vec![Some(0), Some(2)]);
     }

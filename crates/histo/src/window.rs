@@ -217,7 +217,7 @@ mod tests {
         w.observe(0, 1); // ends: [0]
         w.observe(1000, 1); // ends: [0, 1000]
         w.observe(2000, 1); // evicts 0; ends: [1000, 2000]
-        // Distance to 1 should now be measured against 1000, not 0.
+                            // Distance to 1 should now be measured against 1000, not 0.
         assert_eq!(w.min_distance_to(1001), Some(1));
         assert_eq!(w.min_distance_to(1), Some(-999));
     }
@@ -226,7 +226,7 @@ mod tests {
     fn sign_preserved_for_min_abs() {
         let mut w = SeekWindow::new(4);
         w.observe(100, 1); // end: 100
-        // 98 is 2 behind; nothing closer ahead.
+                           // 98 is 2 behind; nothing closer ahead.
         assert_eq!(w.min_distance_to(98), Some(-2));
     }
 

@@ -91,7 +91,10 @@ impl Dist {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform(lo: f64, hi: f64) -> Dist {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad uniform bounds");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad uniform bounds"
+        );
         Dist::Uniform { lo, hi }
     }
 
@@ -179,18 +182,10 @@ impl Dist {
             Dist::Exponential { mean } => Some(*mean),
             Dist::Normal { mean, .. } => Some(*mean),
             Dist::LogNormal { mu, sigma } => Some((mu + sigma * sigma / 2.0).exp()),
-            Dist::Pareto { x_min, alpha } => {
-                (*alpha > 1.0).then(|| alpha * x_min / (alpha - 1.0))
-            }
+            Dist::Pareto { x_min, alpha } => (*alpha > 1.0).then(|| alpha * x_min / (alpha - 1.0)),
             Dist::Choice { values, weights } => {
                 let total: f64 = weights.iter().sum();
-                Some(
-                    values
-                        .iter()
-                        .zip(weights)
-                        .map(|(v, w)| v * w / total)
-                        .sum(),
-                )
+                Some(values.iter().zip(weights).map(|(v, w)| v * w / total).sum())
             }
             Dist::Zipf { n, s } => {
                 // Exact finite sums; n is bounded in practice.
@@ -277,7 +272,10 @@ mod tests {
         let d = Dist::exponential(40.0);
         let m = sample_mean(&d, 50_000);
         assert!((m - 40.0).abs() < 1.5, "mean = {m}");
-        assert_eq!(Dist::exponential(0.0).sample(&mut SimRng::seed_from(1)), 0.0);
+        assert_eq!(
+            Dist::exponential(0.0).sample(&mut SimRng::seed_from(1)),
+            0.0
+        );
     }
 
     #[test]
@@ -291,7 +289,10 @@ mod tests {
 
     #[test]
     fn lognormal_positive_and_mean() {
-        let d = Dist::LogNormal { mu: 0.0, sigma: 0.5 };
+        let d = Dist::LogNormal {
+            mu: 0.0,
+            sigma: 0.5,
+        };
         let mut rng = SimRng::seed_from(4);
         for _ in 0..100 {
             assert!(d.sample(&mut rng) > 0.0);
@@ -303,13 +304,23 @@ mod tests {
 
     #[test]
     fn pareto_exceeds_scale() {
-        let d = Dist::Pareto { x_min: 8.0, alpha: 2.0 };
+        let d = Dist::Pareto {
+            x_min: 8.0,
+            alpha: 2.0,
+        };
         let mut rng = SimRng::seed_from(5);
         for _ in 0..1000 {
             assert!(d.sample(&mut rng) >= 8.0);
         }
         assert_eq!(d.mean(), Some(16.0));
-        assert_eq!(Dist::Pareto { x_min: 1.0, alpha: 0.5 }.mean(), None);
+        assert_eq!(
+            Dist::Pareto {
+                x_min: 1.0,
+                alpha: 0.5
+            }
+            .mean(),
+            None
+        );
     }
 
     #[test]
@@ -358,7 +369,10 @@ mod tests {
         let d1 = Dist::zipf(50, 1.0);
         let got1 = sample_mean(&d1, 50_000);
         let want1 = d1.mean().unwrap();
-        assert!((got1 - want1).abs() / want1 < 0.05, "got {got1} want {want1}");
+        assert!(
+            (got1 - want1).abs() / want1 < 0.05,
+            "got {got1} want {want1}"
+        );
     }
 
     #[test]

@@ -394,7 +394,10 @@ mod tests {
         let late = SimTime::from_micros(9);
         assert_eq!(early.saturating_since(late), SimDuration::ZERO);
         assert_eq!(late.saturating_since(early).as_micros(), 8);
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimDuration::from_micros(1).saturating_sub(SimDuration::from_micros(2)),
             SimDuration::ZERO
@@ -425,8 +428,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration =
-            (1..=4).map(SimDuration::from_micros).sum();
+        let total: SimDuration = (1..=4).map(SimDuration::from_micros).sum();
         assert_eq!(total.as_micros(), 10);
     }
 

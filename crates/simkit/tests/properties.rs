@@ -2,7 +2,9 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use simkit::{quantile, Dist, EventQueue, IntervalCounter, OnlineStats, SimDuration, SimRng, SimTime};
+use simkit::{
+    quantile, Dist, EventQueue, IntervalCounter, OnlineStats, SimDuration, SimRng, SimTime,
+};
 
 proptest! {
     /// Events pop in non-decreasing time order; equal times pop FIFO.

@@ -155,12 +155,8 @@ impl StorageArray {
         // after this request but does not delay its completion.
         if outcome.readahead_sectors > 0 {
             let ra_start = media_done;
-            let _ = self.charge_extents(
-                lba.advance(sectors),
-                outcome.readahead_sectors,
-                ra_start,
-                1,
-            );
+            let _ =
+                self.charge_extents(lba.advance(sectors), outcome.readahead_sectors, ra_start, 1);
         }
         media_done.max(link_done)
     }
@@ -319,7 +315,10 @@ mod tests {
             ..Default::default()
         });
         let wt_done = wt.submit(IoDirection::Write, Lba::new(0), 16, t) - t;
-        assert!(ack < wt_done, "write-back ack {ack} vs write-through {wt_done}");
+        assert!(
+            ack < wt_done,
+            "write-back ack {ack} vs write-through {wt_done}"
+        );
         assert!(ack.as_micros() < 1_000);
     }
 
@@ -366,10 +365,7 @@ mod tests {
         // After warmup the stream should be absorbed by read-ahead hits.
         let tail = &last_latencies[20..];
         let hits_in_tail = tail.iter().filter(|&&us| us < 1_000).count();
-        assert!(
-            hits_in_tail > tail.len() / 2,
-            "tail latencies: {tail:?}"
-        );
+        assert!(hits_in_tail > tail.len() / 2, "tail latencies: {tail:?}");
     }
 
     #[test]

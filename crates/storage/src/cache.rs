@@ -267,11 +267,9 @@ impl ArrayCache {
         }
         self.tick += 1;
         let end = start + sectors;
-        if let Some(s) = self
-            .streams
-            .iter_mut()
-            .find(|s| start >= s.next.saturating_sub(1) && start <= s.next + self.params.stream_gap_sectors)
-        {
+        if let Some(s) = self.streams.iter_mut().find(|s| {
+            start >= s.next.saturating_sub(1) && start <= s.next + self.params.stream_gap_sectors
+        }) {
             s.next = end;
             s.length += 1;
             s.last_used = self.tick;
@@ -341,12 +339,14 @@ mod tests {
         let mut c = small_cache(2);
         c.read(Lba::new(0), PAGE_SECTORS); // page 0
         c.read(Lba::new(PAGE_SECTORS * 10), PAGE_SECTORS); // page 10
-        // Touch page 0 so page 10 is LRU.
+                                                           // Touch page 0 so page 10 is LRU.
         c.read(Lba::new(0), PAGE_SECTORS);
         // Bring in page 20, evicting page 10.
         c.read(Lba::new(PAGE_SECTORS * 20), PAGE_SECTORS);
         assert!(c.read(Lba::new(0), PAGE_SECTORS).is_full_hit());
-        assert!(!c.read(Lba::new(PAGE_SECTORS * 10), PAGE_SECTORS).is_full_hit());
+        assert!(!c
+            .read(Lba::new(PAGE_SECTORS * 10), PAGE_SECTORS)
+            .is_full_hit());
     }
 
     #[test]
@@ -380,7 +380,9 @@ mod tests {
         let mut ra_a = 0;
         let mut ra_b = 0;
         for i in 0..8u64 {
-            ra_a += c.read(Lba::new(i * PAGE_SECTORS), PAGE_SECTORS).readahead_sectors;
+            ra_a += c
+                .read(Lba::new(i * PAGE_SECTORS), PAGE_SECTORS)
+                .readahead_sectors;
             ra_b += c
                 .read(Lba::new(40_000_000 + i * PAGE_SECTORS), PAGE_SECTORS)
                 .readahead_sectors;
@@ -414,7 +416,7 @@ mod tests {
     fn partial_hit_attribution() {
         let mut c = small_cache(64);
         c.read(Lba::new(0), PAGE_SECTORS); // page 0 resident
-        // Read spanning resident page 0 and cold page 1.
+                                           // Read spanning resident page 0 and cold page 1.
         let r = c.read(Lba::new(0), PAGE_SECTORS * 2);
         assert_eq!(r.hit_sectors, PAGE_SECTORS);
         assert_eq!(r.miss_sectors, PAGE_SECTORS);

@@ -129,11 +129,11 @@ impl Disk {
     /// head there. Contiguous accesses (within `settle_window` of the
     /// previous end) skip the seek and rotational components.
     pub fn service(&mut self, lba: Lba, sectors: u64) -> SimDuration {
-        let start = lba.sector().min(self.params.capacity_sectors.saturating_sub(1));
+        let start = lba
+            .sector()
+            .min(self.params.capacity_sectors.saturating_sub(1));
         let positioning = match self.head {
-            Some(head) if head.abs_diff(start) <= self.params.settle_window => {
-                SimDuration::ZERO
-            }
+            Some(head) if head.abs_diff(start) <= self.params.settle_window => SimDuration::ZERO,
             Some(head) => self.seek_time(head.abs_diff(start)) + self.rotational_latency(),
             None => self.seek_time(self.params.capacity_sectors / 3) + self.rotational_latency(),
         };

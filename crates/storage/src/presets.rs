@@ -79,7 +79,12 @@ mod tests {
 
     #[test]
     fn presets_are_internally_consistent() {
-        for p in [symmetrix(), clariion_cx3(), clariion_cx3_cache_off(), single_disk()] {
+        for p in [
+            symmetrix(),
+            clariion_cx3(),
+            clariion_cx3_cache_off(),
+            single_disk(),
+        ] {
             assert!(p.raid.disks >= 1);
             assert!(p.link_rate > 0);
         }
@@ -88,8 +93,7 @@ mod tests {
     #[test]
     fn symmetrix_cache_dwarfs_cx3() {
         assert!(
-            symmetrix().cache.read_capacity_bytes
-                > 10 * clariion_cx3().cache.read_capacity_bytes
+            symmetrix().cache.read_capacity_bytes > 10 * clariion_cx3().cache.read_capacity_bytes
         );
     }
 

@@ -129,7 +129,14 @@ mod tests {
     fn raid0_small_request_single_disk() {
         let cfg = RaidConfig::new(RaidLevel::Raid0, 4, 128);
         let m = cfg.map(Lba::new(0), 16);
-        assert_eq!(m, vec![StripeExtent { disk: 0, lba: Lba::new(0), sectors: 16 }]);
+        assert_eq!(
+            m,
+            vec![StripeExtent {
+                disk: 0,
+                lba: Lba::new(0),
+                sectors: 16
+            }]
+        );
     }
 
     #[test]
@@ -151,9 +158,30 @@ mod tests {
         let m = cfg.map(Lba::new(32), 128);
         // 32..64 on disk0, 64..128 on disk1, 128..160 (row 1) on disk0.
         assert_eq!(m.len(), 3);
-        assert_eq!(m[0], StripeExtent { disk: 0, lba: Lba::new(32), sectors: 32 });
-        assert_eq!(m[1], StripeExtent { disk: 1, lba: Lba::new(0), sectors: 64 });
-        assert_eq!(m[2], StripeExtent { disk: 0, lba: Lba::new(64), sectors: 32 });
+        assert_eq!(
+            m[0],
+            StripeExtent {
+                disk: 0,
+                lba: Lba::new(32),
+                sectors: 32
+            }
+        );
+        assert_eq!(
+            m[1],
+            StripeExtent {
+                disk: 1,
+                lba: Lba::new(0),
+                sectors: 64
+            }
+        );
+        assert_eq!(
+            m[2],
+            StripeExtent {
+                disk: 0,
+                lba: Lba::new(64),
+                sectors: 32
+            }
+        );
         let total: u64 = m.iter().map(|e| e.sectors).sum();
         assert_eq!(total, 128);
     }
@@ -162,18 +190,34 @@ mod tests {
     fn raid5_avoids_parity_disk_and_rotates() {
         let cfg = RaidConfig::new(RaidLevel::Raid5, 4, 64);
         // Row 0: parity on disk 3; data columns on 0,1,2... shifted by parity+1.
-        let row0: Vec<usize> = (0..3).map(|i| cfg.map(Lba::new(i * 64), 8)[0].disk).collect();
+        let row0: Vec<usize> = (0..3)
+            .map(|i| cfg.map(Lba::new(i * 64), 8)[0].disk)
+            .collect();
         assert_eq!(row0.len(), 3);
-        assert!(!row0.contains(&3), "row 0 data must avoid parity disk 3: {row0:?}");
+        assert!(
+            !row0.contains(&3),
+            "row 0 data must avoid parity disk 3: {row0:?}"
+        );
         // Row 1: parity moves to disk 2.
-        let row1: Vec<usize> = (3..6).map(|i| cfg.map(Lba::new(i * 64), 8)[0].disk).collect();
-        assert!(!row1.contains(&2), "row 1 data must avoid parity disk 2: {row1:?}");
+        let row1: Vec<usize> = (3..6)
+            .map(|i| cfg.map(Lba::new(i * 64), 8)[0].disk)
+            .collect();
+        assert!(
+            !row1.contains(&2),
+            "row 1 data must avoid parity disk 2: {row1:?}"
+        );
     }
 
     #[test]
     fn raid5_write_penalty() {
-        assert_eq!(RaidConfig::new(RaidLevel::Raid5, 4, 64).write_ops_per_extent(), 4);
-        assert_eq!(RaidConfig::new(RaidLevel::Raid0, 4, 64).write_ops_per_extent(), 1);
+        assert_eq!(
+            RaidConfig::new(RaidLevel::Raid5, 4, 64).write_ops_per_extent(),
+            4
+        );
+        assert_eq!(
+            RaidConfig::new(RaidLevel::Raid0, 4, 64).write_ops_per_extent(),
+            1
+        );
     }
 
     #[test]

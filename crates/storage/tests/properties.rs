@@ -9,7 +9,11 @@ use vscsi::{IoDirection, Lba};
 fn arb_raid() -> impl Strategy<Value = RaidConfig> {
     (3usize..16, 1u64..512, any::<bool>()).prop_map(|(disks, stripe, five)| {
         RaidConfig::new(
-            if five { RaidLevel::Raid5 } else { RaidLevel::Raid0 },
+            if five {
+                RaidLevel::Raid5
+            } else {
+                RaidLevel::Raid0
+            },
             disks,
             stripe,
         )

@@ -238,9 +238,8 @@ impl Cdb {
                 } else {
                     IoDirection::Write
                 };
-                let lba = (u64::from(raw[1] & 0x1F) << 16)
-                    | (u64::from(raw[2]) << 8)
-                    | u64::from(raw[3]);
+                let lba =
+                    (u64::from(raw[1] & 0x1F) << 16) | (u64::from(raw[2]) << 8) | u64::from(raw[3]);
                 // In READ(6)/WRITE(6) a zero length means 256 blocks.
                 let blocks = if raw[4] == 0 { 256 } else { u32::from(raw[4]) };
                 Ok(Cdb::Rw {
@@ -332,7 +331,11 @@ fn encode_rw(
             if sector > u64::from(u32::MAX) || blocks > u32::from(u16::MAX) {
                 return Err(CdbError::FieldOverflow);
             }
-            buf.put_u8(if direction.is_read() { READ_10 } else { WRITE_10 });
+            buf.put_u8(if direction.is_read() {
+                READ_10
+            } else {
+                WRITE_10
+            });
             buf.put_u8(0); // flags
             buf.put_u32(sector as u32);
             buf.put_u8(0); // group
@@ -343,7 +346,11 @@ fn encode_rw(
             if sector > u64::from(u32::MAX) {
                 return Err(CdbError::FieldOverflow);
             }
-            buf.put_u8(if direction.is_read() { READ_12 } else { WRITE_12 });
+            buf.put_u8(if direction.is_read() {
+                READ_12
+            } else {
+                WRITE_12
+            });
             buf.put_u8(0);
             buf.put_u32(sector as u32);
             buf.put_u32(blocks);
@@ -351,7 +358,11 @@ fn encode_rw(
             buf.put_u8(0);
         }
         RwVariant::Sixteen => {
-            buf.put_u8(if direction.is_read() { READ_16 } else { WRITE_16 });
+            buf.put_u8(if direction.is_read() {
+                READ_16
+            } else {
+                WRITE_16
+            });
             buf.put_u8(0);
             buf.put_u64(sector);
             buf.put_u32(blocks);
@@ -461,7 +472,10 @@ mod tests {
     fn decode_errors() {
         assert_eq!(Cdb::decode(&[]), Err(CdbError::Truncated(1)));
         assert_eq!(Cdb::decode(&[0x28, 0, 0]), Err(CdbError::Truncated(10)));
-        assert_eq!(Cdb::decode(&[0xFF; 16]), Err(CdbError::UnsupportedOpcode(0xFF)));
+        assert_eq!(
+            Cdb::decode(&[0xFF; 16]),
+            Err(CdbError::UnsupportedOpcode(0xFF))
+        );
     }
 
     #[test]

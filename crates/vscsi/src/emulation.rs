@@ -182,7 +182,10 @@ impl Responder {
             },
             Cdb::Rw { .. } => EmulatedResponse {
                 // ILLEGAL REQUEST / INVALID COMMAND OPERATION CODE.
-                status: ScsiStatus::CheckCondition { key: 0x05, asc: 0x20 },
+                status: ScsiStatus::CheckCondition {
+                    key: 0x05,
+                    asc: 0x20,
+                },
                 data: None,
             },
         }
@@ -239,7 +242,11 @@ mod tests {
 
     #[test]
     fn read_capacity_saturates_beyond_2tib() {
-        let big = VirtualDisk::new(TargetId::default(), 3 * 1024 * 1024 * 1024 * 1024, Lba::ZERO);
+        let big = VirtualDisk::new(
+            TargetId::default(),
+            3 * 1024 * 1024 * 1024 * 1024,
+            Lba::ZERO,
+        );
         let cap = ReadCapacity10Data::for_disk(&big);
         assert_eq!(cap.last_lba, u32::MAX);
     }
@@ -254,7 +261,10 @@ mod tests {
         assert_eq!(inq.data.unwrap().len(), 36);
         let cap = r.respond(&d, &Cdb::ReadCapacity10);
         assert!(cap.data.is_some());
-        assert_eq!(r.respond(&d, &Cdb::SynchronizeCache10).status, ScsiStatus::Good);
+        assert_eq!(
+            r.respond(&d, &Cdb::SynchronizeCache10).status,
+            ScsiStatus::Good
+        );
     }
 
     #[test]
@@ -263,7 +273,10 @@ mod tests {
         let resp = r.respond(&disk(), &Cdb::read(Lba::new(0), 8));
         assert_eq!(
             resp.status,
-            ScsiStatus::CheckCondition { key: 0x05, asc: 0x20 }
+            ScsiStatus::CheckCondition {
+                key: 0x05,
+                asc: 0x20
+            }
         );
         assert!(resp.data.is_none());
     }

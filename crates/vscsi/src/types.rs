@@ -197,7 +197,10 @@ mod tests {
         assert_eq!(Lba::new(9).to_string(), "lba:9");
         assert_eq!(VmId(2).to_string(), "vm2");
         assert_eq!(VDiskId(1).to_string(), "scsi0:1");
-        assert_eq!(TargetId::new(VmId(2), VDiskId(1)).to_string(), "vm2/scsi0:1");
+        assert_eq!(
+            TargetId::new(VmId(2), VDiskId(1)).to_string(),
+            "vm2/scsi0:1"
+        );
         assert_eq!(RequestId(7).to_string(), "req7");
         assert_eq!(IoDirection::Read.to_string(), "R");
         assert_eq!(IoDirection::Write.to_string(), "W");

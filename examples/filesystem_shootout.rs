@@ -57,8 +57,14 @@ fn main() {
     let runs = vec![
         ("UFS", run(Box::new(Ufs::new(UfsParams::default())), "ufs")),
         ("ZFS", run(Box::new(Zfs::new(ZfsParams::default())), "zfs")),
-        ("ext3", run(Box::new(Ext3::new(Ext3Params::default())), "ext3")),
-        ("NTFS", run(Box::new(Ntfs::new(NtfsParams::default())), "ntfs")),
+        (
+            "ext3",
+            run(Box::new(Ext3::new(Ext3Params::default())), "ext3"),
+        ),
+        (
+            "NTFS",
+            run(Box::new(Ntfs::new(NtfsParams::default())), "ntfs"),
+        ),
     ];
 
     println!(

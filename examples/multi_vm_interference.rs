@@ -16,38 +16,36 @@ fn main() {
     service.enable_all();
 
     // Cache-off CX3: the paper's deliberately extreme worst case.
-    let mut sim = Simulation::new(
-        presets::clariion_cx3_cache_off(),
-        Arc::clone(&service),
-        99,
-    );
+    let mut sim = Simulation::new(presets::clariion_cx3_cache_off(), Arc::clone(&service), 99);
     let disk = 6 * 1024 * 1024 * 1024u64;
 
     // VM 0: sequential reader, running from t = 0.
-    sim.add_vm(VmBuilder::new(0).with_disk(disk).attach(
-        sim.rng().fork("seq"),
-        move |rng| {
-            Box::new(IometerWorkload::new(
-                "8k-seq",
-                AccessSpec::seq_read_8k(32, disk),
-                rng,
-            ))
-        },
-    ));
-    // VM 1: random reader, joining at t = 10 s.
-    sim.add_vm(VmBuilder::new(1).with_disk(disk).attach(
-        sim.rng().fork("rand"),
-        move |rng| {
-            Box::new(Delayed::new(
+    sim.add_vm(
+        VmBuilder::new(0)
+            .with_disk(disk)
+            .attach(sim.rng().fork("seq"), move |rng| {
                 Box::new(IometerWorkload::new(
-                    "8k-rand",
-                    AccessSpec::random_read_8k(32, disk),
+                    "8k-seq",
+                    AccessSpec::seq_read_8k(32, disk),
                     rng,
-                )),
-                SimTime::from_secs(10),
-            ))
-        },
-    ));
+                ))
+            }),
+    );
+    // VM 1: random reader, joining at t = 10 s.
+    sim.add_vm(
+        VmBuilder::new(1)
+            .with_disk(disk)
+            .attach(sim.rng().fork("rand"), move |rng| {
+                Box::new(Delayed::new(
+                    Box::new(IometerWorkload::new(
+                        "8k-rand",
+                        AccessSpec::random_read_8k(32, disk),
+                        rng,
+                    )),
+                    SimTime::from_secs(10),
+                ))
+            }),
+    );
 
     sim.run_until(SimTime::from_secs(20));
 

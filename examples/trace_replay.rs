@@ -74,7 +74,10 @@ fn main() {
     };
     let with_2d = replay(&records, cfg);
     let h2 = with_2d.seek_latency_histogram().expect("2-D enabled");
-    println!("\nseek-distance x latency joint histogram ({} samples):", h2.total());
+    println!(
+        "\nseek-distance x latency joint histogram ({} samples):",
+        h2.total()
+    );
     let means = h2.conditional_mean_y();
     for (i, mean) in means.iter().enumerate() {
         if let Some(m) = mean {

@@ -55,7 +55,7 @@ pub mod prelude {
     pub use storage::{presets, ArrayParams, StorageArray};
     pub use vscsi::{Cdb, IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId};
     pub use vscsi_stats::{
-        replay, CollectorConfig, FingerprintLibrary, IoStatsCollector, Lens, Metric,
-        StatsService, TraceCapacity, VscsiTracer, WorkloadClass, WorkloadFingerprint,
+        replay, CollectorConfig, FingerprintLibrary, IoStatsCollector, Lens, Metric, StatsService,
+        TraceCapacity, VscsiEvent, VscsiTracer, WorkloadClass, WorkloadFingerprint,
     };
 }

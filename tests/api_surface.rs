@@ -17,6 +17,7 @@ fn key_types_are_send_sync() {
     assert_send_sync::<Histogram2d>();
     assert_send_sync::<IoStatsCollector>();
     assert_send_sync::<StatsService>();
+    assert_send_sync::<VscsiEvent>();
     assert_send_sync::<VscsiTracer>();
     assert_send_sync::<IoRequest>();
     assert_send_sync::<IoCompletion>();
@@ -43,6 +44,7 @@ fn data_types_clone_and_debug() {
     assert_clone_debug::<FileCopyParams>();
     assert_clone_debug::<ArrayParams>();
     assert_clone_debug::<CollectorConfig>();
+    assert_clone_debug::<VscsiEvent>();
     assert_clone_debug::<Dist>();
 }
 
@@ -52,16 +54,17 @@ fn prelude_covers_a_full_session() {
     let service = std::sync::Arc::new(StatsService::default());
     service.enable_all();
     let mut sim = Simulation::new(presets::single_disk(), service.clone(), 1);
-    sim.add_vm(VmBuilder::new(0).with_disk(1 << 28).attach(
-        sim.rng().fork("w"),
-        |rng| {
-            Box::new(IometerWorkload::new(
-                "w",
-                AccessSpec::seq_read_4k(2, 1 << 27),
-                rng,
-            ))
-        },
-    ));
+    sim.add_vm(
+        VmBuilder::new(0)
+            .with_disk(1 << 28)
+            .attach(sim.rng().fork("w"), |rng| {
+                Box::new(IometerWorkload::new(
+                    "w",
+                    AccessSpec::seq_read_4k(2, 1 << 27),
+                    rng,
+                ))
+            }),
+    );
     sim.run_until(SimTime::from_millis(50));
     let c = service.collector(sim.attachment_target(0)).unwrap();
     assert!(c.issued_commands() > 0);

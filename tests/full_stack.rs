@@ -11,18 +11,17 @@ fn oltp_collector(zfs: bool, seed: u64) -> IoStatsCollector {
     service.enable_all();
     let mut sim = Simulation::new(presets::symmetrix(), Arc::clone(&service), seed);
     let spec = parse_model(&oltp_model()).unwrap();
-    sim.add_vm(
-        VmBuilder::new(0)
-            .with_disk(32 * 1024 * 1024 * 1024)
-            .attach(sim.rng().fork("fb"), move |rng| {
-                let fs: Box<dyn vscsistats_repro::guests::fs::Filesystem> = if zfs {
-                    Box::new(Zfs::new(ZfsParams::default()))
-                } else {
-                    Box::new(Ufs::new(UfsParams::default()))
-                };
-                Box::new(FilebenchWorkload::new("oltp", spec, fs, rng))
-            }),
-    );
+    sim.add_vm(VmBuilder::new(0).with_disk(32 * 1024 * 1024 * 1024).attach(
+        sim.rng().fork("fb"),
+        move |rng| {
+            let fs: Box<dyn vscsistats_repro::guests::fs::Filesystem> = if zfs {
+                Box::new(Zfs::new(ZfsParams::default()))
+            } else {
+                Box::new(Ufs::new(UfsParams::default()))
+            };
+            Box::new(FilebenchWorkload::new("oltp", spec, fs, rng))
+        },
+    ));
     sim.run_until(SimTime::from_secs(8));
     service.collector(sim.attachment_target(0)).unwrap()
 }
@@ -56,17 +55,16 @@ fn accounting_is_consistent_across_layers() {
     let service = Arc::new(StatsService::default());
     service.enable_all();
     let mut sim = Simulation::new(presets::clariion_cx3(), Arc::clone(&service), 9);
-    sim.add_vm(
-        VmBuilder::new(0)
-            .with_disk(2 * 1024 * 1024 * 1024)
-            .attach(sim.rng().fork("io"), |rng| {
-                Box::new(IometerWorkload::new(
-                    "io",
-                    AccessSpec::random_read_8k(16, 1024 * 1024 * 1024),
-                    rng,
-                ))
-            }),
-    );
+    sim.add_vm(VmBuilder::new(0).with_disk(2 * 1024 * 1024 * 1024).attach(
+        sim.rng().fork("io"),
+        |rng| {
+            Box::new(IometerWorkload::new(
+                "io",
+                AccessSpec::random_read_8k(16, 1024 * 1024 * 1024),
+                rng,
+            ))
+        },
+    ));
     sim.run_until(SimTime::from_secs(1));
 
     let c = service.collector(sim.attachment_target(0)).unwrap();
@@ -86,28 +84,30 @@ fn accounting_is_consistent_across_layers() {
 fn trace_through_full_stack_replays_identically() {
     let service = Arc::new(StatsService::default());
     service.enable_all();
-    let target = TargetId::new(vscsistats_repro::vscsi::VmId(0), vscsistats_repro::vscsi::VDiskId(0));
+    let target = TargetId::new(
+        vscsistats_repro::vscsi::VmId(0),
+        vscsistats_repro::vscsi::VDiskId(0),
+    );
     service.start_trace(target, TraceCapacity::Unbounded);
 
     let mut sim = Simulation::new(presets::clariion_cx3_cache_off(), Arc::clone(&service), 11);
-    sim.add_vm(
-        VmBuilder::new(0)
-            .with_disk(2 * 1024 * 1024 * 1024)
-            .attach(sim.rng().fork("io"), |rng| {
-                Box::new(IometerWorkload::new(
-                    "io",
-                    AccessSpec {
-                        block_bytes: 4096,
-                        read_fraction: 0.5,
-                        random_fraction: 0.7,
-                        outstanding: 12,
-                        region_bytes: 1024 * 1024 * 1024,
-                        region_base: Lba::ZERO,
-                    },
-                    rng,
-                ))
-            }),
-    );
+    sim.add_vm(VmBuilder::new(0).with_disk(2 * 1024 * 1024 * 1024).attach(
+        sim.rng().fork("io"),
+        |rng| {
+            Box::new(IometerWorkload::new(
+                "io",
+                AccessSpec {
+                    block_bytes: 4096,
+                    read_fraction: 0.5,
+                    random_fraction: 0.7,
+                    outstanding: 12,
+                    region_bytes: 1024 * 1024 * 1024,
+                    region_base: Lba::ZERO,
+                },
+                rng,
+            ))
+        },
+    ));
     sim.run_until(SimTime::from_millis(500));
 
     let records = service.stop_trace(target);
@@ -129,7 +129,9 @@ fn trace_through_full_stack_replays_identically() {
 fn whole_pipeline_is_deterministic() {
     let run = |seed| {
         let c = oltp_collector(true, seed);
-        c.histogram(Metric::SeekDistance, Lens::All).counts().to_vec()
+        c.histogram(Metric::SeekDistance, Lens::All)
+            .counts()
+            .to_vec()
     };
     assert_eq!(run(5), run(5));
     assert_ne!(run(5), run(6), "different seeds should differ");
@@ -139,17 +141,16 @@ fn whole_pipeline_is_deterministic() {
 fn service_toggle_mid_run() {
     let service = Arc::new(StatsService::default());
     let mut sim = Simulation::new(presets::clariion_cx3(), Arc::clone(&service), 3);
-    sim.add_vm(
-        VmBuilder::new(0)
-            .with_disk(1024 * 1024 * 1024)
-            .attach(sim.rng().fork("io"), |rng| {
-                Box::new(IometerWorkload::new(
-                    "io",
-                    AccessSpec::seq_read_4k(8, 512 * 1024 * 1024),
-                    rng,
-                ))
-            }),
-    );
+    sim.add_vm(VmBuilder::new(0).with_disk(1024 * 1024 * 1024).attach(
+        sim.rng().fork("io"),
+        |rng| {
+            Box::new(IometerWorkload::new(
+                "io",
+                AccessSpec::seq_read_4k(8, 512 * 1024 * 1024),
+                rng,
+            ))
+        },
+    ));
     // Disabled for the first phase: nothing collected.
     sim.run_until(SimTime::from_millis(100));
     assert!(service.summaries().is_empty());
@@ -186,24 +187,23 @@ fn multi_vm_multi_disk_targets_are_isolated() {
                 ))
             }),
     );
-    sim.add_vm(
-        VmBuilder::new(1)
-            .with_disk(1024 * 1024 * 1024)
-            .attach(sim.rng().fork("c"), |rng| {
-                Box::new(IometerWorkload::new(
-                    "c",
-                    AccessSpec {
-                        block_bytes: 65_536,
-                        read_fraction: 0.0,
-                        random_fraction: 0.0,
-                        outstanding: 2,
-                        region_bytes: 512 * 1024 * 1024,
-                        region_base: Lba::ZERO,
-                    },
-                    rng,
-                ))
-            }),
-    );
+    sim.add_vm(VmBuilder::new(1).with_disk(1024 * 1024 * 1024).attach(
+        sim.rng().fork("c"),
+        |rng| {
+            Box::new(IometerWorkload::new(
+                "c",
+                AccessSpec {
+                    block_bytes: 65_536,
+                    read_fraction: 0.0,
+                    random_fraction: 0.0,
+                    outstanding: 2,
+                    region_bytes: 512 * 1024 * 1024,
+                    region_base: Lba::ZERO,
+                },
+                rng,
+            ))
+        },
+    ));
     sim.run_until(SimTime::from_millis(300));
 
     let targets = service.targets();

@@ -5,8 +5,8 @@
 
 use simkit::SimTime;
 use vscsistats_bench::scenarios::{
-    run_dbt2, run_filebench_oltp, run_filecopy, run_interference, run_microbench, CopyOs,
-    FsKind, InterferenceMode,
+    run_dbt2, run_filebench_oltp, run_filecopy, run_interference, run_microbench, CopyOs, FsKind,
+    InterferenceMode,
 };
 use vscsistats_repro::prelude::{Lens, Metric};
 
@@ -20,7 +20,10 @@ fn fig2_ufs_shape() {
         / len.total() as f64;
     assert!(small > 0.8, "4/8 KiB fraction = {small}");
     let seek = c.histogram(Metric::SeekDistance, Lens::All);
-    assert!(1.0 - seek.fraction_in(-5_000, 5_000) > 0.5, "must be random");
+    assert!(
+        1.0 - seek.fraction_in(-5_000, 5_000) > 0.5,
+        "must be random"
+    );
 }
 
 #[test]
@@ -97,7 +100,10 @@ fn fig6_interference_shape() {
     let seq_ratio = dual.mean_latency_us[1] / solo_seq.mean_latency_us[0];
     let rand_ratio = dual.mean_latency_us[0] / solo_rand.mean_latency_us[0];
     assert!(seq_ratio > 5.0, "seq latency ratio = {seq_ratio}");
-    assert!(rand_ratio > 1.02 && rand_ratio < seq_ratio, "rand ratio = {rand_ratio}");
+    assert!(
+        rand_ratio > 1.02 && rand_ratio < seq_ratio,
+        "rand ratio = {rand_ratio}"
+    );
     let seq_drop = 1.0 - dual.iops[1] / solo_seq.iops[0];
     assert!(seq_drop > 0.5, "seq IOps drop = {seq_drop}");
     // Environment-independent histograms unchanged (length mode).
