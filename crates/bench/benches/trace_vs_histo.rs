@@ -1,9 +1,13 @@
 //! Online histograms vs full command tracing: the CPU side of the paper's
 //! O(m)-space-vs-O(n)-space trade (§3). Also benches offline replay of a
-//! trace into histograms (the post-processing path the histograms avoid).
+//! trace into histograms (the post-processing path the histograms avoid),
+//! the binary tracestore codec, and the full streaming-capture pipeline;
+//! it prints a bytes-per-record space model for each representation
+//! (in-memory / text / binary) to stderr for the EXPERIMENTS.md table.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use simkit::{SimDuration, SimRng, SimTime};
+use tracestore::{encode_block, BlockBuilder, TraceStore, TraceStoreConfig};
 use vscsi::{IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId};
 use vscsi_stats::{
     replay, CollectorConfig, IoStatsCollector, TraceCapacity, TraceRecord, VscsiTracer,
@@ -62,6 +66,34 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // Streaming capture through the full binary tracestore pipeline:
+    // encode + chunk ring + background writer, measured per command.
+    let store_dir = std::env::temp_dir().join(format!(
+        "tracestore-bench-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0)
+    ));
+    let store = TraceStore::create(TraceStoreConfig::new(&store_dir)).unwrap();
+    let mut streaming = VscsiTracer::streaming(Box::new(store.handle()));
+    let mut k = 0usize;
+    group.bench_function("tracestore_per_command", |b| {
+        b.iter(|| {
+            let r = &reqs[k & 4095];
+            streaming.on_issue(black_box(r));
+            streaming.on_complete(&IoCompletion::new(
+                *r,
+                r.issue_time + SimDuration::from_micros(300),
+            ));
+            k = k.wrapping_add(1);
+        })
+    });
+    drop(streaming);
+    let store_report = store.finish();
+    let _ = std::fs::remove_dir_all(&store_dir);
+
     // Offline: replay a 4k-command trace into a fresh collector.
     let trace: Vec<TraceRecord> = {
         let mut t = VscsiTracer::new(TraceCapacity::Unbounded);
@@ -81,7 +113,38 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // The pure codec cost, no ring or I/O: encode into a block builder,
+    // sealing at the default 64 KiB chunk size.
+    let mut builder = BlockBuilder::with_chunk_capacity(64 << 10);
+    let mut m = 0usize;
+    group.bench_function("binary_encode_per_record", |b| {
+        b.iter(|| {
+            builder.push(black_box(&trace[m & 4095]));
+            if builder.len_bytes() >= 64 << 10 {
+                black_box(builder.take());
+            }
+            m = m.wrapping_add(1);
+        })
+    });
+
     group.finish();
+
+    // Space model for EXPERIMENTS.md: what one traced command costs in
+    // each representation.
+    let in_memory = std::mem::size_of::<TraceRecord>();
+    let text_bytes: usize = trace.iter().map(|r| r.to_string().len() + 1).sum();
+    let (payload, count) = encode_block(&trace);
+    eprintln!("space model ({} records):", trace.len());
+    eprintln!("  in-memory : {in_memory} bytes/record");
+    eprintln!(
+        "  text      : {:.1} bytes/record",
+        text_bytes as f64 / trace.len() as f64
+    );
+    eprintln!(
+        "  binary    : {:.1} bytes/record (payload only), {:?} bytes/record on disk",
+        payload.len() as f64 / f64::from(count),
+        store_report.bytes_per_record()
+    );
 }
 
 criterion_group!(benches, bench);

@@ -6,14 +6,26 @@
 //! vscsistats --workload oltp-zfs --seconds 20 --report
 //! vscsistats --workload dbt2 --seconds 30 --fingerprint
 //! vscsistats --workload copy-vista --csv > hist.csv
+//! vscsistats --workload dbt2 --trace-out /tmp/dbt2-trace
+//! vscsistats --replay /tmp/dbt2-trace --report
 //! vscsistats --list
 //! ```
+//!
+//! `--trace-out` captures the run as a binary tracestore (bounded memory,
+//! ~16 bytes/command on disk); `--replay` rebuilds the online histograms
+//! from such a trace — bit-exactly — without re-running the simulation.
 
 use simkit::SimTime;
-use vscsi_stats::{fingerprint, report, WorkloadFingerprint};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use tracestore::{read_trace, TraceStore, TraceStoreConfig};
+use vscsi_stats::{
+    fingerprint, replay, report, CollectorConfig, IoStatsCollector, TraceRecord,
+    WorkloadFingerprint,
+};
 use vscsistats_bench::scenarios::{
-    run_dbt2, run_filebench_oltp, run_filecopy, run_interference, CopyOs, FsKind, InterferenceMode,
-    RunResult,
+    prepare_dbt2, prepare_filebench_oltp, prepare_filecopy, prepare_interference, CopyOs, FsKind,
+    InterferenceMode, Prepared,
 };
 
 const WORKLOADS: &[(&str, &str)] = &[
@@ -38,6 +50,8 @@ struct Args {
     fingerprint: bool,
     report: bool,
     list: bool,
+    trace_out: Option<PathBuf>,
+    replay: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +63,8 @@ fn parse_args() -> Result<Args, String> {
         fingerprint: false,
         report: false,
         list: false,
+        trace_out: None,
+        replay: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -70,6 +86,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--trace-out" => {
+                args.trace_out = Some(PathBuf::from(
+                    it.next().ok_or("--trace-out needs a directory")?,
+                ));
+            }
+            "--replay" => {
+                args.replay = Some(PathBuf::from(it.next().ok_or("--replay needs a path")?));
+            }
             "--csv" => args.csv = true,
             "--fingerprint" | "-f" => args.fingerprint = true,
             "--report" | "-r" => args.report = true,
@@ -86,7 +110,8 @@ fn parse_args() -> Result<Args, String> {
 
 fn print_help() {
     println!("vscsistats — online disk I/O workload characterization (simulated host)\n");
-    println!("usage: vscsistats --workload <name> [--seconds N] [--seed N] [--report] [--csv] [--fingerprint]");
+    println!("usage: vscsistats --workload <name> [--seconds N] [--seed N] [--report] [--csv] [--fingerprint] [--trace-out DIR]");
+    println!("       vscsistats --replay <path> [--report] [--csv] [--fingerprint]");
     println!("       vscsistats --list\n");
     println!("workloads:");
     for (name, desc) in WORKLOADS {
@@ -96,20 +121,76 @@ fn print_help() {
     println!("  --report       full histogram report (default if nothing else chosen)");
     println!("  --csv          machine-readable metric,lens,bin,count dump");
     println!("  --fingerprint  environment-independent fingerprint + classification + advice");
+    println!("  --trace-out D  also capture a binary trace into directory D (tracestore segments)");
+    println!("  --replay P     rebuild histograms from a trace file/directory instead of running");
 }
 
-fn run_workload(name: &str, duration: SimTime, seed: u64) -> Result<RunResult, String> {
+fn prepare_workload(name: &str, duration: SimTime, seed: u64) -> Result<Prepared, String> {
     Ok(match name {
-        "oltp-ufs" => run_filebench_oltp(FsKind::Ufs, duration, seed),
-        "oltp-zfs" => run_filebench_oltp(FsKind::Zfs, duration, seed),
-        "oltp-ext3" => run_filebench_oltp(FsKind::Ext3, duration, seed),
-        "oltp-ntfs" => run_filebench_oltp(FsKind::Ntfs, duration, seed),
-        "dbt2" => run_dbt2(duration, seed),
-        "copy-xp" => run_filecopy(CopyOs::Xp, duration, seed),
-        "copy-vista" => run_filecopy(CopyOs::Vista, duration, seed),
-        "interfere" => run_interference(InterferenceMode::Dual, false, duration, seed),
+        "oltp-ufs" => prepare_filebench_oltp(FsKind::Ufs, duration, seed),
+        "oltp-zfs" => prepare_filebench_oltp(FsKind::Zfs, duration, seed),
+        "oltp-ext3" => prepare_filebench_oltp(FsKind::Ext3, duration, seed),
+        "oltp-ntfs" => prepare_filebench_oltp(FsKind::Ntfs, duration, seed),
+        "dbt2" => prepare_dbt2(duration, seed),
+        "copy-xp" => prepare_filecopy(CopyOs::Xp, duration, seed),
+        "copy-vista" => prepare_filecopy(CopyOs::Vista, duration, seed),
+        "interfere" => prepare_interference(InterferenceMode::Dual, false, duration, seed),
         other => return Err(format!("unknown workload {other:?} (try --list)")),
     })
+}
+
+/// The report/csv/fingerprint views of one collector, gated by flags.
+fn print_views(collector: &IoStatsCollector, args: &Args, want_report: bool) {
+    if want_report {
+        println!("{}", report::full_report(collector));
+    }
+    if args.csv {
+        print!("{}", report::csv_dump(collector));
+    }
+    if args.fingerprint {
+        match WorkloadFingerprint::from_collector(collector, 100) {
+            Some(fp) => {
+                println!("{fp}");
+                println!("class: {}", fp.classify());
+                for rec in fingerprint::recommendations(&fp) {
+                    println!("advice: {rec}");
+                }
+            }
+            None => println!("not enough commands to fingerprint"),
+        }
+    }
+}
+
+/// `--replay`: read a binary trace back and rebuild the online histograms
+/// per target, without re-running the simulation.
+fn run_replay(path: &Path, args: &Args) -> Result<(), String> {
+    let (records, integrity) = read_trace(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    eprint!("{integrity}");
+    if !integrity.is_clean() {
+        eprintln!("warning: trace damaged; histograms rebuilt from recovered records only");
+    }
+    let mut by_target: BTreeMap<_, Vec<TraceRecord>> = BTreeMap::new();
+    for record in records {
+        by_target.entry(record.target).or_default().push(record);
+    }
+    if by_target.is_empty() {
+        return Err("trace holds no records".into());
+    }
+    let want_report = args.report || (!args.csv && !args.fingerprint);
+    let multi = by_target.len() > 1;
+    for (target, records) in &by_target {
+        if multi {
+            println!("===== target {target} =====");
+        }
+        let completed = records.iter().filter(|r| r.complete_ns.is_some()).count();
+        println!(
+            "replayed {} record(s) ({completed} completed) for {target}",
+            records.len()
+        );
+        let collector = replay(records, CollectorConfig::paper_figures());
+        print_views(&collector, args, want_report);
+    }
+    Ok(())
 }
 
 fn main() {
@@ -126,6 +207,13 @@ fn main() {
         }
         return;
     }
+    if let Some(path) = args.replay.as_deref() {
+        if let Err(e) = run_replay(path, &args) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
     let Some(workload) = args.workload.as_deref() else {
         print_help();
         std::process::exit(2);
@@ -135,13 +223,55 @@ fn main() {
         "running {workload} for {} simulated seconds (seed {})...",
         args.seconds, args.seed
     );
-    let result = match run_workload(workload, duration, args.seed) {
-        Ok(r) => r,
+    let prepared = match prepare_workload(workload, duration, args.seed) {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
     };
+    let store = match args.trace_out.as_deref() {
+        Some(dir) => match TraceStore::create(TraceStoreConfig::new(dir)) {
+            Ok(store) => {
+                for idx in 0..prepared.attachment_count() {
+                    prepared.stream_trace(idx, Box::new(store.handle()));
+                }
+                Some(store)
+            }
+            Err(e) => {
+                eprintln!("error: --trace-out {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let result = prepared.run();
+    if let Some(store) = store {
+        let trace_report = store.finish();
+        eprintln!(
+            "trace: {} record(s), {} block(s), {} segment(s), {} byte(s){}",
+            trace_report.records,
+            trace_report.blocks,
+            trace_report.segments,
+            trace_report.bytes_written,
+            match trace_report.bytes_per_record() {
+                Some(bpr) => format!(" ({bpr:.1} bytes/record)"),
+                None => String::new(),
+            }
+        );
+        if trace_report.drops.dropped_records() > 0 {
+            eprintln!(
+                "trace: {} record(s) dropped to backpressure",
+                trace_report.drops.dropped_records()
+            );
+        }
+        if let Some(err) = &trace_report.first_error {
+            eprintln!(
+                "trace: {} I/O error(s), first: {err}",
+                trace_report.io_errors
+            );
+        }
+    }
 
     let want_report = args.report || (!args.csv && !args.fingerprint);
     for (idx, collector) in result.collectors.iter().enumerate() {
@@ -161,23 +291,6 @@ fn main() {
                 p.p50_us, p.p90_us, p.p99_us
             );
         }
-        if want_report {
-            println!("{}", report::full_report(collector));
-        }
-        if args.csv {
-            print!("{}", report::csv_dump(collector));
-        }
-        if args.fingerprint {
-            match WorkloadFingerprint::from_collector(collector, 100) {
-                Some(fp) => {
-                    println!("{fp}");
-                    println!("class: {}", fp.classify());
-                    for rec in fingerprint::recommendations(&fp) {
-                        println!("advice: {rec}");
-                    }
-                }
-                None => println!("not enough commands to fingerprint"),
-            }
-        }
+        print_views(collector, &args, want_report);
     }
 }

@@ -11,7 +11,7 @@ use guests::{
 use simkit::SimTime;
 use std::sync::Arc;
 use storage::presets;
-use vscsi_stats::{CollectorConfig, IoStatsCollector, StatsService};
+use vscsi_stats::{CollectorConfig, IoStatsCollector, StatsService, TraceSink};
 
 /// Outcome of one scenario run: the per-attachment collectors plus
 /// throughput counters.
@@ -59,6 +59,45 @@ fn collect(sim: &Simulation, service: &StatsService, horizon: SimTime) -> RunRes
     out
 }
 
+/// A scenario that has been built but not yet run. The simulation and
+/// service are held open so callers can attach per-target tracers — in
+/// particular streaming [`TraceSink`] backends — before the clock starts;
+/// [`Prepared::run`] then drives the workload to its horizon, stops any
+/// traces (flushing streaming sinks' in-flight tails), and collects.
+pub struct Prepared {
+    sim: Simulation,
+    service: Arc<StatsService>,
+    horizon: SimTime,
+}
+
+impl Prepared {
+    /// Number of disk attachments the scenario created.
+    pub fn attachment_count(&self) -> usize {
+        self.sim.attachment_count()
+    }
+
+    /// The stats service driving this scenario.
+    pub fn service(&self) -> &Arc<StatsService> {
+        &self.service
+    }
+
+    /// Streams attachment `idx`'s trace into `sink` for the whole run.
+    pub fn stream_trace(&self, idx: usize, sink: Box<dyn TraceSink>) {
+        self.sim.stream_trace(idx, sink);
+    }
+
+    /// Runs the scenario to its horizon and collects the results. Any
+    /// active traces are stopped first, so streaming sinks receive their
+    /// in-flight tails before the caller finalizes the backing store.
+    pub fn run(mut self) -> RunResult {
+        self.sim.run_until(self.horizon);
+        for idx in 0..self.sim.attachment_count() {
+            let _ = self.service.stop_trace(self.sim.attachment_target(idx));
+        }
+        collect(&self.sim, &self.service, self.horizon)
+    }
+}
+
 /// Which filesystem model backs the Filebench OLTP run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FsKind {
@@ -72,9 +111,9 @@ pub enum FsKind {
     Ntfs,
 }
 
-/// Runs Filebench OLTP on the chosen filesystem (Figures 2 and 3):
+/// Builds Filebench OLTP on the chosen filesystem (Figures 2 and 3):
 /// Solaris-like VM, 32 GiB virtual disk, Symmetrix-like array.
-pub fn run_filebench_oltp(fs: FsKind, duration: SimTime, seed: u64) -> RunResult {
+pub fn prepare_filebench_oltp(fs: FsKind, duration: SimTime, seed: u64) -> Prepared {
     let service = Arc::new(StatsService::new(CollectorConfig::paper_figures()));
     service.enable_all();
     let mut sim = Simulation::new(presets::symmetrix(), Arc::clone(&service), seed);
@@ -101,14 +140,22 @@ pub fn run_filebench_oltp(fs: FsKind, duration: SimTime, seed: u64) -> RunResult
                 ))
             });
     sim.add_vm(vm);
-    sim.run_until(duration);
-    collect(&sim, &service, duration)
+    Prepared {
+        sim,
+        service,
+        horizon: duration,
+    }
 }
 
-/// Runs the DBT-2/PostgreSQL model (Figure 4): Linux-like VM, 52 GiB
+/// Runs Filebench OLTP on the chosen filesystem (Figures 2 and 3).
+pub fn run_filebench_oltp(fs: FsKind, duration: SimTime, seed: u64) -> RunResult {
+    prepare_filebench_oltp(fs, duration, seed).run()
+}
+
+/// Builds the DBT-2/PostgreSQL model (Figure 4): Linux-like VM, 52 GiB
 /// virtual disk, Symmetrix-like array, paper parameters (250-warehouse-
 /// scale database, 50 connections).
-pub fn run_dbt2(duration: SimTime, seed: u64) -> RunResult {
+pub fn prepare_dbt2(duration: SimTime, seed: u64) -> Prepared {
     let service = Arc::new(StatsService::new(CollectorConfig::paper_figures()));
     service.enable_all();
     let mut sim = Simulation::new(presets::symmetrix(), Arc::clone(&service), seed);
@@ -118,8 +165,16 @@ pub fn run_dbt2(duration: SimTime, seed: u64) -> RunResult {
             Box::new(Dbt2Workload::new("dbt2", Dbt2Params::default(), rng))
         });
     sim.add_vm(vm);
-    sim.run_until(duration);
-    collect(&sim, &service, duration)
+    Prepared {
+        sim,
+        service,
+        horizon: duration,
+    }
+}
+
+/// Runs the DBT-2/PostgreSQL model (Figure 4).
+pub fn run_dbt2(duration: SimTime, seed: u64) -> RunResult {
+    prepare_dbt2(duration, seed).run()
 }
 
 /// Which copy engine the file-copy run models.
@@ -131,9 +186,8 @@ pub enum CopyOs {
     Vista,
 }
 
-/// Runs the large-file-copy scenario (Figure 5) for 10 simulated seconds
-/// by default, like the paper's caption says.
-pub fn run_filecopy(os: CopyOs, duration: SimTime, seed: u64) -> RunResult {
+/// Builds the large-file-copy scenario (Figure 5).
+pub fn prepare_filecopy(os: CopyOs, duration: SimTime, seed: u64) -> Prepared {
     let service = Arc::new(StatsService::new(CollectorConfig::paper_figures()));
     service.enable_all();
     let mut sim = Simulation::new(presets::symmetrix(), Arc::clone(&service), seed);
@@ -155,8 +209,17 @@ pub fn run_filecopy(os: CopyOs, duration: SimTime, seed: u64) -> RunResult {
         },
     );
     sim.add_vm(vm);
-    sim.run_until(duration);
-    collect(&sim, &service, duration)
+    Prepared {
+        sim,
+        service,
+        horizon: duration,
+    }
+}
+
+/// Runs the large-file-copy scenario (Figure 5) for 10 simulated seconds
+/// by default, like the paper's caption says.
+pub fn run_filecopy(os: CopyOs, duration: SimTime, seed: u64) -> RunResult {
+    prepare_filecopy(os, duration, seed).run()
 }
 
 /// One row of the Table 2 microbenchmark.
@@ -229,16 +292,16 @@ pub enum InterferenceMode {
     Staggered,
 }
 
-/// Runs the two-VM interference experiment: two 6 GiB virtual disks on the
-/// same CLARiiON-CX3-like array, 32 outstanding I/Os each, read cache on or
-/// off. Attachment 0 is the random reader, attachment 1 the sequential one
-/// (whichever are present for the mode).
-pub fn run_interference(
+/// Builds the two-VM interference experiment: two 6 GiB virtual disks on
+/// the same CLARiiON-CX3-like array, 32 outstanding I/Os each, read cache
+/// on or off. Attachment 0 is the random reader, attachment 1 the
+/// sequential one (whichever are present for the mode).
+pub fn prepare_interference(
     mode: InterferenceMode,
     cache_on: bool,
     duration: SimTime,
     seed: u64,
-) -> RunResult {
+) -> Prepared {
     let service = Arc::new(StatsService::new(CollectorConfig::paper_figures()));
     service.enable_all();
     let array = if cache_on {
@@ -306,8 +369,21 @@ pub fn run_interference(
             );
         }
     }
-    sim.run_until(duration);
-    collect(&sim, &service, duration)
+    Prepared {
+        sim,
+        service,
+        horizon: duration,
+    }
+}
+
+/// Runs the two-VM interference experiment (Figure 6, §5.3).
+pub fn run_interference(
+    mode: InterferenceMode,
+    cache_on: bool,
+    duration: SimTime,
+    seed: u64,
+) -> RunResult {
+    prepare_interference(mode, cache_on, duration, seed).run()
 }
 
 #[cfg(test)]

@@ -62,4 +62,6 @@ pub use collector::{CollectorConfig, IoStatsCollector, LatencyPercentiles};
 pub use fingerprint::{recommendations, FingerprintLibrary, WorkloadClass, WorkloadFingerprint};
 pub use metrics::{Lens, Metric};
 pub use service::{StatsService, TargetSummary, VscsiEvent};
-pub use trace::{replay, ParseTraceError, TraceCapacity, TraceRecord, VscsiTracer};
+pub use trace::{
+    replay, ParseTraceError, TraceCapacity, TraceRecord, TraceSink, VecSink, VscsiTracer,
+};

@@ -32,7 +32,7 @@
 
 use crate::collector::{CollectorConfig, IoStatsCollector};
 use crate::metrics::{Lens, Metric};
-use crate::trace::{TraceCapacity, TraceRecord, VscsiTracer};
+use crate::trace::{TraceCapacity, TraceRecord, TraceSink, VscsiTracer};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -302,17 +302,34 @@ impl StatsService {
 
     /// Starts command tracing for one target with the given capacity.
     pub fn start_trace(&self, target: TargetId, capacity: TraceCapacity) {
+        self.install_tracer(target, VscsiTracer::new(capacity));
+    }
+
+    /// Starts *streaming* command tracing for one target: completed records
+    /// are pushed into `sink` as they happen and only in-flight commands
+    /// stay in memory, so a trace of any length runs in bounded space (the
+    /// `tracestore` crate provides a durable binary-segment sink). The
+    /// in-flight tail is handed to the sink when tracing stops.
+    pub fn start_trace_streaming(&self, target: TargetId, sink: Box<dyn TraceSink>) {
+        self.install_tracer(target, VscsiTracer::streaming(sink));
+    }
+
+    fn install_tracer(&self, target: TargetId, tracer: VscsiTracer) {
         let shard = self.shard(target);
         let mut state = shard.state.lock();
         let entry = state.targets.entry(target).or_default();
         if entry.tracer.is_none() {
             shard.tracers.fetch_add(1, Ordering::Release);
         }
-        entry.tracer = Some(VscsiTracer::new(capacity));
+        // Replacing an active streaming tracer flushes it via its Drop.
+        entry.tracer = Some(tracer);
         shard.occupied.store(true, Ordering::Release);
     }
 
-    /// Stops tracing for a target, returning the captured records.
+    /// Stops tracing for a target, returning the records still held in
+    /// memory: the captured trace for a capacity tracer, or an empty vector
+    /// for a streaming tracer (its records — including the in-flight tail,
+    /// flushed here — live in the sink).
     pub fn stop_trace(&self, target: TargetId) -> Vec<TraceRecord> {
         let shard = self.shard(target);
         let mut state = shard.state.lock();
@@ -320,7 +337,24 @@ impl StatsService {
             return Vec::new();
         };
         shard.tracers.fetch_sub(1, Ordering::Release);
-        tracer.records().copied().collect()
+        tracer.into_records()
+    }
+
+    /// Resident bytes attributable to tracers right now, across all shards
+    /// (in-flight records plus each streaming backend's buffers). Useful
+    /// for asserting the bounded-memory property of streaming traces.
+    pub fn tracer_footprint_bytes(&self) -> usize {
+        let mut total = 0;
+        for shard in self.shards.iter() {
+            let state = shard.state.lock();
+            total += state
+                .targets
+                .values()
+                .filter_map(|t| t.tracer.as_ref())
+                .map(VscsiTracer::memory_footprint_bytes)
+                .sum::<usize>();
+        }
+        total
     }
 
     /// Hot-path hook: command issue.
@@ -608,6 +642,39 @@ mod tests {
         assert!(s.collector(t).is_none());
         // A second stop returns nothing.
         assert!(s.stop_trace(t).is_empty());
+    }
+
+    #[test]
+    fn streaming_trace_through_service() {
+        #[derive(Debug, Default, Clone)]
+        struct SharedSink(Arc<Mutex<Vec<TraceRecord>>>);
+        impl TraceSink for SharedSink {
+            fn append(&mut self, record: &TraceRecord) {
+                self.0.lock().push(*record);
+            }
+        }
+        let s = StatsService::default();
+        let t = TargetId::default();
+        let sink = SharedSink::default();
+        s.start_trace_streaming(t, Box::new(sink.clone()));
+        let r0 = req(t, 0, 100);
+        let r1 = req(t, 1, 200);
+        s.handle_issue(&r0);
+        s.handle_issue(&r1);
+        s.handle_complete(&IoCompletion::new(r0, SimTime::from_micros(300)));
+        // One completed record reached the sink; one is still in flight.
+        assert_eq!(sink.0.lock().len(), 1);
+        assert!(s.tracer_footprint_bytes() > 0);
+        // stop_trace flushes the in-flight tail into the sink and returns
+        // nothing — the sink owns the trace.
+        assert!(s.stop_trace(t).is_empty());
+        let records = sink.0.lock().clone();
+        assert_eq!(records.len(), 2);
+        assert_eq!(
+            records.iter().filter(|r| r.complete_ns.is_some()).count(),
+            1
+        );
+        assert_eq!(s.tracer_footprint_bytes(), 0);
     }
 
     #[test]

@@ -190,6 +190,69 @@ pub enum TraceCapacity {
     Ring(usize),
 }
 
+/// Destination for trace records produced by a streaming tracer.
+///
+/// A [`VscsiTracer`] built with [`VscsiTracer::streaming`] keeps only the
+/// in-flight commands in memory; each record is handed to the sink the
+/// moment it completes (and the still-in-flight remainder is handed over,
+/// with `complete_ns: None`, when the tracer is finished or dropped).
+/// Implementations decide what durability means — the `tracestore` crate
+/// provides a bounded-memory binary segment store with explicit
+/// backpressure; a `Vec<TraceRecord>` newtype is enough for tests.
+///
+/// Records arrive in *completion* order, not issue order. That is fine for
+/// [`replay`], which orders events by the global sequence numbers carried
+/// in each record, not by position in the stream.
+pub trait TraceSink: Send + Sync + fmt::Debug {
+    /// Accepts one record whose lifecycle ended (completed, or still in
+    /// flight when the tracer was finished). Must not panic; sinks with
+    /// bounded resources drop and account instead.
+    fn append(&mut self, record: &TraceRecord);
+
+    /// Makes previously appended records durable, where that is meaningful.
+    fn flush(&mut self) {}
+
+    /// Resident bytes attributable to this sink (buffers, queued chunks).
+    fn memory_footprint_bytes(&self) -> usize {
+        0
+    }
+
+    /// Records this sink has dropped under backpressure.
+    fn dropped_records(&self) -> u64 {
+        0
+    }
+}
+
+/// The simplest possible sink: every record into a `Vec`. Useful for tests
+/// and for adapting code that wants the old "give me a `Vec<TraceRecord>`"
+/// interface to the streaming tracer.
+#[derive(Debug, Default)]
+pub struct VecSink(pub Vec<TraceRecord>);
+
+impl TraceSink for VecSink {
+    fn append(&mut self, record: &TraceRecord) {
+        self.0.push(*record);
+    }
+
+    fn memory_footprint_bytes(&self) -> usize {
+        self.0.capacity() * std::mem::size_of::<TraceRecord>()
+    }
+}
+
+/// Storage backend of a [`VscsiTracer`].
+#[derive(Debug)]
+enum Backend {
+    /// All records stay in the tracer's deque (the original behaviour).
+    Memory { capacity: TraceCapacity },
+    /// Only in-flight records stay in memory; completed records stream to
+    /// the sink. `finished` flips once the in-flight tail has been handed
+    /// over, after which the tracer ignores further events.
+    Streaming {
+        sink: Box<dyn TraceSink>,
+        finished: bool,
+    },
+}
+
 /// Records the vSCSI command stream of one virtual disk.
 ///
 /// # Examples
@@ -209,9 +272,11 @@ pub enum TraceCapacity {
 /// assert_eq!(tracer.records().len(), 1);
 /// assert!(tracer.records().next().unwrap().complete_ns.is_some());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct VscsiTracer {
-    capacity: TraceCapacity,
+    backend: Backend,
+    /// Memory backend: every retained record. Streaming backend: only the
+    /// in-flight records (completed ones have moved to the sink).
     records: VecDeque<TraceRecord>,
     /// Global event counter, shared by issues and completions, recording
     /// the order events were observed at the vSCSI layer.
@@ -223,15 +288,53 @@ impl VscsiTracer {
     /// Creates a tracer with the given capacity policy.
     pub fn new(capacity: TraceCapacity) -> Self {
         VscsiTracer {
-            capacity,
+            backend: Backend::Memory { capacity },
             records: VecDeque::new(),
             next_event_seq: 0,
             dropped: 0,
         }
     }
 
+    /// Creates a streaming tracer: memory holds only the in-flight
+    /// commands; each record is pushed into `sink` when it completes, and
+    /// the in-flight tail (with `complete_ns: None`) is pushed when the
+    /// tracer is [`finish`](Self::finish)ed, stopped, or dropped. Memory is
+    /// therefore bounded by the device queue depth plus whatever the sink
+    /// itself buffers — O(outstanding), not O(trace length).
+    pub fn streaming(sink: Box<dyn TraceSink>) -> Self {
+        VscsiTracer {
+            backend: Backend::Streaming {
+                sink,
+                finished: false,
+            },
+            records: VecDeque::new(),
+            next_event_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Whether this tracer streams completed records to a [`TraceSink`].
+    pub fn is_streaming(&self) -> bool {
+        matches!(self.backend, Backend::Streaming { .. })
+    }
+
     /// Records a command issue.
     pub fn on_issue(&mut self, req: &IoRequest) {
+        match self.backend {
+            Backend::Memory { capacity } => {
+                if let TraceCapacity::Ring(n) = capacity {
+                    while self.records.len() >= n.max(1) {
+                        self.records.pop_front();
+                        self.dropped += 1;
+                    }
+                }
+            }
+            Backend::Streaming { finished, .. } => {
+                if finished {
+                    return;
+                }
+            }
+        }
         let record = TraceRecord {
             serial: self.next_event_seq,
             target: req.target,
@@ -243,42 +346,81 @@ impl VscsiTracer {
             complete_seq: None,
         };
         self.next_event_seq += 1;
-        if let TraceCapacity::Ring(n) = self.capacity {
-            while self.records.len() >= n.max(1) {
-                self.records.pop_front();
-                self.dropped += 1;
-            }
-        }
         self.records.push_back(record);
     }
 
     /// Marks the matching record (by issue time, target, lba, direction)
     /// as complete. Completions for records that have been evicted from a
-    /// ring are silently ignored.
+    /// ring are silently ignored. On a streaming tracer the completed
+    /// record leaves memory and lands in the sink.
     pub fn on_complete(&mut self, completion: &IoCompletion) {
+        if let Backend::Streaming { finished: true, .. } = self.backend {
+            return;
+        }
         let req = &completion.request;
         let seq = self.next_event_seq;
-        if let Some(rec) = self.records.iter_mut().rev().find(|r| {
+        let Some(idx) = self.records.iter().rposition(|r| {
             r.complete_ns.is_none()
                 && r.issue_ns == req.issue_time.as_nanos()
                 && r.target == req.target
                 && r.lba == req.lba
                 && r.direction == req.direction
-        }) {
-            rec.complete_ns = Some(completion.complete_time.as_nanos());
-            rec.complete_seq = Some(seq);
-            self.next_event_seq += 1;
+        }) else {
+            return;
+        };
+        self.records[idx].complete_ns = Some(completion.complete_time.as_nanos());
+        self.records[idx].complete_seq = Some(seq);
+        self.next_event_seq += 1;
+        if let Backend::Streaming { sink, .. } = &mut self.backend {
+            let record = self
+                .records
+                .remove(idx)
+                .expect("index found by rposition is in range");
+            sink.append(&record);
         }
     }
 
-    /// The records currently held, in issue order.
+    /// The records currently held in memory, in issue order: everything
+    /// retained for a memory tracer, only the in-flight commands for a
+    /// streaming one.
     pub fn records(&self) -> impl ExactSizeIterator<Item = &TraceRecord> + '_ {
         self.records.iter()
     }
 
-    /// Number of records evicted by a ring capacity.
+    /// Number of records evicted by a ring capacity, plus any the sink of
+    /// a streaming tracer dropped under backpressure.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        let sink_drops = match &self.backend {
+            Backend::Memory { .. } => 0,
+            Backend::Streaming { sink, .. } => sink.dropped_records(),
+        };
+        self.dropped + sink_drops
+    }
+
+    /// Finishes a streaming tracer: hands the in-flight records (with
+    /// `complete_ns: None`) to the sink in issue order and flushes it.
+    /// Afterwards the tracer ignores further events. No-op for a memory
+    /// tracer, and idempotent.
+    pub fn finish(&mut self) {
+        let Backend::Streaming { sink, finished } = &mut self.backend else {
+            return;
+        };
+        if *finished {
+            return;
+        }
+        *finished = true;
+        for record in self.records.drain(..) {
+            sink.append(&record);
+        }
+        sink.flush();
+    }
+
+    /// Finishes the tracer and returns the records still held in memory:
+    /// everything for a memory tracer, nothing for a streaming one (its
+    /// records — including the in-flight tail — are in the sink).
+    pub fn into_records(mut self) -> Vec<TraceRecord> {
+        self.finish();
+        std::mem::take(&mut self.records).into()
     }
 
     /// Serializes all records, one line each.
@@ -304,10 +446,29 @@ impl VscsiTracer {
             .collect()
     }
 
-    /// Rough resident size in bytes (O(n) in trace length — contrast with
-    /// [`IoStatsCollector::memory_footprint_bytes`]).
+    /// Rough resident size in bytes. For a memory tracer this is O(n) in
+    /// trace length — contrast with
+    /// [`IoStatsCollector::memory_footprint_bytes`]. For a streaming tracer
+    /// it covers the in-flight deque *plus the active backend's real
+    /// footprint* (the sink's buffers and queued chunks), and stays bounded
+    /// no matter how long the trace runs.
     pub fn memory_footprint_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.records.capacity() * std::mem::size_of::<TraceRecord>()
+        let sink_bytes = match &self.backend {
+            Backend::Memory { .. } => 0,
+            Backend::Streaming { sink, .. } => sink.memory_footprint_bytes(),
+        };
+        std::mem::size_of::<Self>()
+            + self.records.capacity() * std::mem::size_of::<TraceRecord>()
+            + sink_bytes
+    }
+}
+
+impl Drop for VscsiTracer {
+    /// A streaming tracer that is dropped mid-trace still hands its
+    /// in-flight records to the sink, so a captured file never silently
+    /// loses the tail.
+    fn drop(&mut self) {
+        self.finish();
     }
 }
 
@@ -478,5 +639,97 @@ mod tests {
             t.on_issue(&req(i, i * 8, i * 10));
         }
         assert!(t.memory_footprint_bytes() > small * 10);
+    }
+
+    /// Test sink that shares its buffer with the test body, so records can
+    /// be inspected after the tracer consumed the boxed sink.
+    #[derive(Debug, Default, Clone)]
+    struct SharedSink(std::sync::Arc<parking_lot::Mutex<Vec<TraceRecord>>>);
+
+    impl TraceSink for SharedSink {
+        fn append(&mut self, record: &TraceRecord) {
+            self.0.lock().push(*record);
+        }
+    }
+
+    #[test]
+    fn streaming_tracer_equals_memory_tracer() {
+        // The same event stream through a memory tracer and a streaming
+        // tracer must yield the same record set; the streaming tracer's
+        // memory holds only the in-flight commands.
+        let sink = SharedSink::default();
+        let mut mem = VscsiTracer::new(TraceCapacity::Unbounded);
+        let mut streaming = VscsiTracer::streaming(Box::new(sink.clone()));
+        assert!(streaming.is_streaming() && !mem.is_streaming());
+        let mut inflight = Vec::new();
+        for i in 0..100u64 {
+            let r = req(i, (i * 11) % 5_000, i * 20);
+            mem.on_issue(&r);
+            streaming.on_issue(&r);
+            inflight.push(r);
+            if i % 3 == 2 {
+                let done = inflight.remove(0);
+                let c = IoCompletion::new(done, SimTime::from_micros(i * 20 + 9));
+                mem.on_complete(&c);
+                streaming.on_complete(&c);
+            }
+        }
+        // Only the in-flight commands are resident in the streaming tracer.
+        assert_eq!(streaming.records().len(), inflight.len());
+        assert_eq!(streaming.dropped(), 0);
+        streaming.finish();
+        streaming.finish(); // idempotent
+        assert!(streaming.into_records().is_empty(), "records live in sink");
+        let mut streamed = sink.0.lock().clone();
+        streamed.sort_by_key(|r| r.serial);
+        let expected = mem.into_records();
+        assert_eq!(streamed, expected);
+        assert!(streamed.iter().any(|r| r.complete_ns.is_none()));
+    }
+
+    #[test]
+    fn streaming_tracer_flushes_inflight_on_drop() {
+        let sink = SharedSink::default();
+        let mut t = VscsiTracer::streaming(Box::new(sink.clone()));
+        for i in 0..5u64 {
+            t.on_issue(&req(i, i * 8, i * 10));
+        }
+        drop(t);
+        let records = sink.0.lock().clone();
+        assert_eq!(records.len(), 5);
+        assert!(records.iter().all(|r| r.complete_ns.is_none()));
+        let serials: Vec<u64> = records.iter().map(|r| r.serial).collect();
+        assert_eq!(serials, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn finished_streaming_tracer_ignores_events() {
+        let sink = SharedSink::default();
+        let mut t = VscsiTracer::streaming(Box::new(sink.clone()));
+        let r = req(0, 64, 10);
+        t.on_issue(&r);
+        t.finish();
+        t.on_issue(&req(1, 128, 20));
+        t.on_complete(&IoCompletion::new(r, SimTime::from_micros(99)));
+        drop(t);
+        let records = sink.0.lock().clone();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].complete_ns, None);
+    }
+
+    #[test]
+    fn vec_sink_collects_and_reports_footprint() {
+        let mut sink = VecSink::default();
+        assert_eq!(sink.memory_footprint_bytes(), 0);
+        assert_eq!(sink.dropped_records(), 0);
+        let mut t = VscsiTracer::new(TraceCapacity::Unbounded);
+        let r = req(0, 0, 0);
+        t.on_issue(&r);
+        for rec in t.records() {
+            sink.append(rec);
+        }
+        sink.flush();
+        assert_eq!(sink.0.len(), 1);
+        assert!(sink.memory_footprint_bytes() >= std::mem::size_of::<TraceRecord>());
     }
 }

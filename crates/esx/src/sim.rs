@@ -292,6 +292,20 @@ impl Simulation {
         self.attachments[idx].attachment.target()
     }
 
+    /// Streams attachment `idx`'s vSCSI command trace into `sink`: every
+    /// command the simulation pushes through the stats hooks is recorded,
+    /// completed records leave memory immediately, and the in-flight tail
+    /// is flushed when tracing stops (or the service is dropped). Pair
+    /// with a `tracestore` sink for durable bounded-memory binary capture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn stream_trace(&self, idx: usize, sink: Box<dyn vscsi_stats::TraceSink>) {
+        self.service
+            .start_trace_streaming(self.attachment_target(idx), sink);
+    }
+
     /// Runs the simulation until simulated time `end` (or until no events
     /// remain). Returns the number of events processed.
     pub fn run_until(&mut self, end: SimTime) -> u64 {

@@ -1,0 +1,334 @@
+//! The bounded-memory chunk ring between trace producers and the
+//! background writer thread.
+//!
+//! Producers seal encoded blocks into chunks and push them here; one
+//! writer thread pops and persists them. The ring holds at most
+//! `max_chunks` chunks, so total queued memory is bounded no matter how
+//! far the disk falls behind. When full, the configured
+//! [`BackpressurePolicy`] decides who pays:
+//!
+//! * [`DropOldest`](BackpressurePolicy::DropOldest) — flight-recorder
+//!   semantics: evict the oldest queued chunk; the newest data survives.
+//! * [`DropNewest`](BackpressurePolicy::DropNewest) — archival semantics:
+//!   refuse the incoming chunk; what is already queued survives.
+//! * [`Block`](BackpressurePolicy::Block) — lossless semantics: stall the
+//!   producer until the writer catches up (observation may now perturb
+//!   the workload — the trade the paper's histograms exist to avoid).
+//!
+//! Every drop is accounted per policy in [`DropStats`]; silent loss is a
+//! bug class this module is designed out of.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+
+/// What to do with a freshly sealed chunk when the ring is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Evict the oldest queued chunk to make room (keep the newest data).
+    DropOldest,
+    /// Discard the incoming chunk (keep the oldest data).
+    DropNewest,
+    /// Block the producer until the writer drains a slot (lose nothing).
+    #[default]
+    Block,
+}
+
+/// Backpressure accounting, split by cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropStats {
+    /// Chunks evicted under [`BackpressurePolicy::DropOldest`].
+    pub oldest_chunks: u64,
+    /// Records inside those evicted chunks.
+    pub oldest_records: u64,
+    /// Chunks refused under [`BackpressurePolicy::DropNewest`].
+    pub newest_chunks: u64,
+    /// Records inside those refused chunks.
+    pub newest_records: u64,
+    /// Chunks discarded because the ring had already shut down.
+    pub closed_chunks: u64,
+    /// Records inside those discarded chunks.
+    pub closed_records: u64,
+    /// Producer wait episodes under [`BackpressurePolicy::Block`].
+    pub block_waits: u64,
+}
+
+impl DropStats {
+    /// Total records lost to backpressure (any cause).
+    pub fn dropped_records(&self) -> u64 {
+        self.oldest_records + self.newest_records + self.closed_records
+    }
+}
+
+/// A message through the ring: data chunk or control marker.
+pub(crate) enum Msg {
+    /// One sealed block payload plus its record count.
+    Chunk { payload: Vec<u8>, records: u32 },
+    /// Flush request; the writer acks on the sender once durable.
+    Flush(Sender<()>),
+    /// Orderly shutdown; the writer finalizes and exits.
+    Shutdown,
+}
+
+struct RingState {
+    queue: VecDeque<Msg>,
+    /// Chunks currently queued (control messages are not counted against
+    /// the capacity bound).
+    chunks: usize,
+    closed: bool,
+    drops: DropStats,
+}
+
+/// Bounded multi-producer single-consumer chunk queue (see module docs).
+pub(crate) struct ChunkRing {
+    state: Mutex<RingState>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    max_chunks: usize,
+    policy: BackpressurePolicy,
+    /// Allocated bytes of queued chunks, maintained outside the lock so
+    /// footprint probes never contend with the writer.
+    queued_bytes: AtomicUsize,
+}
+
+impl std::fmt::Debug for ChunkRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkRing")
+            .field("max_chunks", &self.max_chunks)
+            .field("policy", &self.policy)
+            .field("queued_bytes", &self.queued_bytes.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ChunkRing {
+    pub(crate) fn new(max_chunks: usize, policy: BackpressurePolicy) -> Self {
+        ChunkRing {
+            state: Mutex::new(RingState {
+                queue: VecDeque::new(),
+                chunks: 0,
+                closed: false,
+                drops: DropStats::default(),
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            max_chunks: max_chunks.max(1),
+            policy,
+        }
+    }
+
+    /// Offers a sealed chunk, applying the backpressure policy when full.
+    pub(crate) fn push_chunk(&self, payload: Vec<u8>, records: u32) {
+        let mut state = self.state.lock();
+        if state.closed {
+            state.drops.closed_chunks += 1;
+            state.drops.closed_records += u64::from(records);
+            return;
+        }
+        match self.policy {
+            BackpressurePolicy::Block => {
+                if state.chunks >= self.max_chunks {
+                    state.drops.block_waits += 1;
+                    while state.chunks >= self.max_chunks && !state.closed {
+                        self.not_full.wait(&mut state);
+                    }
+                }
+                if state.closed {
+                    state.drops.closed_chunks += 1;
+                    state.drops.closed_records += u64::from(records);
+                    return;
+                }
+            }
+            BackpressurePolicy::DropNewest => {
+                if state.chunks >= self.max_chunks {
+                    state.drops.newest_chunks += 1;
+                    state.drops.newest_records += u64::from(records);
+                    return;
+                }
+            }
+            BackpressurePolicy::DropOldest => {
+                while state.chunks >= self.max_chunks {
+                    let Some(idx) = state
+                        .queue
+                        .iter()
+                        .position(|m| matches!(m, Msg::Chunk { .. }))
+                    else {
+                        break;
+                    };
+                    let Some(Msg::Chunk { payload, records }) = state.queue.remove(idx) else {
+                        unreachable!("position() found a chunk at idx");
+                    };
+                    state.chunks -= 1;
+                    state.drops.oldest_chunks += 1;
+                    state.drops.oldest_records += u64::from(records);
+                    self.queued_bytes
+                        .fetch_sub(payload.capacity(), Ordering::Relaxed);
+                }
+            }
+        }
+        self.queued_bytes
+            .fetch_add(payload.capacity(), Ordering::Relaxed);
+        state.chunks += 1;
+        state.queue.push_back(Msg::Chunk { payload, records });
+        drop(state);
+        self.not_empty.notify_one();
+    }
+
+    /// Enqueues a control message (never counted against capacity).
+    /// Returns `false` if the ring has already shut down.
+    pub(crate) fn push_control(&self, msg: Msg) -> bool {
+        let mut state = self.state.lock();
+        if state.closed {
+            return false;
+        }
+        state.queue.push_back(msg);
+        drop(state);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Blocks for the next message; `None` once the ring is closed and
+    /// drained.
+    pub(crate) fn pop(&self) -> Option<Msg> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                if let Msg::Chunk { payload, .. } = &msg {
+                    state.chunks -= 1;
+                    self.queued_bytes
+                        .fetch_sub(payload.capacity(), Ordering::Relaxed);
+                    self.not_full.notify_all();
+                }
+                return Some(msg);
+            }
+            if state.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut state);
+        }
+    }
+
+    /// Marks the ring closed: subsequent chunk pushes are dropped (and
+    /// accounted), blocked producers wake, and `pop` drains then ends.
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock();
+        state.closed = true;
+        drop(state);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Snapshot of the drop accounting.
+    pub(crate) fn drops(&self) -> DropStats {
+        self.state.lock().drops
+    }
+
+    /// Allocated bytes of the chunks currently queued.
+    pub(crate) fn queued_bytes(&self) -> usize {
+        self.queued_bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn chunk(n: u8) -> Vec<u8> {
+        vec![n; 8]
+    }
+
+    #[test]
+    fn drop_oldest_keeps_newest() {
+        let ring = ChunkRing::new(2, BackpressurePolicy::DropOldest);
+        for i in 0..5u8 {
+            ring.push_chunk(chunk(i), 10);
+        }
+        let drops = ring.drops();
+        assert_eq!(drops.oldest_chunks, 3);
+        assert_eq!(drops.oldest_records, 30);
+        // The two newest chunks survive, in order.
+        let kept: Vec<u8> = std::iter::from_fn(|| match ring.pop() {
+            Some(Msg::Chunk { payload, .. }) => Some(payload[0]),
+            _ => None,
+        })
+        .take(2)
+        .collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn drop_newest_keeps_oldest() {
+        let ring = ChunkRing::new(2, BackpressurePolicy::DropNewest);
+        for i in 0..5u8 {
+            ring.push_chunk(chunk(i), 7);
+        }
+        let drops = ring.drops();
+        assert_eq!(drops.newest_chunks, 3);
+        assert_eq!(drops.newest_records, 21);
+        let kept: Vec<u8> = std::iter::from_fn(|| match ring.pop() {
+            Some(Msg::Chunk { payload, .. }) => Some(payload[0]),
+            _ => None,
+        })
+        .take(2)
+        .collect();
+        assert_eq!(kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn block_policy_waits_for_consumer_and_loses_nothing() {
+        let ring = Arc::new(ChunkRing::new(2, BackpressurePolicy::Block));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..20u8 {
+                    ring.push_chunk(chunk(i), 1);
+                }
+            })
+        };
+        let mut seen = Vec::new();
+        while seen.len() < 20 {
+            if let Some(Msg::Chunk { payload, .. }) = ring.pop() {
+                seen.push(payload[0]);
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(seen, (0..20u8).collect::<Vec<u8>>());
+        assert_eq!(ring.drops().dropped_records(), 0);
+        assert!(
+            ring.drops().block_waits > 0,
+            "2-slot ring must have stalled"
+        );
+    }
+
+    #[test]
+    fn close_unblocks_producer_and_accounts_drops() {
+        let ring = Arc::new(ChunkRing::new(1, BackpressurePolicy::Block));
+        ring.push_chunk(chunk(0), 5);
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || ring.push_chunk(chunk(1), 5))
+        };
+        // Give the producer a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        ring.close();
+        producer.join().unwrap();
+        assert_eq!(ring.drops().closed_records, 5);
+        // The queued chunk still drains.
+        assert!(matches!(ring.pop(), Some(Msg::Chunk { .. })));
+        assert!(ring.pop().is_none(), "closed and drained");
+        assert!(!ring.push_control(Msg::Shutdown));
+    }
+
+    #[test]
+    fn queued_bytes_tracks_capacity() {
+        let ring = ChunkRing::new(4, BackpressurePolicy::Block);
+        assert_eq!(ring.queued_bytes(), 0);
+        let payload = Vec::with_capacity(128);
+        ring.push_chunk(payload, 0);
+        assert_eq!(ring.queued_bytes(), 128);
+        let _ = ring.pop();
+        assert_eq!(ring.queued_bytes(), 0);
+    }
+}

@@ -1,0 +1,554 @@
+//! The trace store: bounded-memory capture front-end plus a background
+//! writer thread that seals and flushes segments to disk.
+//!
+//! Data flow:
+//!
+//! ```text
+//! VscsiTracer --append--> TraceStoreHandle (BlockBuilder, one chunk)
+//!                              | sealed chunk
+//!                              v
+//!                         ChunkRing (bounded, backpressure policy)
+//!                              | pop
+//!                              v
+//!                         writer thread --> trace-00000.vseg, ...
+//! ```
+//!
+//! The producer side touches only one chunk buffer at a time; everything
+//! queued lives in the ring, whose capacity is fixed. The resident-memory
+//! ceiling is therefore known before capture starts
+//! ([`TraceStoreConfig::memory_bound_bytes`]) — tracing cannot balloon the
+//! host the way unbounded in-memory capture can.
+//!
+//! The writer thread never panics on I/O failure: errors are recorded in
+//! the [`StoreReport`] and capture degrades to dropping data, which is
+//! always accounted.
+
+use crate::codec::BlockBuilder;
+use crate::ring::{BackpressurePolicy, ChunkRing, DropStats, Msg};
+use crate::segment::{write_block, write_segment_header, SEGMENT_EXTENSION};
+use parking_lot::Mutex;
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vscsi_stats::{TraceRecord, TraceSink};
+
+/// Configuration for a [`TraceStore`].
+#[derive(Debug, Clone)]
+pub struct TraceStoreConfig {
+    /// Directory segment files are written into (created if absent).
+    pub dir: PathBuf,
+    /// Roll to a new segment file once the current one reaches this size.
+    pub segment_max_bytes: usize,
+    /// Seal the in-progress block once its payload reaches this size.
+    pub chunk_bytes: usize,
+    /// Seal the in-progress block once it holds this many records, even
+    /// if small (bounds worst-case loss per corrupt block).
+    pub block_max_records: u32,
+    /// Ring capacity in sealed chunks awaiting the writer.
+    pub max_chunks: usize,
+    /// What to do when the ring is full.
+    pub policy: BackpressurePolicy,
+    /// Whether [`TraceSink::flush`] also issues `fsync`.
+    pub sync_on_flush: bool,
+    /// How long a flush waits for the writer's acknowledgement.
+    pub flush_timeout: Duration,
+}
+
+impl TraceStoreConfig {
+    /// Defaults: 64 MiB segments, 64 KiB chunks, ≤4096 records/block,
+    /// 64-chunk ring, [`BackpressurePolicy::Block`] (lossless), no fsync.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        TraceStoreConfig {
+            dir: dir.into(),
+            segment_max_bytes: 64 << 20,
+            chunk_bytes: 64 << 10,
+            block_max_records: 4096,
+            max_chunks: 64,
+            policy: BackpressurePolicy::default(),
+            sync_on_flush: false,
+            flush_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Upper bound on resident trace memory for a store with one attached
+    /// producer handle: the handle's chunk under construction, plus a full
+    /// ring, plus the chunk the writer is persisting. Each chunk buffer
+    /// reserves `chunk_bytes` + one worst-case record.
+    pub fn memory_bound_bytes(&self) -> usize {
+        let chunk_cap = self.chunk_bytes + crate::codec::MAX_RECORD_BYTES;
+        (self.max_chunks + 2) * chunk_cap
+    }
+}
+
+/// What a finished [`TraceStore`] did: volume written, drops, errors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreReport {
+    /// Segment files created.
+    pub segments: u64,
+    /// Blocks written across all segments.
+    pub blocks: u64,
+    /// Records persisted.
+    pub records: u64,
+    /// Total file bytes written (headers included).
+    pub bytes_written: u64,
+    /// Backpressure accounting from the ring.
+    pub drops: DropStats,
+    /// I/O failures the writer absorbed (each drops one chunk).
+    pub io_errors: u64,
+    /// The first I/O error message, if any.
+    pub first_error: Option<String>,
+}
+
+impl StoreReport {
+    /// Mean on-disk bytes per persisted record (`None` if nothing was
+    /// written).
+    pub fn bytes_per_record(&self) -> Option<f64> {
+        if self.records == 0 {
+            None
+        } else {
+            Some(self.bytes_written as f64 / self.records as f64)
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct WriterStats {
+    segments: u64,
+    blocks: u64,
+    records: u64,
+    bytes_written: u64,
+    io_errors: u64,
+    first_error: Option<String>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    ring: ChunkRing,
+    stats: Mutex<WriterStats>,
+    /// Capacity of the chunk the writer currently holds (0 when idle), so
+    /// footprint probes see bytes in flight between ring and disk.
+    writer_bytes: AtomicUsize,
+}
+
+/// Closes the ring when the writer exits for *any* reason, so producers
+/// blocked on a full ring can never deadlock against a dead writer.
+struct CloseGuard<'a>(&'a ChunkRing);
+
+impl Drop for CloseGuard<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+fn record_error(stats: &Mutex<WriterStats>, err: &std::io::Error) {
+    let mut stats = stats.lock();
+    stats.io_errors += 1;
+    if stats.first_error.is_none() {
+        stats.first_error = Some(err.to_string());
+    }
+}
+
+struct OpenSegment {
+    file: BufWriter<File>,
+    bytes: usize,
+}
+
+fn writer_loop(shared: &Shared, config: &TraceStoreConfig) {
+    let _guard = CloseGuard(&shared.ring);
+    let mut current: Option<OpenSegment> = None;
+    let mut next_index = 0u64;
+    while let Some(msg) = shared.ring.pop() {
+        match msg {
+            Msg::Chunk { payload, records } => {
+                shared
+                    .writer_bytes
+                    .store(payload.capacity(), Ordering::Relaxed);
+                let result = (|| {
+                    let seg = match current.as_mut() {
+                        Some(seg) => seg,
+                        None => {
+                            let path = config
+                                .dir
+                                .join(format!("trace-{next_index:05}.{SEGMENT_EXTENSION}"));
+                            next_index += 1;
+                            let mut file = BufWriter::new(File::create(path)?);
+                            let header = write_segment_header(&mut file)?;
+                            let mut stats = shared.stats.lock();
+                            stats.segments += 1;
+                            stats.bytes_written += header as u64;
+                            drop(stats);
+                            current.insert(OpenSegment {
+                                file,
+                                bytes: header,
+                            })
+                        }
+                    };
+                    let written = write_block(&mut seg.file, &payload, records)?;
+                    seg.bytes += written;
+                    let mut stats = shared.stats.lock();
+                    stats.blocks += 1;
+                    stats.records += u64::from(records);
+                    stats.bytes_written += written as u64;
+                    Ok::<bool, std::io::Error>(seg.bytes >= config.segment_max_bytes)
+                })();
+                match result {
+                    Ok(roll) => {
+                        if roll {
+                            if let Some(mut seg) = current.take() {
+                                if let Err(e) = seg.file.flush() {
+                                    record_error(&shared.stats, &e);
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        // Drop the chunk and the half-written segment;
+                        // the next chunk starts a fresh file.
+                        record_error(&shared.stats, &e);
+                        current = None;
+                    }
+                }
+                shared.writer_bytes.store(0, Ordering::Relaxed);
+            }
+            Msg::Flush(ack) => {
+                if let Some(seg) = current.as_mut() {
+                    let result = seg.file.flush().and_then(|()| {
+                        if config.sync_on_flush {
+                            seg.file.get_ref().sync_all()
+                        } else {
+                            Ok(())
+                        }
+                    });
+                    if let Err(e) = result {
+                        record_error(&shared.stats, &e);
+                    }
+                }
+                let _ = ack.send(());
+            }
+            Msg::Shutdown => break,
+        }
+    }
+    if let Some(mut seg) = current.take() {
+        if let Err(e) = seg.file.flush() {
+            record_error(&shared.stats, &e);
+        }
+    }
+}
+
+/// A durable trace store: owns the writer thread and the shared ring.
+///
+/// Create handles with [`TraceStore::handle`] and plug them into
+/// [`VscsiTracer::streaming`](vscsi_stats::VscsiTracer::streaming) or
+/// [`StatsService::start_trace_streaming`](vscsi_stats::StatsService::start_trace_streaming);
+/// call [`TraceStore::finish`] once capture is done (after the tracers
+/// have been stopped, so their handles have sealed their last chunks).
+#[derive(Debug)]
+pub struct TraceStore {
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+    config: TraceStoreConfig,
+}
+
+impl TraceStore {
+    /// Creates the segment directory and starts the writer thread.
+    ///
+    /// # Errors
+    ///
+    /// If the directory cannot be created or the thread cannot spawn.
+    pub fn create(config: TraceStoreConfig) -> std::io::Result<TraceStore> {
+        fs::create_dir_all(&config.dir)?;
+        let shared = Arc::new(Shared {
+            ring: ChunkRing::new(config.max_chunks, config.policy),
+            stats: Mutex::new(WriterStats::default()),
+            writer_bytes: AtomicUsize::new(0),
+        });
+        let thread = {
+            let shared = Arc::clone(&shared);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("tracestore-writer".into())
+                .spawn(move || writer_loop(&shared, &config))?
+        };
+        Ok(TraceStore {
+            shared,
+            thread: Some(thread),
+            config,
+        })
+    }
+
+    /// The directory this store writes segments into.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.config.dir
+    }
+
+    /// The configuration this store was created with.
+    pub fn config(&self) -> &TraceStoreConfig {
+        &self.config
+    }
+
+    /// A new producer handle, pluggable as a [`TraceSink`].
+    pub fn handle(&self) -> TraceStoreHandle {
+        TraceStoreHandle {
+            shared: Arc::clone(&self.shared),
+            builder: BlockBuilder::with_chunk_capacity(self.config.chunk_bytes),
+            chunk_bytes: self.config.chunk_bytes,
+            block_max_records: self.config.block_max_records,
+            flush_timeout: self.config.flush_timeout,
+        }
+    }
+
+    /// Snapshot of the accounting so far (capture may still be running).
+    pub fn report(&self) -> StoreReport {
+        let stats = self.shared.stats.lock();
+        StoreReport {
+            segments: stats.segments,
+            blocks: stats.blocks,
+            records: stats.records,
+            bytes_written: stats.bytes_written,
+            drops: self.shared.ring.drops(),
+            io_errors: stats.io_errors,
+            first_error: stats.first_error.clone(),
+        }
+    }
+
+    /// Drains the ring, stops the writer, and returns the final report.
+    /// Handles still alive afterwards drop their chunks (accounted as
+    /// `closed` drops).
+    pub fn finish(mut self) -> StoreReport {
+        self.shutdown();
+        self.report()
+    }
+
+    fn shutdown(&mut self) {
+        // If the ring is already closed the writer is gone; join anyway.
+        let _ = self.shared.ring.push_control(Msg::Shutdown);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for TraceStore {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Producer-side handle: encodes records into chunks and feeds the ring.
+///
+/// Implements [`TraceSink`], so it plugs directly into a streaming
+/// [`VscsiTracer`](vscsi_stats::VscsiTracer). Dropping the handle seals
+/// whatever is buffered (without waiting for durability; use
+/// [`TraceSink::flush`] for that).
+#[derive(Debug)]
+pub struct TraceStoreHandle {
+    shared: Arc<Shared>,
+    builder: BlockBuilder,
+    chunk_bytes: usize,
+    block_max_records: u32,
+    flush_timeout: Duration,
+}
+
+impl TraceStoreHandle {
+    fn seal(&mut self) {
+        if self.builder.is_empty() {
+            return;
+        }
+        let (payload, records) = self.builder.take();
+        self.shared.ring.push_chunk(payload, records);
+    }
+}
+
+impl TraceSink for TraceStoreHandle {
+    fn append(&mut self, record: &TraceRecord) {
+        self.builder.push(record);
+        if self.builder.len_bytes() >= self.chunk_bytes
+            || self.builder.record_count() >= self.block_max_records
+        {
+            self.seal();
+        }
+    }
+
+    fn flush(&mut self) {
+        self.seal();
+        let (ack_tx, ack_rx) = mpsc::channel();
+        if self.shared.ring.push_control(Msg::Flush(ack_tx)) {
+            let _ = ack_rx.recv_timeout(self.flush_timeout);
+        }
+    }
+
+    fn memory_footprint_bytes(&self) -> usize {
+        self.builder.capacity_bytes()
+            + self.shared.ring.queued_bytes()
+            + self.shared.writer_bytes.load(Ordering::Relaxed)
+    }
+
+    fn dropped_records(&self) -> u64 {
+        self.shared.ring.drops().dropped_records()
+    }
+}
+
+impl Drop for TraceStoreHandle {
+    fn drop(&mut self) {
+        self.seal();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::read_trace;
+    use vscsi::{IoDirection, Lba, TargetId};
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            static COUNTER: AtomicUsize = AtomicUsize::new(0);
+            let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+            let path =
+                std::env::temp_dir().join(format!("tracestore-{tag}-{}-{n}", std::process::id()));
+            fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn rec(serial: u64) -> TraceRecord {
+        TraceRecord {
+            serial,
+            target: TargetId::default(),
+            direction: if serial % 3 == 0 {
+                IoDirection::Write
+            } else {
+                IoDirection::Read
+            },
+            lba: Lba::new(serial * 16),
+            num_sectors: 16,
+            issue_ns: serial * 2_000,
+            complete_ns: Some(serial * 2_000 + 450),
+            complete_seq: Some(serial + 1),
+        }
+    }
+
+    #[test]
+    fn capture_flush_read_roundtrip() {
+        let dir = TempDir::new("roundtrip");
+        let mut config = TraceStoreConfig::new(&dir.0);
+        config.chunk_bytes = 256; // force many blocks
+        let store = TraceStore::create(config).unwrap();
+        let mut sink = store.handle();
+        let records: Vec<TraceRecord> = (0..1_000).map(rec).collect();
+        for r in &records {
+            sink.append(r);
+        }
+        sink.flush();
+        drop(sink);
+        let report = store.finish();
+        assert_eq!(report.records, 1_000);
+        assert_eq!(report.drops.dropped_records(), 0);
+        assert_eq!(report.io_errors, 0);
+        assert!(report.blocks > 1, "256-byte chunks must seal many blocks");
+        assert!(report.bytes_per_record().unwrap() < 16.0);
+
+        let (read_back, integrity) = read_trace(&dir.0).unwrap();
+        assert_eq!(read_back, records);
+        assert!(integrity.aggregate().is_clean());
+    }
+
+    #[test]
+    fn segments_roll_at_configured_size() {
+        let dir = TempDir::new("roll");
+        let mut config = TraceStoreConfig::new(&dir.0);
+        config.chunk_bytes = 128;
+        config.segment_max_bytes = 512;
+        let store = TraceStore::create(config).unwrap();
+        let mut sink = store.handle();
+        let records: Vec<TraceRecord> = (0..2_000).map(rec).collect();
+        for r in &records {
+            sink.append(r);
+        }
+        drop(sink);
+        let report = store.finish();
+        assert!(report.segments > 1, "512-byte cap must roll: {report:?}");
+
+        // Multi-file read stitches segments back together in order.
+        let (read_back, integrity) = read_trace(&dir.0).unwrap();
+        assert_eq!(read_back, records);
+        assert_eq!(integrity.files.len() as u64, report.segments);
+        assert!(integrity.aggregate().is_clean());
+    }
+
+    #[test]
+    fn block_max_records_seals_small_blocks() {
+        let dir = TempDir::new("maxrec");
+        let mut config = TraceStoreConfig::new(&dir.0);
+        config.block_max_records = 10;
+        let store = TraceStore::create(config).unwrap();
+        let mut sink = store.handle();
+        for i in 0..100 {
+            sink.append(&rec(i));
+        }
+        drop(sink);
+        let report = store.finish();
+        assert_eq!(report.records, 100);
+        assert_eq!(report.blocks, 10);
+    }
+
+    #[test]
+    fn footprint_stays_under_configured_bound() {
+        let dir = TempDir::new("bound");
+        let mut config = TraceStoreConfig::new(&dir.0);
+        config.chunk_bytes = 256;
+        config.max_chunks = 4;
+        let bound = config.memory_bound_bytes();
+        let store = TraceStore::create(config).unwrap();
+        let mut sink = store.handle();
+        for i in 0..5_000 {
+            sink.append(&rec(i));
+            let footprint = sink.memory_footprint_bytes();
+            assert!(footprint <= bound, "{footprint} > {bound} at record {i}");
+        }
+        drop(sink);
+        store.finish();
+    }
+
+    #[test]
+    fn appends_after_finish_are_accounted_not_lost_silently() {
+        let dir = TempDir::new("late");
+        let config = TraceStoreConfig::new(&dir.0);
+        let store = TraceStore::create(config).unwrap();
+        let mut sink = store.handle();
+        sink.append(&rec(0));
+        let report = store.finish();
+        assert_eq!(report.records, 0, "chunk was never sealed before finish");
+        // The handle outlived the store: sealing now hits a closed ring.
+        sink.flush();
+        assert_eq!(sink.dropped_records(), 1);
+    }
+
+    #[test]
+    fn report_is_observable_mid_capture() {
+        let dir = TempDir::new("mid");
+        let store = TraceStore::create(TraceStoreConfig::new(&dir.0)).unwrap();
+        let mut sink = store.handle();
+        for i in 0..50 {
+            sink.append(&rec(i));
+        }
+        sink.flush();
+        let report = store.report();
+        assert_eq!(report.records, 50);
+        assert_eq!(report.segments, 1);
+        store.finish();
+    }
+}

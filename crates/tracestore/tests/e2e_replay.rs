@@ -1,0 +1,206 @@
+//! End-to-end acceptance tests for the tentpole path:
+//!
+//! capture (streaming tracer over a live simulation) → flush → read the
+//! binary segments back → replay → histograms **bit-identical** to the
+//! online collector; and a truncated final segment — the shape a crash
+//! leaves behind — is detected, yields every record up to the cut, and
+//! never panics.
+
+use esx::{Simulation, VmBuilder};
+use guests::{AccessSpec, IometerWorkload};
+use simkit::SimTime;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use storage::presets;
+use tracestore::{read_trace, TraceStore, TraceStoreConfig};
+use vscsi::{Lba, TargetId, VDiskId, VmId};
+use vscsi_stats::{replay, CollectorConfig, Lens, Metric, StatsService, TraceRecord};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+        let path =
+            std::env::temp_dir().join(format!("tracestore-e2e-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Runs a mixed random/sequential Iometer workload with the trace
+/// streaming into a fresh store at `dir`; returns the store's final
+/// report paired with the online collector the service built during the
+/// same run.
+fn capture_run(
+    dir: &PathBuf,
+    seed: u64,
+) -> (tracestore::StoreReport, vscsi_stats::IoStatsCollector) {
+    let service = Arc::new(StatsService::default());
+    service.enable_all();
+    let target = TargetId::new(VmId(0), VDiskId(0));
+
+    // Small chunks and segments so the run exercises block sealing,
+    // segment rolling, and multi-file read-back, not just one big block.
+    let mut config = TraceStoreConfig::new(dir);
+    config.chunk_bytes = 1 << 10;
+    config.segment_max_bytes = 8 << 10;
+    let store = TraceStore::create(config).unwrap();
+    service.start_trace_streaming(target, Box::new(store.handle()));
+
+    let mut sim = Simulation::new(
+        presets::clariion_cx3_cache_off(),
+        Arc::clone(&service),
+        seed,
+    );
+    sim.add_vm(VmBuilder::new(0).with_disk(2 * 1024 * 1024 * 1024).attach(
+        sim.rng().fork("io"),
+        |rng| {
+            Box::new(IometerWorkload::new(
+                "io",
+                AccessSpec {
+                    block_bytes: 4096,
+                    read_fraction: 0.5,
+                    random_fraction: 0.7,
+                    outstanding: 12,
+                    region_bytes: 1024 * 1024 * 1024,
+                    region_base: Lba::ZERO,
+                },
+                rng,
+            ))
+        },
+    ));
+    sim.run_until(SimTime::from_millis(400));
+
+    // Stopping the trace hands the in-flight tail to the sink and drops
+    // the handle, sealing the last chunk; finish() then drains the ring.
+    let residual = service.stop_trace(target);
+    assert!(
+        residual.is_empty(),
+        "streaming tracers keep nothing in memory to return"
+    );
+    let report = store.finish();
+    let online = service.collector(target).unwrap();
+    (report, online)
+}
+
+#[test]
+fn capture_flush_read_replay_is_bit_identical_to_online() {
+    let dir = TempDir::new("bitexact");
+    let (report, online) = capture_run(&dir.0, 11);
+    assert!(report.records > 100, "need a real trace: {report:?}");
+    assert_eq!(report.drops.dropped_records(), 0);
+    assert_eq!(report.io_errors, 0);
+    assert!(report.segments > 1, "8 KiB cap must roll segments");
+    assert!(
+        report.bytes_per_record().unwrap() <= 16.0,
+        "codec target: ≤16 bytes/record, got {:?}",
+        report.bytes_per_record()
+    );
+
+    let (records, integrity) = read_trace(&dir.0).unwrap();
+    assert!(integrity.is_clean(), "{integrity}");
+    assert_eq!(records.len() as u64, report.records);
+
+    let offline = replay(&records, CollectorConfig::default());
+    for metric in Metric::ALL {
+        for lens in Lens::ALL {
+            assert_eq!(
+                online.histogram(metric, lens).counts(),
+                offline.histogram(metric, lens).counts(),
+                "{metric}/{lens} must replay bit-identically"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncated_final_segment_recovers_prefix_and_never_panics() {
+    let dir = TempDir::new("truncate");
+    let (report, _) = capture_run(&dir.0, 12);
+    assert!(report.records > 100);
+
+    let (clean_records, clean_integrity) = read_trace(&dir.0).unwrap();
+    assert!(clean_integrity.is_clean());
+
+    // Cut into the last segment's final block, the way a crash mid-append
+    // would: every cut length must parse, flag the damage, and yield a
+    // strict prefix of the clean record stream.
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(&dir.0)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    segments.sort();
+    let last = segments.last().unwrap().clone();
+    let full = std::fs::read(&last).unwrap();
+    for cut_back in [1usize, 3, 7, 15] {
+        assert!(full.len() > cut_back);
+        std::fs::write(&last, &full[..full.len() - cut_back]).unwrap();
+        let (records, integrity) = read_trace(&dir.0).unwrap();
+        let agg = integrity.aggregate();
+        assert!(agg.truncated_tail, "cut {cut_back} bytes must be detected");
+        assert!(
+            records.len() < clean_records.len(),
+            "the cut block's records are gone"
+        );
+        assert_eq!(
+            records[..],
+            clean_records[..records.len()],
+            "recovered records are an exact prefix"
+        );
+        // The damaged trace still replays without panicking.
+        let _ = replay(&records, CollectorConfig::default());
+    }
+
+    // Integrity report names the damaged file.
+    std::fs::write(&last, &full[..full.len() - 4]).unwrap();
+    let (_, integrity) = read_trace(&dir.0).unwrap();
+    let damaged: Vec<&(PathBuf, tracestore::SegmentIntegrity)> = integrity
+        .files
+        .iter()
+        .filter(|(_, i)| !i.is_clean())
+        .collect();
+    assert_eq!(damaged.len(), 1);
+    assert_eq!(damaged[0].0, last);
+}
+
+#[test]
+fn corrupt_middle_block_is_skipped_with_loss_accounted() {
+    let dir = TempDir::new("corrupt");
+    let (report, _) = capture_run(&dir.0, 13);
+    let (clean_records, _) = read_trace(&dir.0).unwrap();
+
+    // Flip a byte in the middle of the first segment's first block
+    // payload (past the 16-byte segment header and 16-byte block header).
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(&dir.0)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    segments.sort();
+    let first = &segments[0];
+    let mut data = std::fs::read(first).unwrap();
+    data[40] ^= 0x10;
+    std::fs::write(first, &data).unwrap();
+
+    let (records, integrity) = read_trace(&dir.0).unwrap();
+    let agg = integrity.aggregate();
+    assert_eq!(agg.blocks_corrupt, 1);
+    assert!(agg.records_lost > 0);
+    assert!(!agg.truncated_tail);
+    assert_eq!(
+        records.len() as u64 + agg.records_lost,
+        report.records,
+        "recovered + lost must cover the whole trace"
+    );
+    // Later blocks survive: the recovered stream is the clean stream
+    // minus one contiguous span.
+    assert!(clean_records.ends_with(&records[records.len() - 10..]));
+}

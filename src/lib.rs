@@ -15,7 +15,9 @@
 //!   workloads (Filebench OLTP, DBT-2, file copy, Iometer);
 //! * [`esx`] — the hypervisor event loop with vSCSI stats hooks;
 //! * [`vscsi_stats`] — **the paper's contribution**: the online
-//!   characterization service and tracing framework.
+//!   characterization service and tracing framework;
+//! * [`tracestore`] — durable, bounded-memory binary trace capture &
+//!   replay (streaming backend for the tracing framework).
 //!
 //! # Examples
 //!
@@ -40,6 +42,7 @@ pub use guests;
 pub use histo;
 pub use simkit;
 pub use storage;
+pub use tracestore;
 pub use vscsi;
 pub use vscsi_stats;
 
@@ -53,9 +56,13 @@ pub mod prelude {
     pub use histo::{layouts, BinEdges, Histogram, Histogram2d, HistogramSeries, SeekWindow};
     pub use simkit::{Dist, SimDuration, SimRng, SimTime};
     pub use storage::{presets, ArrayParams, StorageArray};
+    pub use tracestore::{
+        read_trace, BackpressurePolicy, StoreReport, TraceStore, TraceStoreConfig,
+    };
     pub use vscsi::{Cdb, IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId};
     pub use vscsi_stats::{
         replay, CollectorConfig, FingerprintLibrary, IoStatsCollector, Lens, Metric, StatsService,
-        TraceCapacity, VscsiEvent, VscsiTracer, WorkloadClass, WorkloadFingerprint,
+        TraceCapacity, TraceSink, VecSink, VscsiEvent, VscsiTracer, WorkloadClass,
+        WorkloadFingerprint,
     };
 }
