@@ -163,7 +163,45 @@ fn print_views(collector: &IoStatsCollector, args: &Args, want_report: bool) {
 
 /// `--replay`: read a binary trace back and rebuild the online histograms
 /// per target, without re-running the simulation.
+/// Prints capture-time accounting from the [`tracestore::META_FILE`]
+/// sidecar, if one exists next to the segments. The segments themselves
+/// cannot carry this — a dropped chunk leaves no bytes behind — so the
+/// sidecar is the only place replay can learn what the capture shed.
+fn print_capture_meta(path: &Path) {
+    let Some(meta) = tracestore::read_meta(path) else {
+        return;
+    };
+    let get = |key: &str| {
+        meta.iter()
+            .find(|(k, _)| k == key)
+            .map_or("?", |(_, v)| v.as_str())
+    };
+    eprintln!(
+        "capture: {} record(s) in {} segment(s), policy {}",
+        get("records"),
+        get("segments"),
+        get("policy")
+    );
+    eprintln!(
+        "capture drops: oldest={} newest={} closed={} (records); block_waits={}",
+        get("dropped_oldest_records"),
+        get("dropped_newest_records"),
+        get("dropped_closed_records"),
+        get("block_waits")
+    );
+    if get("io_errors") != "0" {
+        eprintln!(
+            "capture I/O errors: {} ({} record(s) lost)",
+            get("io_errors"),
+            get("io_error_records")
+        );
+    }
+}
+
 fn run_replay(path: &Path, args: &Args) -> Result<(), String> {
+    if path.is_dir() {
+        print_capture_meta(path);
+    }
     let (records, integrity) = read_trace(path).map_err(|e| format!("{}: {e}", path.display()))?;
     eprint!("{integrity}");
     if !integrity.is_clean() {

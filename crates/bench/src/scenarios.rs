@@ -1,16 +1,18 @@
 //! Shared experiment scenarios: one builder per paper workload, reused by
 //! the figure binaries, the integration tests, and the Criterion benches.
 
-use esx::{Simulation, VmBuilder};
+use esx::{RobustnessParams, Simulation, VmBuilder};
+use faultkit::{FaultPlan, FaultPlanBuilder};
 use guests::filebench::{oltp_model, parse_model, FilebenchWorkload};
 use guests::fs::{Ext3Params, NtfsParams, Ufs, UfsParams, Zfs, ZfsParams};
 use guests::{
-    AccessSpec, Dbt2Params, Dbt2Workload, Delayed, FileCopyParams, FileCopyWorkload,
-    IometerWorkload,
+    AccessSpec, BlockIo, Dbt2Params, Dbt2Workload, Delayed, FileCopyParams, FileCopyWorkload,
+    IometerWorkload, ReplayWorkload, ScheduledIo,
 };
-use simkit::SimTime;
+use simkit::{SimDuration, SimTime};
 use std::sync::Arc;
 use storage::presets;
+use vscsi::Lba;
 use vscsi_stats::{CollectorConfig, IoStatsCollector, StatsService, TraceSink};
 
 /// Outcome of one scenario run: the per-attachment collectors plus
@@ -31,6 +33,18 @@ pub struct RunResult {
     pub horizon: SimTime,
     /// Completions per second, per attachment (IOps over time).
     pub per_second: Vec<Vec<u64>>,
+    /// Commands issued per attachment.
+    pub issued: Vec<u64>,
+    /// Error-status deliveries per attachment.
+    pub failed: Vec<u64>,
+    /// Abort deliveries (timeout or quarantine drain) per attachment.
+    pub aborted: Vec<u64>,
+    /// Retry dispatches per attachment.
+    pub retries: Vec<u64>,
+    /// Commands issued but not yet delivered when the horizon was reached.
+    pub in_flight: Vec<u64>,
+    /// Whether each attachment ended the run quarantined.
+    pub quarantined: Vec<bool>,
 }
 
 fn collect(sim: &Simulation, service: &StatsService, horizon: SimTime) -> RunResult {
@@ -42,6 +56,12 @@ fn collect(sim: &Simulation, service: &StatsService, horizon: SimTime) -> RunRes
         mean_latency_us: Vec::new(),
         horizon,
         per_second: Vec::new(),
+        issued: Vec::new(),
+        failed: Vec::new(),
+        aborted: Vec::new(),
+        retries: Vec::new(),
+        in_flight: Vec::new(),
+        quarantined: Vec::new(),
     };
     for idx in 0..sim.attachment_count() {
         let target = sim.attachment_target(idx);
@@ -55,6 +75,12 @@ fn collect(sim: &Simulation, service: &StatsService, horizon: SimTime) -> RunRes
         out.mbps.push(stats.mbps(horizon));
         out.mean_latency_us.push(stats.mean_latency_us());
         out.per_second.push(stats.per_second.counts().to_vec());
+        out.issued.push(stats.issued);
+        out.failed.push(stats.failed);
+        out.aborted.push(stats.aborted);
+        out.retries.push(stats.retries);
+        out.in_flight.push(sim.in_flight(idx) as u64);
+        out.quarantined.push(sim.quarantined(idx));
     }
     out
 }
@@ -84,6 +110,13 @@ impl Prepared {
     /// Streams attachment `idx`'s trace into `sink` for the whole run.
     pub fn stream_trace(&self, idx: usize, sink: Box<dyn TraceSink>) {
         self.sim.stream_trace(idx, sink);
+    }
+
+    /// Mutable access to the underlying simulation, for pre-run
+    /// configuration: attaching a fault plan, tuning the robustness
+    /// policy, or overriding per-target timeouts.
+    pub fn sim_mut(&mut self) -> &mut Simulation {
+        &mut self.sim
     }
 
     /// Runs the scenario to its horizon and collects the results. Any
@@ -376,6 +409,135 @@ pub fn prepare_interference(
     }
 }
 
+/// The LBA band (inclusive) the demo fault plans mark as unreadable media.
+pub const FAULT_MEDIA_BAND: (u64, u64) = (1_000_000, 1_000_999);
+
+/// Issue period of the open-loop fault-demo schedule. Chosen so the
+/// worst-case faulted delivery (a BUSY retry chain at the default backoff,
+/// or a media error at its 8 ms fixed cost) finishes well before the next
+/// command is issued: the issue-side histograms then cannot observe the
+/// faults at all, which is what `ext_faults` demonstrates.
+pub const FAULT_REPLAY_PERIOD: SimDuration = SimDuration::from_millis(50);
+
+/// The fault plan for the open-loop `ext_faults` phase: a bad-media band,
+/// a probabilistic BUSY window, a latency-spike window and a path flap.
+/// Deliberately no hangs — every command is delivered inside one
+/// [`FAULT_REPLAY_PERIOD`].
+pub fn fault_demo_plan(seed: u64) -> FaultPlan {
+    FaultPlanBuilder::new(seed)
+        .media_error(
+            Lba::new(FAULT_MEDIA_BAND.0),
+            Lba::new(FAULT_MEDIA_BAND.1),
+            None,
+        )
+        .transient_busy(SimTime::from_secs(2), SimTime::from_secs(3), 0.6)
+        .latency_spike(SimTime::from_secs(4), SimTime::from_secs(5), 3.0)
+        .path_flap(SimTime::from_secs(6), SimTime::from_millis(6_200))
+        .build()
+}
+
+/// The fault plan for the closed-loop `ext_faults` storm phase: every
+/// command hangs during the first half second, forcing the timeout/abort
+/// path and then target quarantine.
+pub fn fault_storm_plan(seed: u64) -> FaultPlan {
+    FaultPlanBuilder::new(seed)
+        .hang(SimTime::ZERO, SimTime::from_millis(500), 1.0)
+        .build()
+}
+
+/// The deterministic open-loop schedule behind the `ext_faults`
+/// bit-stability demonstration. Pure arithmetic — no RNG — so the issue
+/// stream is identical by construction across runs and across fault
+/// plans: one command per [`FAULT_REPLAY_PERIOD`], mostly a sequential
+/// read run with periodic far seeks, writes mixed in, and every 11th
+/// command aimed into [`FAULT_MEDIA_BAND`].
+pub fn fault_replay_schedule(duration: SimTime) -> Vec<ScheduledIo> {
+    let period = FAULT_REPLAY_PERIOD;
+    let count = duration.as_nanos() / period.as_nanos();
+    let mut schedule = Vec::with_capacity(count as usize);
+    for k in 0..count {
+        let at = SimTime::ZERO + period * (k + 1);
+        let lba = if k % 11 == 10 {
+            // Probe the bad-media band.
+            Lba::new(FAULT_MEDIA_BAND.0 + (k % 1000))
+        } else if k % 7 == 6 {
+            // Far seek.
+            Lba::new(10_000_000 + k * 8)
+        } else {
+            // Sequential run.
+            Lba::new(4_096 + k * 8)
+        };
+        let sectors = if k % 5 == 0 { 16 } else { 8 };
+        let io = if k % 3 == 2 {
+            BlockIo::write(lba, sectors, k)
+        } else {
+            BlockIo::read(lba, sectors, k)
+        };
+        schedule.push(ScheduledIo { at, io });
+    }
+    schedule
+}
+
+/// Builds the open-loop fault-demo scenario: one VM replaying
+/// [`fault_replay_schedule`] against the Symmetrix-like array, with
+/// [`fault_demo_plan`] attached when `faulted` is true. Everything the
+/// guest does is timer-driven, so the issue stream — and with it every
+/// device-independent histogram — is identical whether or not the plan
+/// is attached.
+pub fn prepare_fault_replay(duration: SimTime, seed: u64, faulted: bool) -> Prepared {
+    let service = Arc::new(StatsService::new(CollectorConfig::paper_figures()));
+    service.enable_all();
+    let mut sim = Simulation::new(presets::symmetrix(), Arc::clone(&service), seed);
+    let schedule = fault_replay_schedule(duration);
+    let vm = VmBuilder::new(0)
+        .with_disk(8 * 1024 * 1024 * 1024)
+        .attach(sim.rng().fork("replay"), move |_rng| {
+            Box::new(ReplayWorkload::new("fault-replay", schedule))
+        });
+    sim.add_vm(vm);
+    if faulted {
+        sim.attach_fault_plan(fault_demo_plan(seed));
+    }
+    Prepared {
+        sim,
+        service,
+        horizon: duration,
+    }
+}
+
+/// Builds the closed-loop fault-storm scenario: an Iometer random reader
+/// at 32 outstanding I/Os against an array where every command hangs for
+/// the first half second ([`fault_storm_plan`]). A short command timeout
+/// makes the abort path carry the whole load; the target quarantines once
+/// the error rate crosses the threshold, and the drain path keeps the
+/// closed loop live instead of wedging it.
+pub fn prepare_fault_storm(duration: SimTime, seed: u64) -> Prepared {
+    let service = Arc::new(StatsService::new(CollectorConfig::paper_figures()));
+    service.enable_all();
+    let mut sim = Simulation::new(presets::symmetrix(), Arc::clone(&service), seed);
+    sim.set_robustness(RobustnessParams {
+        command_timeout: SimDuration::from_millis(50),
+        ..RobustnessParams::default()
+    });
+    let vm = VmBuilder::new(0).with_disk(8 * 1024 * 1024 * 1024).attach(
+        sim.rng().fork("storm"),
+        |rng| {
+            Box::new(IometerWorkload::new(
+                "8k-random-read",
+                AccessSpec::random_read_8k(32, 4 * 1024 * 1024 * 1024),
+                rng,
+            ))
+        },
+    );
+    sim.add_vm(vm);
+    sim.attach_fault_plan(fault_storm_plan(seed));
+    Prepared {
+        sim,
+        service,
+        horizon: duration,
+    }
+}
+
 /// Runs the two-VM interference experiment (Figure 6, §5.3).
 pub fn run_interference(
     mode: InterferenceMode,
@@ -441,6 +603,56 @@ mod tests {
         // Identical simulated behaviour regardless of the service state.
         assert_eq!(on.completed, off.completed);
         assert!((on.iops - off.iops).abs() < 1.0);
+    }
+
+    #[test]
+    fn fault_replay_issue_stream_is_device_independent() {
+        let horizon = SimTime::from_millis(3_500); // covers the BUSY window
+        let clean = prepare_fault_replay(horizon, 11, false).run();
+        let faulted = prepare_fault_replay(horizon, 11, true).run();
+        for metric in [
+            Metric::IoLength,
+            Metric::OutstandingIos,
+            Metric::SeekDistance,
+            Metric::SeekDistanceWindowed,
+        ] {
+            for lens in Lens::ALL {
+                assert_eq!(
+                    clean.collectors[0].histogram(metric, lens).counts(),
+                    faulted.collectors[0].histogram(metric, lens).counts(),
+                    "{metric}/{lens} must be bit-stable under faults"
+                );
+            }
+        }
+        assert_eq!(
+            clean.collectors[0]
+                .histogram(Metric::Errors, Lens::All)
+                .total(),
+            0
+        );
+        assert!(
+            faulted.collectors[0]
+                .histogram(Metric::Errors, Lens::All)
+                .total()
+                > 0,
+            "media band and BUSY window must surface errors"
+        );
+        assert!(faulted.retries[0] > 0, "BUSY window must trigger retries");
+        assert!(faulted.failed[0] > 0, "media band must fail commands");
+        assert!(!faulted.quarantined[0], "error rate stays below threshold");
+    }
+
+    #[test]
+    fn fault_storm_quarantines_without_wedging() {
+        let r = prepare_fault_storm(SimTime::from_secs(1), 13).run();
+        assert!(r.quarantined[0], "hang storm must quarantine the target");
+        assert!(r.aborted[0] > 0, "timeouts must abort hung commands");
+        assert_eq!(r.completed[0], 0, "nothing completes during the storm");
+        assert_eq!(
+            r.completed[0] + r.failed[0] + r.aborted[0] + r.in_flight[0],
+            r.issued[0],
+            "every issued command is accounted for"
+        );
     }
 
     #[test]

@@ -74,6 +74,7 @@ fn metric_index(metric: Metric) -> usize {
         Metric::Interarrival => 3,
         Metric::OutstandingIos => 4,
         Metric::Latency => 5,
+        Metric::Errors => 6,
     }
 }
 
@@ -84,6 +85,7 @@ fn layout_for(metric: Metric) -> histo::BinEdges {
         Metric::Interarrival => layouts::interarrival_us(),
         Metric::OutstandingIos => layouts::outstanding_ios(),
         Metric::Latency => layouts::latency_us(),
+        Metric::Errors => layouts::scsi_outcomes(),
     }
 }
 
@@ -129,6 +131,11 @@ pub struct IoStatsCollector {
     outstanding_by_dir: [u32; 2],
     issued_commands: u64,
     completed_commands: u64,
+    error_commands: u64,
+    /// Non-monotonic timestamp pairs observed (interarrival or latency
+    /// deltas that would have gone negative). The deltas saturate to zero;
+    /// this counter is the only trace the anomaly leaves.
+    clock_anomalies: u64,
     bytes_read: u64,
     bytes_written: u64,
     latency_series: Option<HistogramSeries>,
@@ -176,6 +183,8 @@ impl IoStatsCollector {
             outstanding_by_dir: [0, 0],
             issued_commands: 0,
             completed_commands: 0,
+            error_commands: 0,
+            clock_anomalies: 0,
             bytes_read: 0,
             bytes_written: 0,
             latency_series,
@@ -228,8 +237,13 @@ impl IoStatsCollector {
             self.record(Metric::SeekDistanceWindowed, lens, d);
         }
 
-        // Interarrival time (§3.2).
+        // Interarrival time (§3.2). Observed streams can run backwards
+        // (clock steps, merged traces); the delta saturates to zero and the
+        // anomaly is counted rather than wrapping into a huge positive value.
         if let Some(prev) = self.last_arrival {
+            if req.issue_time < prev {
+                self.clock_anomalies += 1;
+            }
             let dt = req.issue_time.saturating_since(prev).as_micros() as i64;
             self.record(Metric::Interarrival, lens, dt);
         }
@@ -270,18 +284,36 @@ impl IoStatsCollector {
     }
 
     /// Observes a command at completion time.
+    ///
+    /// Only `GOOD` completions feed the device-latency histogram and series:
+    /// an error completion's round-trip time measures the fault path, not
+    /// the device, and would corrupt the §3.5 characterization. Error
+    /// completions are instead tallied by SCSI outcome code in the
+    /// [`Metric::Errors`] histogram.
     pub fn on_complete(&mut self, completion: &IoCompletion) {
         let req = &completion.request;
         let lens = direction_lens(req);
-        let lat_us = completion.latency().as_micros() as i64;
-        self.record(Metric::Latency, lens, lat_us);
-        if let Some(series) = &mut self.latency_series {
-            series.record(completion.complete_time, lat_us);
+        if completion.complete_time < req.issue_time {
+            self.clock_anomalies += 1;
+        }
+        let lat_us = completion.saturating_latency().as_micros() as i64;
+        if completion.status.is_good() {
+            self.record(Metric::Latency, lens, lat_us);
+            if let Some(series) = &mut self.latency_series {
+                series.record(completion.complete_time, lat_us);
+            }
+        } else {
+            self.error_commands += 1;
+            self.record(Metric::Errors, lens, completion.status.outcome_code());
         }
         if let Some(h2) = &mut self.seek_latency {
+            // The in-flight entry is retired either way so errors cannot
+            // leak slots, but only good completions contribute a point.
             if let Some(pos) = self.inflight_seeks.iter().position(|(id, _)| *id == req.id) {
                 let (_, seek) = self.inflight_seeks.swap_remove(pos);
-                h2.record(seek, lat_us);
+                if completion.status.is_good() {
+                    h2.record(seek, lat_us);
+                }
             }
         }
         // A completion can legitimately arrive without a matching issue:
@@ -315,9 +347,23 @@ impl IoStatsCollector {
         self.issued_commands
     }
 
-    /// Commands completed so far.
+    /// Commands completed so far (any outcome, including errors).
     pub fn completed_commands(&self) -> u64 {
         self.completed_commands
+    }
+
+    /// Completions that carried a non-`GOOD` SCSI status. These are
+    /// excluded from the latency histograms and tallied in
+    /// [`Metric::Errors`] instead.
+    pub fn error_commands(&self) -> u64 {
+        self.error_commands
+    }
+
+    /// Non-monotonic timestamp pairs seen so far (issue times running
+    /// backwards, or completions stamped before their issue). The affected
+    /// deltas saturated to zero.
+    pub fn clock_anomalies(&self) -> u64 {
+        self.clock_anomalies
     }
 
     /// I/Os currently in flight.
@@ -370,6 +416,8 @@ impl IoStatsCollector {
         self.last_arrival = None;
         self.issued_commands = 0;
         self.completed_commands = 0;
+        self.error_commands = 0;
+        self.clock_anomalies = 0;
         self.bytes_read = 0;
         self.bytes_written = 0;
         if let Some(w) = self.config.series_interval {
@@ -694,6 +742,118 @@ mod tests {
         assert_eq!(p.p99_us, 15_000);
         assert!(p.p50_us <= p.p90_us && p.p90_us <= p.p99_us);
         assert!((p.mean_us - (90.0 * 300.0 + 9.0 * 8_000.0 + 60_000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_interarrival_saturates_and_counts_anomaly() {
+        let mut c = IoStatsCollector::default();
+        c.on_issue(&mk(0, IoDirection::Read, 0, 8, 100));
+        c.on_issue(&mk(1, IoDirection::Read, 8, 8, 40)); // clock ran backwards
+        assert_eq!(c.clock_anomalies(), 1);
+        {
+            let h = c.histogram(Metric::Interarrival, Lens::All);
+            assert_eq!(h.total(), 1);
+            assert_eq!(h.mean(), Some(0.0), "delta saturates to zero");
+        }
+        // Forward progress afterwards is unaffected.
+        c.on_issue(&mk(2, IoDirection::Read, 16, 8, 140));
+        assert_eq!(c.clock_anomalies(), 1);
+        assert_eq!(c.histogram(Metric::Interarrival, Lens::All).total(), 2);
+    }
+
+    #[test]
+    fn negative_latency_saturates_and_counts_anomaly() {
+        use vscsi::ScsiStatus;
+        let mut c = IoStatsCollector::default();
+        let r = mk(0, IoDirection::Write, 0, 8, 500);
+        c.on_issue(&r);
+        // Completion stamped before issue — an observed-stream anomaly.
+        let bad = IoCompletion::observed(r, SimTime::from_micros(100), ScsiStatus::Good);
+        c.on_complete(&bad);
+        assert_eq!(c.clock_anomalies(), 1);
+        let h = c.histogram(Metric::Latency, Lens::All);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.mean(), Some(0.0), "latency saturates to zero");
+        assert_eq!(c.outstanding_now(), 0);
+    }
+
+    #[test]
+    fn error_completions_feed_error_histogram_not_latency() {
+        use vscsi::{ScsiStatus, SenseKey};
+        let mut c = IoStatsCollector::default();
+        let ok = mk(0, IoDirection::Read, 0, 8, 0);
+        c.on_issue(&ok);
+        c.on_complete(&IoCompletion::new(ok, SimTime::from_micros(200)));
+        assert_eq!(c.histogram(Metric::Errors, Lens::All).total(), 0);
+        assert_eq!(c.error_commands(), 0);
+
+        let bad = mk(1, IoDirection::Read, 8, 8, 300);
+        c.on_issue(&bad);
+        c.on_complete(&IoCompletion::with_status(
+            bad,
+            SimTime::from_micros(9_000),
+            ScsiStatus::CheckCondition(SenseKey::MediumError),
+        ));
+        // Latency histogram only saw the good completion.
+        let lat = c.histogram(Metric::Latency, Lens::All);
+        assert_eq!(lat.total(), 1);
+        assert_eq!(lat.mean(), Some(200.0));
+        // The error landed in its outcome-code bin, under both lenses.
+        let errs = c.histogram(Metric::Errors, Lens::All);
+        assert_eq!(errs.total(), 1);
+        let code = ScsiStatus::CheckCondition(SenseKey::MediumError).outcome_code();
+        assert_eq!(errs.count(errs.edges().bin_index(code)), 1);
+        assert_eq!(c.histogram(Metric::Errors, Lens::Reads).total(), 1);
+        assert_eq!(c.histogram(Metric::Errors, Lens::Writes).total(), 0);
+        // Bookkeeping still counts the command as completed.
+        assert_eq!(c.completed_commands(), 2);
+        assert_eq!(c.error_commands(), 1);
+        assert_eq!(c.outstanding_now(), 0);
+    }
+
+    #[test]
+    fn error_completions_skip_series_and_correlation() {
+        use vscsi::ScsiStatus;
+        let cfg = CollectorConfig {
+            series_interval: Some(SimDuration::from_secs(6)),
+            correlate_seek_latency: true,
+            ..Default::default()
+        };
+        let mut c = IoStatsCollector::new(cfg);
+        let r0 = mk(0, IoDirection::Read, 0, 8, 0);
+        c.on_issue(&r0);
+        c.on_complete(&IoCompletion::new(r0, SimTime::from_micros(100)));
+        let r1 = mk(1, IoDirection::Read, 8, 8, 200);
+        c.on_issue(&r1);
+        c.on_complete(&IoCompletion::with_status(
+            r1,
+            SimTime::from_micros(700),
+            ScsiStatus::Busy,
+        ));
+        // Only the good completion reached the series…
+        assert_eq!(c.latency_series().unwrap().total(), 1);
+        // …and the 2-D correlation, whose in-flight slot was still retired.
+        assert_eq!(c.seek_latency_histogram().unwrap().total(), 0);
+        assert!(c.inflight_seeks.is_empty(), "error must not leak a slot");
+    }
+
+    #[test]
+    fn reset_clears_error_and_anomaly_counters() {
+        use vscsi::ScsiStatus;
+        let mut c = IoStatsCollector::default();
+        let r = mk(0, IoDirection::Read, 0, 8, 100);
+        c.on_issue(&r);
+        c.on_complete(&IoCompletion::observed(
+            r,
+            SimTime::ZERO,
+            ScsiStatus::TaskAborted,
+        ));
+        assert_eq!(c.error_commands(), 1);
+        assert_eq!(c.clock_anomalies(), 1);
+        c.reset();
+        assert_eq!(c.error_commands(), 0);
+        assert_eq!(c.clock_anomalies(), 0);
+        assert_eq!(c.histogram(Metric::Errors, Lens::All).total(), 0);
     }
 
     #[test]

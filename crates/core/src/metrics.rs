@@ -21,17 +21,24 @@ pub enum Metric {
     OutstandingIos,
     /// Device latency from issue to completion, in microseconds (§3.5).
     Latency,
+    /// Error completions by SCSI outcome code (see
+    /// `vscsi::ScsiStatus::outcome_code`): 1 = MEDIUM ERROR,
+    /// 2 = UNIT ATTENTION, 3 = BUSY, 4 = TASK ABORTED. Successful
+    /// commands are not recorded here, so the histogram is empty on a
+    /// healthy path.
+    Errors,
 }
 
 impl Metric {
     /// All metrics, in report order.
-    pub const ALL: [Metric; 6] = [
+    pub const ALL: [Metric; 7] = [
         Metric::IoLength,
         Metric::SeekDistance,
         Metric::SeekDistanceWindowed,
         Metric::Interarrival,
         Metric::OutstandingIos,
         Metric::Latency,
+        Metric::Errors,
     ];
 
     /// Whether this metric depends on the environment (storage device and
@@ -40,7 +47,10 @@ impl Metric {
     /// length, spatial locality, outstanding I/Os and read/write ratio are
     /// environment-independent.
     pub const fn is_environment_dependent(self) -> bool {
-        matches!(self, Metric::Latency | Metric::Interarrival)
+        matches!(
+            self,
+            Metric::Latency | Metric::Interarrival | Metric::Errors
+        )
     }
 
     /// The measurement unit, for report headers.
@@ -50,6 +60,7 @@ impl Metric {
             Metric::SeekDistance | Metric::SeekDistanceWindowed => "sectors",
             Metric::Interarrival | Metric::Latency => "microseconds",
             Metric::OutstandingIos => "I/Os",
+            Metric::Errors => "outcomes",
         }
     }
 }
@@ -63,6 +74,7 @@ impl fmt::Display for Metric {
             Metric::Interarrival => "I/O Interarrival",
             Metric::OutstandingIos => "Outstanding I/Os",
             Metric::Latency => "I/O Latency",
+            Metric::Errors => "I/O Errors by Outcome",
         };
         f.write_str(name)
     }
@@ -108,6 +120,8 @@ mod tests {
         assert!(!Metric::SeekDistance.is_environment_dependent());
         assert!(!Metric::SeekDistanceWindowed.is_environment_dependent());
         assert!(!Metric::OutstandingIos.is_environment_dependent());
+        // Faults come from the environment, not the workload.
+        assert!(Metric::Errors.is_environment_dependent());
     }
 
     #[test]
@@ -123,7 +137,7 @@ mod tests {
     fn all_lists_are_complete_and_unique() {
         let mut m = Metric::ALL.to_vec();
         m.dedup();
-        assert_eq!(m.len(), 6);
+        assert_eq!(m.len(), 7);
         let mut l = Lens::ALL.to_vec();
         l.dedup();
         assert_eq!(l.len(), 3);

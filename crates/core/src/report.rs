@@ -43,6 +43,14 @@ pub fn full_report(collector: &IoStatsCollector) -> String {
         collector.bytes_read(),
         collector.bytes_written()
     );
+    if collector.error_commands() > 0 || collector.clock_anomalies() > 0 {
+        let _ = writeln!(
+            out,
+            "error completions={} clock anomalies={}",
+            collector.error_commands(),
+            collector.clock_anomalies()
+        );
+    }
     let _ = writeln!(out);
     for metric in Metric::ALL {
         for lens in Lens::ALL {
@@ -157,7 +165,7 @@ mod tests {
         for line in lines {
             assert_eq!(line.split(',').count(), 4, "bad row: {line}");
         }
-        // 6 metrics x 3 lenses, each with its layout's bins.
+        // 7 metrics x 3 lenses, each with its layout's bins.
         let rows = csv.lines().count() - 1;
         assert!(rows > 200, "rows = {rows}");
     }

@@ -50,6 +50,6 @@ mod top;
 mod vm;
 
 pub use host::Testbed;
-pub use sim::{AttachmentStats, CpuParams, Simulation};
+pub use sim::{AttachmentStats, CpuParams, RobustnessParams, Simulation};
 pub use top::{EsxTop, TopSample};
 pub use vm::{Attachment, Vm, VmBuilder};

@@ -8,20 +8,32 @@
 //! array services the physical I/O.
 
 use crate::vm::Attachment;
+use faultkit::FaultPlan;
 use guests::{Poll, Workload};
 use simkit::{EventQueue, IntervalCounter, SimDuration, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
-use storage::StorageArray;
+use storage::{StorageArray, Submission};
 use vscsi::SECTOR_SIZE;
-use vscsi::{IoCompletion, IoRequest, RequestId};
+use vscsi::{IoCompletion, IoRequest, RequestId, ScsiStatus};
 use vscsi_stats::{StatsService, VscsiEvent};
 
 /// Per-attachment runtime counters, the `esxtop`-style view (§5.2).
 #[derive(Debug, Clone)]
 pub struct AttachmentStats {
-    /// Commands completed.
+    /// Commands the guest issued (entered the vSCSI layer).
+    pub issued: u64,
+    /// Commands completed successfully.
     pub completed: u64,
+    /// Commands that ended in an error status (`CHECK CONDITION`, or a
+    /// `BUSY` that exhausted its retry budget).
+    pub failed: u64,
+    /// Commands torn down by the timeout/abort path or quarantine drain.
+    pub aborted: u64,
+    /// Retry dispatches (a command retried twice counts twice).
+    pub retries: u64,
+    /// Commands that ultimately succeeded after at least one retry.
+    pub retried_ok: u64,
     /// Bytes transferred (both directions).
     pub bytes: u64,
     /// Sum of device latencies, microseconds.
@@ -33,11 +45,29 @@ pub struct AttachmentStats {
 impl AttachmentStats {
     fn new() -> Self {
         AttachmentStats {
+            issued: 0,
             completed: 0,
+            failed: 0,
+            aborted: 0,
+            retries: 0,
+            retried_ok: 0,
             bytes: 0,
             latency_sum_us: 0,
             per_second: IntervalCounter::new(SimDuration::from_secs(1)),
         }
+    }
+
+    /// Commands whose final outcome has been delivered to the guest.
+    pub fn delivered(&self) -> u64 {
+        self.completed + self.failed + self.aborted
+    }
+
+    /// Fraction of delivered commands that ended in error or abort.
+    pub fn error_rate(&self) -> f64 {
+        if self.delivered() == 0 {
+            return 0.0;
+        }
+        (self.failed + self.aborted) as f64 / self.delivered() as f64
     }
 
     /// Mean completions per second over `[0, horizon]`.
@@ -91,12 +121,85 @@ impl Default for CpuParams {
     }
 }
 
+/// Error-handling policy for the hypervisor's I/O path: command
+/// timeouts, bounded retry with exponential backoff, and graceful
+/// degradation of failing targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustnessParams {
+    /// How long a dispatched command may stay unanswered before the
+    /// initiator aborts it. Generous by default — well above any healthy
+    /// service time — so the timeout path only fires on real hangs.
+    pub command_timeout: SimDuration,
+    /// Maximum retry dispatches per command for retryable statuses
+    /// (`BUSY`, `UNIT ATTENTION`).
+    pub max_retries: u32,
+    /// First retry backoff; doubles on each subsequent retry.
+    pub retry_backoff_base: SimDuration,
+    /// Upper bound of the uniform jitter added to each backoff (avoids
+    /// retry convoys when a whole queue got BUSY at once).
+    pub retry_jitter: SimDuration,
+    /// Delivered-error fraction above which a target is quarantined.
+    pub quarantine_error_rate: f64,
+    /// Deliveries required before the error rate is trusted.
+    pub quarantine_min_commands: u64,
+    /// Simulated latency of aborting one queued command while draining a
+    /// quarantined target (an abort task-management round trip).
+    pub abort_drain_latency: SimDuration,
+}
+
+impl Default for RobustnessParams {
+    fn default() -> Self {
+        RobustnessParams {
+            command_timeout: SimDuration::from_secs(2),
+            max_retries: 4,
+            retry_backoff_base: SimDuration::from_millis(1),
+            retry_jitter: SimDuration::from_micros(500),
+            quarantine_error_rate: 0.5,
+            quarantine_min_commands: 32,
+            abort_drain_latency: SimDuration::from_micros(500),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Event {
     /// A workload's armed timer fired (with its generation stamp).
     Timer { attach: usize, generation: u64 },
-    /// A device completion for a request issued by `attach`.
-    Complete { attach: usize, request_id: u64 },
+    /// A completion surfaces for a request (stamped with the dispatch
+    /// generation it belongs to; stale stamps are ignored).
+    Complete {
+        attach: usize,
+        request_id: u64,
+        dispatch: u64,
+    },
+    /// A dispatched command's timeout expired; abort it if still live.
+    Timeout {
+        attach: usize,
+        request_id: u64,
+        dispatch: u64,
+    },
+    /// A backed-off command is due for its retry dispatch.
+    Retry {
+        attach: usize,
+        request_id: u64,
+        dispatch: u64,
+    },
+}
+
+/// Driver-side state of one command between issue and final delivery.
+struct Inflight {
+    request: IoRequest,
+    /// Workload tag handed back on delivery.
+    tag: u64,
+    /// Retry dispatches consumed so far.
+    retries: u32,
+    /// Generation stamp; bumped on every state transition so stale
+    /// Complete/Timeout/Retry events can be recognized and dropped.
+    dispatch: u64,
+    /// Whether the command currently occupies a device queue slot.
+    at_device: bool,
+    /// Outcome the pending `Complete` event will deliver.
+    status: ScsiStatus,
 }
 
 struct AttachmentRuntime {
@@ -106,11 +209,13 @@ struct AttachmentRuntime {
     pending: Vec<IoRequest>,
     /// Commands at the device.
     active: u32,
-    /// Tag for each in-flight request id.
-    tags: HashMap<u64, u64>,
-    /// Requests (for completion bookkeeping).
-    requests: HashMap<u64, IoRequest>,
+    /// Every command between issue and final delivery, by request id.
+    cmds: HashMap<u64, Inflight>,
     timer_generation: u64,
+    /// Quarantined targets stop dispatching and drain with aborts.
+    quarantined: bool,
+    /// Per-target timeout override (else [`RobustnessParams`] applies).
+    timeout_override: Option<SimDuration>,
     stats: AttachmentStats,
 }
 
@@ -155,6 +260,10 @@ pub struct Simulation {
     cpu: CpuParams,
     /// Host CPU nanoseconds consumed by the I/O path so far.
     cpu_used_ns: u64,
+    robustness: RobustnessParams,
+    /// Dedicated stream for retry-backoff jitter, forked once at
+    /// construction so draws stay deterministic per seed.
+    retry_rng: simkit::SimRng,
     rng: simkit::SimRng,
     started: bool,
     /// Reusable buffer for batched stats ingestion (one shard-lock
@@ -189,6 +298,8 @@ impl Simulation {
             queue_depth: Self::DEFAULT_QUEUE_DEPTH,
             cpu: CpuParams::default(),
             cpu_used_ns: 0,
+            robustness: RobustnessParams::default(),
+            retry_rng: rng.fork("retry"),
             rng,
             started: false,
             event_buf: Vec::new(),
@@ -198,6 +309,52 @@ impl Simulation {
     /// Overrides the host CPU cost model.
     pub fn set_cpu_params(&mut self, cpu: CpuParams) {
         self.cpu = cpu;
+    }
+
+    /// Overrides the error-handling policy (timeouts, retries,
+    /// quarantine).
+    pub fn set_robustness(&mut self, params: RobustnessParams) {
+        self.robustness = params;
+    }
+
+    /// The active error-handling policy.
+    pub fn robustness(&self) -> RobustnessParams {
+        self.robustness
+    }
+
+    /// Overrides the command timeout for one attachment only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set_target_timeout(&mut self, idx: usize, timeout: SimDuration) {
+        self.attachments[idx].timeout_override = Some(timeout);
+    }
+
+    /// Attaches a fault plan to the backing array; subsequent dispatches
+    /// consult it (see the `faultkit` crate).
+    pub fn attach_fault_plan(&mut self, plan: FaultPlan) {
+        self.array.attach_fault_plan(plan);
+    }
+
+    /// Whether attachment `idx` has been quarantined for exceeding the
+    /// error-rate threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn quarantined(&self, idx: usize) -> bool {
+        self.attachments[idx].quarantined
+    }
+
+    /// Commands of attachment `idx` issued but not yet delivered (at the
+    /// device, queued, or awaiting a retry or abort).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn in_flight(&self, idx: usize) -> usize {
+        self.attachments[idx].cmds.len()
     }
 
     /// Host CPU seconds consumed by the I/O path so far.
@@ -260,9 +417,10 @@ impl Simulation {
                 workload,
                 pending: Vec::new(),
                 active: 0,
-                tags: HashMap::new(),
-                requests: HashMap::new(),
+                cmds: HashMap::new(),
                 timer_generation: 0,
+                quarantined: false,
+                timeout_override: None,
                 stats: AttachmentStats::new(),
             });
         }
@@ -330,8 +488,26 @@ impl Simulation {
                         self.apply_poll(attach, ev.at, poll);
                     }
                 }
-                Event::Complete { attach, request_id } => {
-                    self.complete(attach, request_id, ev.at);
+                Event::Complete {
+                    attach,
+                    request_id,
+                    dispatch,
+                } => {
+                    self.complete(attach, request_id, dispatch, ev.at);
+                }
+                Event::Timeout {
+                    attach,
+                    request_id,
+                    dispatch,
+                } => {
+                    self.timeout(attach, request_id, dispatch, ev.at);
+                }
+                Event::Retry {
+                    attach,
+                    request_id,
+                    dispatch,
+                } => {
+                    self.retry(attach, request_id, dispatch, ev.at);
                 }
             }
         }
@@ -362,8 +538,18 @@ impl Simulation {
                 now,
             );
             events.push(VscsiEvent::Issue(request));
-            runtime.tags.insert(id.0, io.tag);
-            runtime.requests.insert(id.0, request);
+            runtime.stats.issued += 1;
+            runtime.cmds.insert(
+                id.0,
+                Inflight {
+                    request,
+                    tag: io.tag,
+                    retries: 0,
+                    dispatch: 0,
+                    at_device: false,
+                    status: ScsiStatus::Good,
+                },
+            );
             runtime.pending.push(request);
         }
         // The vSCSI layer sees commands the moment the guest issues them —
@@ -383,7 +569,16 @@ impl Simulation {
     }
 
     /// Moves pending commands to the device while the queue depth allows.
+    /// Quarantined targets dispatch nothing: their queue drains through
+    /// scheduled aborts instead, so the pending queue never wedges.
     fn pump(&mut self, attach: usize, now: SimTime) {
+        if self.attachments[attach].quarantined {
+            self.drain_quarantined(attach, now);
+            return;
+        }
+        let timeout = self.attachments[attach]
+            .timeout_override
+            .unwrap_or(self.robustness.command_timeout);
         while self.attachments[attach].active < self.queue_depth
             && !self.attachments[attach].pending.is_empty()
         {
@@ -393,35 +588,193 @@ impl Simulation {
                 .vdisk()
                 .to_physical(request.lba, request.num_sectors)
                 .expect("validated at issue");
-            let done = self.array.submit(
+            let submission = self.array.submit_with_faults(
                 request.direction,
                 physical,
                 u64::from(request.num_sectors),
                 now,
             );
-            self.attachments[attach].active += 1;
+            let runtime = &mut self.attachments[attach];
+            runtime.active += 1;
+            let cmd = runtime
+                .cmds
+                .get_mut(&request.id.0)
+                .expect("pending command is tracked");
+            cmd.dispatch += 1;
+            cmd.at_device = true;
+            let dispatch = cmd.dispatch;
+            let request_id = request.id.0;
+            let deadline = now + timeout;
+            match submission {
+                Submission::Completed { at, status } => {
+                    cmd.status = status;
+                    self.queue.schedule(
+                        at,
+                        Event::Complete {
+                            attach,
+                            request_id,
+                            dispatch,
+                        },
+                    );
+                    // Arm the timeout only when the completion would
+                    // arrive too late; a stale-stamp guard would discard
+                    // it anyway, this just keeps the heap small.
+                    if at > deadline {
+                        self.queue.schedule(
+                            deadline,
+                            Event::Timeout {
+                                attach,
+                                request_id,
+                                dispatch,
+                            },
+                        );
+                    }
+                }
+                Submission::Hung => {
+                    // No completion will ever arrive; the timeout is the
+                    // command's only way back.
+                    self.queue.schedule(
+                        deadline,
+                        Event::Timeout {
+                            attach,
+                            request_id,
+                            dispatch,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Schedules abort deliveries for everything queued on a quarantined
+    /// target. Deliveries are pushed `abort_drain_latency` into the
+    /// future so simulated time always advances even if the guest
+    /// instantly reissues — quarantine degrades, it cannot livelock.
+    fn drain_quarantined(&mut self, attach: usize, now: SimTime) {
+        let at = now + self.robustness.abort_drain_latency;
+        let runtime = &mut self.attachments[attach];
+        let pending = std::mem::take(&mut runtime.pending);
+        let mut scheduled = Vec::with_capacity(pending.len());
+        for request in pending {
+            let cmd = runtime
+                .cmds
+                .get_mut(&request.id.0)
+                .expect("pending command is tracked");
+            cmd.dispatch += 1;
+            cmd.at_device = false;
+            cmd.status = ScsiStatus::TaskAborted;
+            scheduled.push((request.id.0, cmd.dispatch));
+        }
+        for (request_id, dispatch) in scheduled {
             self.queue.schedule(
-                done,
+                at,
                 Event::Complete {
                     attach,
-                    request_id: request.id.0,
+                    request_id,
+                    dispatch,
                 },
             );
         }
     }
 
-    fn complete(&mut self, attach: usize, request_id: u64, now: SimTime) {
-        let (request, tag) = {
-            let runtime = &mut self.attachments[attach];
-            let request = runtime
-                .requests
-                .remove(&request_id)
-                .expect("completion for unknown request");
-            let tag = runtime.tags.remove(&request_id).expect("tag exists");
-            runtime.active -= 1;
-            (request, tag)
+    /// Handles a surfaced completion. Stale stamps (the command was
+    /// already aborted, delivered, or re-dispatched) are ignored.
+    fn complete(&mut self, attach: usize, request_id: u64, dispatch: u64, now: SimTime) {
+        let runtime = &mut self.attachments[attach];
+        let Some(cmd) = runtime.cmds.get_mut(&request_id) else {
+            return;
         };
-        let completion = IoCompletion::new(request, now);
+        if cmd.dispatch != dispatch {
+            return;
+        }
+        if cmd.at_device {
+            cmd.at_device = false;
+            runtime.active -= 1;
+        }
+        let status = cmd.status;
+        let quarantined = runtime.quarantined;
+        if status.is_retryable() && cmd.retries < self.robustness.max_retries && !quarantined {
+            // Bounded retry with exponential backoff + jitter. The
+            // command keeps its identity (no new vSCSI issue hook — the
+            // guest sent it once), so characterization streams see it
+            // exactly once.
+            cmd.retries += 1;
+            cmd.dispatch += 1;
+            let stamp = cmd.dispatch;
+            let exponent = cmd.retries.saturating_sub(1).min(16);
+            runtime.stats.retries += 1;
+            let backoff = SimDuration::from_nanos(
+                self.robustness
+                    .retry_backoff_base
+                    .as_nanos()
+                    .saturating_mul(1u64 << exponent),
+            );
+            let jitter = SimDuration::from_nanos(
+                self.retry_rng
+                    .range_inclusive(0, self.robustness.retry_jitter.as_nanos().max(1)),
+            );
+            self.queue.schedule(
+                now + backoff + jitter,
+                Event::Retry {
+                    attach,
+                    request_id,
+                    dispatch: stamp,
+                },
+            );
+            // The device slot is free while the command backs off.
+            self.pump(attach, now);
+            return;
+        }
+        self.deliver(attach, request_id, now, status);
+    }
+
+    /// Handles an expired command timeout: if the command is still live
+    /// at the device, abort it and deliver `TASK ABORTED`.
+    fn timeout(&mut self, attach: usize, request_id: u64, dispatch: u64, now: SimTime) {
+        let runtime = &mut self.attachments[attach];
+        let Some(cmd) = runtime.cmds.get_mut(&request_id) else {
+            return;
+        };
+        if cmd.dispatch != dispatch || !cmd.at_device {
+            return;
+        }
+        // Abort task management: reclaim the queue slot and invalidate
+        // any completion still in flight (it will carry a stale stamp).
+        cmd.dispatch += 1;
+        cmd.at_device = false;
+        runtime.active -= 1;
+        self.deliver(attach, request_id, now, ScsiStatus::TaskAborted);
+    }
+
+    /// Handles a due retry: re-queue the command for dispatch, or abort
+    /// it if the target got quarantined while it was backing off.
+    fn retry(&mut self, attach: usize, request_id: u64, dispatch: u64, now: SimTime) {
+        let runtime = &mut self.attachments[attach];
+        let Some(cmd) = runtime.cmds.get_mut(&request_id) else {
+            return;
+        };
+        if cmd.dispatch != dispatch || cmd.at_device {
+            return;
+        }
+        if runtime.quarantined {
+            cmd.dispatch += 1;
+            self.deliver(attach, request_id, now, ScsiStatus::TaskAborted);
+            return;
+        }
+        let request = cmd.request;
+        runtime.pending.push(request);
+        self.pump(attach, now);
+    }
+
+    /// Delivers a command's final outcome to the stats service, the
+    /// esxtop counters, the CPU model, and the guest workload.
+    fn deliver(&mut self, attach: usize, request_id: u64, now: SimTime, status: ScsiStatus) {
+        let cmd = self.attachments[attach]
+            .cmds
+            .remove(&request_id)
+            .expect("delivered command is tracked");
+        let request = cmd.request;
+        let completion = IoCompletion::with_status(request, now, status);
         // Second hook point: completion at the vSCSI layer, fed through the
         // batched ingestion path (a batch of one takes the per-event route,
         // so this stays allocation-free).
@@ -429,23 +782,47 @@ impl Simulation {
             .handle_batch(&[VscsiEvent::Complete(completion)]);
         {
             let stats = &mut self.attachments[attach].stats;
-            stats.completed += 1;
-            stats.bytes += request.len_bytes();
-            stats.latency_sum_us += completion.latency().as_micros();
-            stats.per_second.record(now);
+            match status {
+                ScsiStatus::Good => {
+                    stats.completed += 1;
+                    stats.bytes += request.len_bytes();
+                    stats.latency_sum_us += completion.latency().as_micros();
+                    stats.per_second.record(now);
+                    if cmd.retries > 0 {
+                        stats.retried_ok += 1;
+                    }
+                }
+                ScsiStatus::TaskAborted => stats.aborted += 1,
+                _ => stats.failed += 1,
+            }
         }
         // Host CPU accounting (Table 2): fixed per-command cost, data-size
-        // cost, and the stats service's per-command overhead when enabled.
-        let mut cost = self.cpu.per_command.as_nanos()
-            + self.cpu.per_4k.as_nanos() * (request.len_bytes() / (8 * SECTOR_SIZE));
+        // cost (only moved on success), and the stats service's
+        // per-command overhead when enabled.
+        let mut cost = self.cpu.per_command.as_nanos();
+        if status.is_good() {
+            cost += self.cpu.per_4k.as_nanos() * (request.len_bytes() / (8 * SECTOR_SIZE));
+        }
         if self.service.is_enabled() {
             cost += self.cpu.stats_overhead.as_nanos();
         }
         self.cpu_used_ns += cost;
+        // Graceful degradation: a target whose delivered error rate
+        // exceeds the threshold stops dispatching and drains.
+        {
+            let runtime = &mut self.attachments[attach];
+            if !runtime.quarantined
+                && runtime.stats.delivered() >= self.robustness.quarantine_min_commands
+                && runtime.stats.error_rate() > self.robustness.quarantine_error_rate
+            {
+                runtime.quarantined = true;
+            }
+        }
         // Free device slot: pump queued commands first, then let the
-        // workload react.
+        // workload react. Failed and aborted commands complete to the
+        // guest too — a closed loop never wedges on an error.
         self.pump(attach, now);
-        let poll = self.attachments[attach].workload.on_complete(now, tag);
+        let poll = self.attachments[attach].workload.on_complete(now, cmd.tag);
         self.apply_poll(attach, now, poll);
     }
 }
@@ -604,6 +981,137 @@ mod tests {
         assert!(
             (delta_per_cmd - 350e-9).abs() < 1e-12,
             "delta = {delta_per_cmd}"
+        );
+    }
+
+    #[test]
+    fn busy_window_is_ridden_out_by_retries() {
+        use faultkit::FaultPlanBuilder;
+        let (mut sim, service) = sim_with_iometer(AccessSpec::seq_read_4k(8, 1024 * 1024 * 1024));
+        // Every dispatch in the first 4 ms is refused BUSY; the retry
+        // budget (4 tries, 1/2/4/8 ms backoff) comfortably outlives it.
+        sim.attach_fault_plan(
+            FaultPlanBuilder::new(5)
+                .transient_busy(SimTime::ZERO, SimTime::from_millis(4), 1.0)
+                .build(),
+        );
+        sim.run_until(SimTime::from_millis(300));
+        let stats = sim.attachment_stats(0);
+        assert!(stats.retries > 0, "BUSY window must force retries");
+        assert!(stats.retried_ok > 0, "retried commands must succeed");
+        assert_eq!(stats.failed, 0, "retry budget must absorb the window");
+        assert!(stats.completed > 100);
+        // Retries are invisible to the vSCSI issue hook: no double count.
+        let c = service.collector(sim.attachment_target(0)).unwrap();
+        assert_eq!(c.issued_commands(), stats.issued);
+    }
+
+    #[test]
+    fn hang_times_out_aborts_and_quarantines() {
+        use faultkit::FaultPlanBuilder;
+        let (mut sim, _service) =
+            sim_with_iometer(AccessSpec::random_read_8k(8, 1024 * 1024 * 1024));
+        sim.set_robustness(RobustnessParams {
+            command_timeout: SimDuration::from_millis(20),
+            ..RobustnessParams::default()
+        });
+        // Every command vanishes into the firmware forever.
+        sim.attach_fault_plan(
+            FaultPlanBuilder::new(5)
+                .hang(SimTime::ZERO, SimTime::from_secs(10), 1.0)
+                .build(),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let (aborted, completed, issued) = {
+            let s = sim.attachment_stats(0);
+            (s.aborted, s.completed, s.issued)
+        };
+        assert!(aborted > 0, "timeouts must abort hung commands");
+        assert_eq!(completed, 0);
+        assert!(
+            sim.quarantined(0),
+            "an all-error target must be quarantined"
+        );
+        // The simulation stayed live and the loop kept turning.
+        assert!(issued > aborted / 2);
+        // Conservation: every issued command is delivered or in flight —
+        // nothing lost, nothing double-counted (the closed loop keeps
+        // issuing, so the in-flight term never fully empties).
+        sim.run_until(SimTime::from_secs(2));
+        let s = sim.attachment_stats(0);
+        let in_flight = sim.in_flight(0) as u64;
+        assert_eq!(s.completed + s.failed + s.aborted + in_flight, s.issued);
+    }
+
+    #[test]
+    fn media_errors_fail_fast_without_wedging() {
+        use faultkit::FaultPlanBuilder;
+        let (mut sim, service) = sim_with_iometer(AccessSpec::seq_read_4k(8, 1024 * 1024 * 1024));
+        // A bad band early in the physical space; the sequential reader
+        // will walk straight through it.
+        sim.attach_fault_plan(
+            FaultPlanBuilder::new(5)
+                .media_error(vscsi::Lba::new(0), vscsi::Lba::new(50_000), None)
+                .build(),
+        );
+        sim.run_until(SimTime::from_millis(500));
+        let stats = sim.attachment_stats(0);
+        assert!(stats.failed > 0, "media errors must surface as failures");
+        // Error completions carry CHECK CONDITION through the stats hooks.
+        let c = service.collector(sim.attachment_target(0)).unwrap();
+        assert!(c.completed_commands() > 0);
+        // The guest keeps getting completions, so the loop never wedges.
+        assert!(stats.issued > stats.failed);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        use faultkit::FaultPlanBuilder;
+        let run = || {
+            let (mut sim, service) =
+                sim_with_iometer(AccessSpec::random_read_8k(8, 1024 * 1024 * 1024));
+            sim.set_robustness(RobustnessParams {
+                command_timeout: SimDuration::from_millis(50),
+                ..RobustnessParams::default()
+            });
+            sim.attach_fault_plan(
+                FaultPlanBuilder::new(0xFA)
+                    .transient_busy(SimTime::ZERO, SimTime::from_millis(100), 0.3)
+                    .media_error(vscsi::Lba::new(100_000), vscsi::Lba::new(200_000), None)
+                    .hang(SimTime::from_millis(150), SimTime::from_millis(200), 0.2)
+                    .build(),
+            );
+            sim.run_until(SimTime::from_millis(400));
+            let c = service.collector(sim.attachment_target(0)).unwrap();
+            let s = sim.attachment_stats(0);
+            (
+                s.issued,
+                s.completed,
+                s.failed,
+                s.aborted,
+                s.retries,
+                c.histogram(Metric::Latency, Lens::All).counts().to_vec(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn per_target_timeout_override_applies() {
+        use faultkit::FaultPlanBuilder;
+        let (mut sim, _service) = sim_with_iometer(AccessSpec::seq_read_4k(4, 1024 * 1024 * 1024));
+        // Hang everything; only the per-target override (5 ms) should
+        // govern how fast aborts come back, not the 2 s default.
+        sim.attach_fault_plan(
+            FaultPlanBuilder::new(1)
+                .hang(SimTime::ZERO, SimTime::from_secs(10), 1.0)
+                .build(),
+        );
+        sim.set_target_timeout(0, SimDuration::from_millis(5));
+        sim.run_until(SimTime::from_millis(100));
+        assert!(
+            sim.attachment_stats(0).aborted > 0,
+            "5 ms override must have fired well within 100 ms"
         );
     }
 

@@ -20,6 +20,10 @@ pub struct TopSample {
     pub interval: usize,
     /// Commands completed during the interval.
     pub completed: u64,
+    /// Commands that ended in error or abort during the interval.
+    pub errors: u64,
+    /// Retry dispatches during the interval.
+    pub retries: u64,
     /// Completions per second over the interval.
     pub iops: f64,
     /// Megabytes per second over the interval.
@@ -53,10 +57,16 @@ impl EsxTop {
         let start = sim.now();
         sim.run_until(start + rampup);
         let mut samples = Vec::new();
-        let mut last: Vec<(u64, u64, u64)> = (0..sim.attachment_count())
+        let mut last: Vec<(u64, u64, u64, u64, u64)> = (0..sim.attachment_count())
             .map(|i| {
                 let s = sim.attachment_stats(i);
-                (s.completed, s.bytes, s.latency_sum_us)
+                (
+                    s.completed,
+                    s.bytes,
+                    s.latency_sum_us,
+                    s.failed + s.aborted,
+                    s.retries,
+                )
             })
             .collect();
         let measure_start = start + rampup;
@@ -65,15 +75,25 @@ impl EsxTop {
             sim.run_until(measure_start + interval * (k + 1));
             for i in 0..sim.attachment_count() {
                 let s = sim.attachment_stats(i);
-                let (c0, b0, l0) = last[i];
+                let (c0, b0, l0, e0, r0) = last[i];
                 let dc = s.completed - c0;
                 let db = s.bytes - b0;
                 let dl = s.latency_sum_us - l0;
-                last[i] = (s.completed, s.bytes, s.latency_sum_us);
+                let de = s.failed + s.aborted - e0;
+                let dr = s.retries - r0;
+                last[i] = (
+                    s.completed,
+                    s.bytes,
+                    s.latency_sum_us,
+                    s.failed + s.aborted,
+                    s.retries,
+                );
                 samples.push(TopSample {
                     attachment: i,
                     interval: k as usize,
                     completed: dc,
+                    errors: de,
+                    retries: dr,
                     iops: dc as f64 / interval.as_secs_f64(),
                     mbps: db as f64 / 1e6 / interval.as_secs_f64(),
                     mean_latency_us: if dc == 0 { 0.0 } else { dl as f64 / dc as f64 },

@@ -66,6 +66,13 @@ pub fn outstanding_ios() -> BinEdges {
     BinEdges::new(vec![1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 32, 64]).expect("static layout is valid")
 }
 
+/// SCSI outcome-code histogram edges: one bin per outcome in
+/// `ScsiStatus::outcome_code` order (0 = GOOD, 1 = MEDIUM ERROR,
+/// 2 = UNIT ATTENTION, 3 = BUSY, 4 = TASK ABORTED).
+pub fn scsi_outcomes() -> BinEdges {
+    BinEdges::new(vec![0, 1, 2, 3, 4]).expect("static layout is valid")
+}
+
 /// A plain power-of-two layout spanning `[1, 2^max_pow2]`, used by the
 /// bins-ablation benchmark to contrast with the paper's irregular layout.
 ///
@@ -88,6 +95,15 @@ mod tests {
         assert_eq!(latency_us().bin_count(), 11);
         assert_eq!(interarrival_us().bin_count(), 12);
         assert_eq!(outstanding_ios().bin_count(), 13);
+        assert_eq!(scsi_outcomes().bin_count(), 6);
+    }
+
+    #[test]
+    fn scsi_outcomes_have_one_bin_each() {
+        let e = scsi_outcomes();
+        for code in 0..=4i64 {
+            assert_eq!(e.bin_label(e.bin_index(code)), code.to_string());
+        }
     }
 
     #[test]

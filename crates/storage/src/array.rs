@@ -10,8 +10,9 @@
 use crate::cache::{ArrayCache, CacheParams};
 use crate::disk::{Disk, DiskParams};
 use crate::raid::{RaidConfig, RaidLevel};
+use faultkit::{FaultOutcome, FaultPlan};
 use simkit::{SimDuration, SimRng, SimTime};
-use vscsi::{IoDirection, Lba, SECTOR_SIZE};
+use vscsi::{IoDirection, Lba, ScsiStatus, SenseKey, SECTOR_SIZE};
 
 /// Full configuration of an array.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +31,12 @@ pub struct ArrayParams {
     pub write_ack_latency: SimDuration,
     /// Host link bandwidth (4 Gb FC ≈ 400 MB/s), serializing data transfer.
     pub link_rate: u64,
+    /// Time a command grinds inside the firmware (internal retries,
+    /// re-reads) before surfacing `MEDIUM ERROR`.
+    pub media_error_latency: SimDuration,
+    /// Time to reject a command with `BUSY` / `UNIT ATTENTION` — a fast
+    /// controller-level refusal, no media involved.
+    pub fast_fail_latency: SimDuration,
 }
 
 impl Default for ArrayParams {
@@ -42,6 +49,8 @@ impl Default for ArrayParams {
             cache_hit_latency: SimDuration::from_micros(120),
             write_ack_latency: SimDuration::from_micros(150),
             link_rate: 400_000_000,
+            media_error_latency: SimDuration::from_millis(8),
+            fast_fail_latency: SimDuration::from_micros(20),
         }
     }
 }
@@ -59,6 +68,30 @@ pub struct ArrayStats {
     pub write_sectors: u64,
     /// Reads served entirely from cache.
     pub read_full_hits: u64,
+    /// Commands failed with `MEDIUM ERROR` by the fault plan.
+    pub media_errors: u64,
+    /// Commands refused with `BUSY` by the fault plan.
+    pub busy_rejections: u64,
+    /// Commands failed with `UNIT ATTENTION` by the fault plan.
+    pub unit_attentions: u64,
+    /// Commands swallowed (no completion) by the fault plan.
+    pub hangs: u64,
+}
+
+/// What the array did with a command submitted through the fallible
+/// entry point [`StorageArray::submit_with_faults`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submission {
+    /// A completion (successful or failed) will surface at `at`.
+    Completed {
+        /// Completion instant.
+        at: SimTime,
+        /// SCSI outcome the completion carries.
+        status: ScsiStatus,
+    },
+    /// The command was swallowed by a firmware hang: no completion will
+    /// ever arrive. Only the initiator's timeout/abort path reclaims it.
+    Hung,
 }
 
 /// A simulated storage array shared by all initiators that hold a
@@ -85,6 +118,8 @@ pub struct StorageArray {
     link_busy_until: SimTime,
     cache: ArrayCache,
     stats: ArrayStats,
+    /// Injected-fault schedule, if any (see the `faultkit` crate).
+    fault_plan: Option<FaultPlan>,
 }
 
 impl StorageArray {
@@ -101,7 +136,19 @@ impl StorageArray {
             busy_until,
             link_busy_until: SimTime::ZERO,
             stats: ArrayStats::default(),
+            fault_plan: None,
         }
+    }
+
+    /// Attaches a fault plan; subsequent [`StorageArray::submit_with_faults`]
+    /// calls consult it. Replaces any previous plan.
+    pub fn attach_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// The attached fault plan, if any (for injection accounting).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// The array's configuration.
@@ -135,6 +182,74 @@ impl StorageArray {
         match direction {
             IoDirection::Read => self.submit_read(lba, sectors, now),
             IoDirection::Write => self.submit_write(lba, sectors, now),
+        }
+    }
+
+    /// Fallible variant of [`StorageArray::submit`]: consults the
+    /// attached [`FaultPlan`] (if any) before servicing.
+    ///
+    /// * No plan, or the plan passes the command: normal service; an
+    ///   active latency-spike window inflates the service portion of the
+    ///   latency (queueing state is charged at normal speed, modelling a
+    ///   slow *return* path rather than a slow spindle).
+    /// * Media error: the firmware grinds for
+    ///   [`ArrayParams::media_error_latency`] and fails the command;
+    ///   spindles are not charged.
+    /// * BUSY / UNIT ATTENTION: fast controller-level refusal after
+    ///   [`ArrayParams::fast_fail_latency`].
+    /// * Hang: [`Submission::Hung`] — no completion will ever arrive.
+    pub fn submit_with_faults(
+        &mut self,
+        direction: IoDirection,
+        lba: Lba,
+        sectors: u64,
+        now: SimTime,
+    ) -> Submission {
+        let decision = match self.fault_plan.as_mut() {
+            Some(plan) => plan.decide(direction, lba, sectors.min(u64::from(u32::MAX)) as u32, now),
+            None => faultkit::FaultDecision::healthy(),
+        };
+        let overhead = self.params.controller_overhead;
+        match decision.outcome {
+            FaultOutcome::None => {
+                let done = self.submit(direction, lba, sectors, now);
+                let at = if decision.latency_multiplier != 1.0 {
+                    now + done
+                        .saturating_since(now)
+                        .mul_f64(decision.latency_multiplier)
+                } else {
+                    done
+                };
+                Submission::Completed {
+                    at,
+                    status: ScsiStatus::Good,
+                }
+            }
+            FaultOutcome::MediumError => {
+                self.stats.media_errors += 1;
+                Submission::Completed {
+                    at: now + overhead + self.params.media_error_latency,
+                    status: ScsiStatus::CheckCondition(SenseKey::MediumError),
+                }
+            }
+            FaultOutcome::UnitAttention => {
+                self.stats.unit_attentions += 1;
+                Submission::Completed {
+                    at: now + overhead + self.params.fast_fail_latency,
+                    status: ScsiStatus::CheckCondition(SenseKey::UnitAttention),
+                }
+            }
+            FaultOutcome::Busy => {
+                self.stats.busy_rejections += 1;
+                Submission::Completed {
+                    at: now + overhead + self.params.fast_fail_latency,
+                    status: ScsiStatus::Busy,
+                }
+            }
+            FaultOutcome::Hang => {
+                self.stats.hangs += 1;
+                Submission::Hung
+            }
         }
     }
 
@@ -377,6 +492,101 @@ mod tests {
         assert_eq!((s.reads, s.writes), (1, 1));
         assert_eq!(s.read_sectors, 8);
         assert_eq!(s.write_sectors, 8);
+    }
+
+    #[test]
+    fn submit_with_faults_no_plan_matches_submit() {
+        let mut a = array(CacheParams::default());
+        let mut b = a.clone();
+        let done = a.submit(IoDirection::Read, Lba::new(64), 16, SimTime::ZERO);
+        let sub = b.submit_with_faults(IoDirection::Read, Lba::new(64), 16, SimTime::ZERO);
+        assert_eq!(
+            sub,
+            Submission::Completed {
+                at: done,
+                status: ScsiStatus::Good
+            }
+        );
+    }
+
+    #[test]
+    fn media_error_fails_without_touching_spindles() {
+        use faultkit::FaultPlanBuilder;
+        let mut a = array(CacheParams::read_cache_off());
+        a.attach_fault_plan(
+            FaultPlanBuilder::new(1)
+                .media_error(Lba::new(0), Lba::new(999), None)
+                .build(),
+        );
+        let sub = a.submit_with_faults(IoDirection::Read, Lba::new(10), 8, SimTime::ZERO);
+        match sub {
+            Submission::Completed { at, status } => {
+                assert_eq!(status, ScsiStatus::CheckCondition(SenseKey::MediumError));
+                assert_eq!(
+                    at,
+                    SimTime::ZERO + a.params().controller_overhead + a.params().media_error_latency
+                );
+            }
+            Submission::Hung => panic!("media error must complete"),
+        }
+        assert_eq!(a.stats().media_errors, 1);
+        assert_eq!(a.stats().reads, 0, "failed command must not reach spindles");
+    }
+
+    #[test]
+    fn busy_rejection_is_fast() {
+        use faultkit::FaultPlanBuilder;
+        let mut a = array(CacheParams::default());
+        a.attach_fault_plan(
+            FaultPlanBuilder::new(1)
+                .transient_busy(SimTime::ZERO, SimTime::from_millis(10), 1.0)
+                .build(),
+        );
+        let Submission::Completed { at, status } =
+            a.submit_with_faults(IoDirection::Write, Lba::new(0), 8, SimTime::ZERO)
+        else {
+            panic!("busy must complete");
+        };
+        assert_eq!(status, ScsiStatus::Busy);
+        assert!(at.as_micros() < 100, "busy refusal should be fast: {at}");
+        assert_eq!(a.stats().busy_rejections, 1);
+    }
+
+    #[test]
+    fn hang_swallows_the_command() {
+        use faultkit::FaultPlanBuilder;
+        let mut a = array(CacheParams::default());
+        a.attach_fault_plan(
+            FaultPlanBuilder::new(1)
+                .hang(SimTime::ZERO, SimTime::from_millis(10), 1.0)
+                .build(),
+        );
+        let sub = a.submit_with_faults(IoDirection::Read, Lba::new(0), 8, SimTime::ZERO);
+        assert_eq!(sub, Submission::Hung);
+        assert_eq!(a.stats().hangs, 1);
+    }
+
+    #[test]
+    fn latency_spike_inflates_service_time() {
+        use faultkit::FaultPlanBuilder;
+        let mut healthy = array(CacheParams::read_cache_off());
+        let mut spiked = healthy.clone();
+        spiked.attach_fault_plan(
+            FaultPlanBuilder::new(1)
+                .latency_spike(SimTime::ZERO, SimTime::from_millis(100), 4.0)
+                .build(),
+        );
+        let base = healthy.submit(IoDirection::Read, Lba::new(64), 16, SimTime::ZERO);
+        let Submission::Completed { at, status } =
+            spiked.submit_with_faults(IoDirection::Read, Lba::new(64), 16, SimTime::ZERO)
+        else {
+            panic!("spike must complete");
+        };
+        assert_eq!(status, ScsiStatus::Good);
+        assert_eq!(
+            at.saturating_since(SimTime::ZERO).as_nanos(),
+            base.saturating_since(SimTime::ZERO).mul_f64(4.0).as_nanos()
+        );
     }
 
     #[test]

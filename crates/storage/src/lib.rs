@@ -38,7 +38,7 @@ mod disk;
 pub mod presets;
 mod raid;
 
-pub use array::{ArrayParams, ArrayStats, StorageArray};
+pub use array::{ArrayParams, ArrayStats, StorageArray, Submission};
 pub use cache::{ArrayCache, CacheParams, ReadOutcome, PAGE_SECTORS};
 pub use disk::{Disk, DiskParams};
 pub use raid::{RaidConfig, RaidLevel, StripeExtent};

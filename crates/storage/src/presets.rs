@@ -24,6 +24,7 @@ pub fn symmetrix() -> ArrayParams {
         cache_hit_latency: SimDuration::from_micros(200),
         write_ack_latency: SimDuration::from_micros(250),
         link_rate: 400_000_000,
+        ..ArrayParams::default()
     }
 }
 
@@ -44,6 +45,7 @@ pub fn clariion_cx3() -> ArrayParams {
         cache_hit_latency: SimDuration::from_micros(120),
         write_ack_latency: SimDuration::from_micros(150),
         link_rate: 400_000_000,
+        ..ArrayParams::default()
     }
 }
 
@@ -70,6 +72,7 @@ pub fn single_disk() -> ArrayParams {
         cache_hit_latency: SimDuration::from_micros(100),
         write_ack_latency: SimDuration::from_micros(100),
         link_rate: 400_000_000,
+        ..ArrayParams::default()
     }
 }
 

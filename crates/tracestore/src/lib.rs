@@ -56,4 +56,7 @@ pub use ring::{BackpressurePolicy, DropStats};
 pub use segment::{
     parse_segment, read_segment, SegmentError, SegmentIntegrity, SEGMENT_EXTENSION, SEGMENT_VERSION,
 };
-pub use store::{StoreReport, TraceStore, TraceStoreConfig, TraceStoreHandle};
+pub use store::{
+    read_meta, FsBackend, SegmentBackend, SegmentWrite, StoreReport, TraceStore, TraceStoreConfig,
+    TraceStoreHandle, META_FILE,
+};

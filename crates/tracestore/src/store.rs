@@ -27,15 +27,75 @@ use crate::codec::BlockBuilder;
 use crate::ring::{BackpressurePolicy, ChunkRing, DropStats, Msg};
 use crate::segment::{write_block, write_segment_header, SEGMENT_EXTENSION};
 use parking_lot::Mutex;
+use std::fmt::Write as _;
 use std::fs::{self, File};
-use std::io::{BufWriter, Write};
-use std::path::PathBuf;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use vscsi_stats::{TraceRecord, TraceSink};
+
+/// Name of the sidecar capture-summary file a finished store writes next
+/// to its segments. `key=value` lines; read back with [`read_meta`]. The
+/// replay side uses it to surface capture-time accounting — notably the
+/// per-policy drop counts — that the segments themselves cannot carry.
+pub const META_FILE: &str = "trace-meta.txt";
+
+/// Where segment bytes land: the real filesystem by default
+/// ([`FsBackend`]), or a test double injected through
+/// [`TraceStore::create_with_backend`] to exercise the writer thread's
+/// error absorption without touching a real disk.
+pub trait SegmentBackend: Send + 'static {
+    /// Opens a fresh segment at `path` for writing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates whatever the backing medium reports; the writer thread
+    /// absorbs the failure and accounts the chunk as lost.
+    fn create(&mut self, path: &Path) -> io::Result<Box<dyn SegmentWrite>>;
+}
+
+/// One open segment: buffered writes plus explicit durability.
+pub trait SegmentWrite: Write + Send {
+    /// Forces everything written so far to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the medium's failure; the writer records it.
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+/// The default backend: buffered files in the store directory.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FsBackend;
+
+struct FsSegment(BufWriter<File>);
+
+impl Write for FsSegment {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl SegmentWrite for FsSegment {
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.flush()?;
+        self.0.get_ref().sync_all()
+    }
+}
+
+impl SegmentBackend for FsBackend {
+    fn create(&mut self, path: &Path) -> io::Result<Box<dyn SegmentWrite>> {
+        Ok(Box::new(FsSegment(BufWriter::new(File::create(path)?))))
+    }
+}
 
 /// Configuration for a [`TraceStore`].
 #[derive(Debug, Clone)]
@@ -100,6 +160,10 @@ pub struct StoreReport {
     pub drops: DropStats,
     /// I/O failures the writer absorbed (each drops one chunk).
     pub io_errors: u64,
+    /// Records inside the chunks those failures dropped; together with
+    /// [`DropStats::dropped_records`] this makes capture accounting
+    /// conserve: persisted + dropped + lost-to-I/O = appended.
+    pub io_error_records: u64,
     /// The first I/O error message, if any.
     pub first_error: Option<String>,
 }
@@ -116,6 +180,37 @@ impl StoreReport {
     }
 }
 
+fn render_meta(report: &StoreReport, policy: BackpressurePolicy) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "records={}", report.records);
+    let _ = writeln!(s, "blocks={}", report.blocks);
+    let _ = writeln!(s, "segments={}", report.segments);
+    let _ = writeln!(s, "bytes_written={}", report.bytes_written);
+    let _ = writeln!(s, "policy={policy:?}");
+    let _ = writeln!(s, "dropped_oldest_records={}", report.drops.oldest_records);
+    let _ = writeln!(s, "dropped_newest_records={}", report.drops.newest_records);
+    let _ = writeln!(s, "dropped_closed_records={}", report.drops.closed_records);
+    let _ = writeln!(s, "block_waits={}", report.drops.block_waits);
+    let _ = writeln!(s, "io_errors={}", report.io_errors);
+    let _ = writeln!(s, "io_error_records={}", report.io_error_records);
+    s
+}
+
+/// Reads the [`META_FILE`] capture summary from a store directory, if
+/// present: `(key, value)` pairs in file order. `None` when the sidecar
+/// is missing or unreadable (e.g. a trace captured by an older writer).
+pub fn read_meta(dir: &Path) -> Option<Vec<(String, String)>> {
+    let text = fs::read_to_string(dir.join(META_FILE)).ok()?;
+    Some(
+        text.lines()
+            .filter_map(|line| {
+                line.split_once('=')
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+            })
+            .collect(),
+    )
+}
+
 #[derive(Debug, Default)]
 struct WriterStats {
     segments: u64,
@@ -123,6 +218,7 @@ struct WriterStats {
     records: u64,
     bytes_written: u64,
     io_errors: u64,
+    io_error_records: u64,
     first_error: Option<String>,
 }
 
@@ -145,20 +241,21 @@ impl Drop for CloseGuard<'_> {
     }
 }
 
-fn record_error(stats: &Mutex<WriterStats>, err: &std::io::Error) {
+fn record_error(stats: &Mutex<WriterStats>, err: &std::io::Error, lost_records: u64) {
     let mut stats = stats.lock();
     stats.io_errors += 1;
+    stats.io_error_records += lost_records;
     if stats.first_error.is_none() {
         stats.first_error = Some(err.to_string());
     }
 }
 
 struct OpenSegment {
-    file: BufWriter<File>,
+    file: Box<dyn SegmentWrite>,
     bytes: usize,
 }
 
-fn writer_loop(shared: &Shared, config: &TraceStoreConfig) {
+fn writer_loop(shared: &Shared, config: &TraceStoreConfig, backend: &mut dyn SegmentBackend) {
     let _guard = CloseGuard(&shared.ring);
     let mut current: Option<OpenSegment> = None;
     let mut next_index = 0u64;
@@ -176,7 +273,7 @@ fn writer_loop(shared: &Shared, config: &TraceStoreConfig) {
                                 .dir
                                 .join(format!("trace-{next_index:05}.{SEGMENT_EXTENSION}"));
                             next_index += 1;
-                            let mut file = BufWriter::new(File::create(path)?);
+                            let mut file = backend.create(&path)?;
                             let header = write_segment_header(&mut file)?;
                             let mut stats = shared.stats.lock();
                             stats.segments += 1;
@@ -201,7 +298,7 @@ fn writer_loop(shared: &Shared, config: &TraceStoreConfig) {
                         if roll {
                             if let Some(mut seg) = current.take() {
                                 if let Err(e) = seg.file.flush() {
-                                    record_error(&shared.stats, &e);
+                                    record_error(&shared.stats, &e, 0);
                                 }
                             }
                         }
@@ -209,7 +306,7 @@ fn writer_loop(shared: &Shared, config: &TraceStoreConfig) {
                     Err(e) => {
                         // Drop the chunk and the half-written segment;
                         // the next chunk starts a fresh file.
-                        record_error(&shared.stats, &e);
+                        record_error(&shared.stats, &e, u64::from(records));
                         current = None;
                     }
                 }
@@ -217,15 +314,13 @@ fn writer_loop(shared: &Shared, config: &TraceStoreConfig) {
             }
             Msg::Flush(ack) => {
                 if let Some(seg) = current.as_mut() {
-                    let result = seg.file.flush().and_then(|()| {
-                        if config.sync_on_flush {
-                            seg.file.get_ref().sync_all()
-                        } else {
-                            Ok(())
-                        }
-                    });
+                    let result = if config.sync_on_flush {
+                        seg.file.sync_all()
+                    } else {
+                        seg.file.flush()
+                    };
                     if let Err(e) = result {
-                        record_error(&shared.stats, &e);
+                        record_error(&shared.stats, &e, 0);
                     }
                 }
                 let _ = ack.send(());
@@ -235,7 +330,7 @@ fn writer_loop(shared: &Shared, config: &TraceStoreConfig) {
     }
     if let Some(mut seg) = current.take() {
         if let Err(e) = seg.file.flush() {
-            record_error(&shared.stats, &e);
+            record_error(&shared.stats, &e, 0);
         }
     }
 }
@@ -255,12 +350,27 @@ pub struct TraceStore {
 }
 
 impl TraceStore {
-    /// Creates the segment directory and starts the writer thread.
+    /// Creates the segment directory and starts the writer thread against
+    /// the default filesystem backend.
     ///
     /// # Errors
     ///
     /// If the directory cannot be created or the thread cannot spawn.
     pub fn create(config: TraceStoreConfig) -> std::io::Result<TraceStore> {
+        TraceStore::create_with_backend(config, FsBackend)
+    }
+
+    /// Like [`TraceStore::create`], but with an explicit [`SegmentBackend`]
+    /// — the seam tests use to inject failing media and prove the writer
+    /// absorbs I/O errors without ever blocking producers.
+    ///
+    /// # Errors
+    ///
+    /// If the directory cannot be created or the thread cannot spawn.
+    pub fn create_with_backend(
+        config: TraceStoreConfig,
+        backend: impl SegmentBackend,
+    ) -> std::io::Result<TraceStore> {
         fs::create_dir_all(&config.dir)?;
         let shared = Arc::new(Shared {
             ring: ChunkRing::new(config.max_chunks, config.policy),
@@ -270,9 +380,10 @@ impl TraceStore {
         let thread = {
             let shared = Arc::clone(&shared);
             let config = config.clone();
+            let mut backend = backend;
             std::thread::Builder::new()
                 .name("tracestore-writer".into())
-                .spawn(move || writer_loop(&shared, &config))?
+                .spawn(move || writer_loop(&shared, &config, &mut backend))?
         };
         Ok(TraceStore {
             shared,
@@ -312,16 +423,24 @@ impl TraceStore {
             bytes_written: stats.bytes_written,
             drops: self.shared.ring.drops(),
             io_errors: stats.io_errors,
+            io_error_records: stats.io_error_records,
             first_error: stats.first_error.clone(),
         }
     }
 
-    /// Drains the ring, stops the writer, and returns the final report.
-    /// Handles still alive afterwards drop their chunks (accounted as
-    /// `closed` drops).
+    /// Drains the ring, stops the writer, writes the [`META_FILE`]
+    /// sidecar, and returns the final report. Handles still alive
+    /// afterwards drop their chunks (accounted as `closed` drops).
     pub fn finish(mut self) -> StoreReport {
         self.shutdown();
-        self.report()
+        let report = self.report();
+        // Best-effort: replay works without the sidecar, it just cannot
+        // show capture-time accounting.
+        let _ = fs::write(
+            self.config.dir.join(META_FILE),
+            render_meta(&report, self.config.policy),
+        );
+        report
     }
 
     fn shutdown(&mut self) {
@@ -535,6 +654,147 @@ mod tests {
         // The handle outlived the store: sealing now hits a closed ring.
         sink.flush();
         assert_eq!(sink.dropped_records(), 1);
+    }
+
+    /// Backend whose segments report failure on every write.
+    struct FailingBackend;
+
+    struct FailingSegment;
+
+    impl Write for FailingSegment {
+        fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("injected disk failure"))
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SegmentWrite for FailingSegment {
+        fn sync_all(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SegmentBackend for FailingBackend {
+        fn create(&mut self, _: &Path) -> io::Result<Box<dyn SegmentWrite>> {
+            Ok(Box::new(FailingSegment))
+        }
+    }
+
+    /// Backend whose segments share a byte budget; once spent, every
+    /// write fails — a disk filling up mid-capture.
+    struct BudgetBackend(Arc<AtomicUsize>);
+
+    struct BudgetSegment(Arc<AtomicUsize>);
+
+    impl Write for BudgetSegment {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.0.load(Ordering::SeqCst) >= buf.len() {
+                self.0.fetch_sub(buf.len(), Ordering::SeqCst);
+                Ok(buf.len())
+            } else {
+                Err(io::Error::other("disk full (injected)"))
+            }
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SegmentWrite for BudgetSegment {
+        fn sync_all(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SegmentBackend for BudgetBackend {
+        fn create(&mut self, _: &Path) -> io::Result<Box<dyn SegmentWrite>> {
+            Ok(Box::new(BudgetSegment(Arc::clone(&self.0))))
+        }
+    }
+
+    #[test]
+    fn writer_absorbs_io_errors_without_blocking_producers() {
+        let dir = TempDir::new("ioerr");
+        let mut config = TraceStoreConfig::new(&dir.0);
+        config.chunk_bytes = 256; // many chunks, many failed writes
+        config.policy = BackpressurePolicy::Block; // worst case for liveness
+        let store = TraceStore::create_with_backend(config, FailingBackend).unwrap();
+        let mut sink = store.handle();
+        let appended = 2_000u64;
+        for i in 0..appended {
+            sink.append(&rec(i));
+        }
+        sink.flush();
+        drop(sink);
+        let report = store.finish();
+        // Nothing persisted, but nothing vanished unaccounted either.
+        assert_eq!(report.records, 0);
+        assert!(report.io_errors > 0);
+        assert_eq!(
+            report.records + report.drops.dropped_records() + report.io_error_records,
+            appended,
+            "conservation: persisted + dropped + lost-to-I/O == appended ({report:?})"
+        );
+    }
+
+    #[test]
+    fn partial_disk_failure_conserves_accounting() {
+        let dir = TempDir::new("budget");
+        let mut config = TraceStoreConfig::new(&dir.0);
+        config.chunk_bytes = 256;
+        let store = TraceStore::create_with_backend(
+            config,
+            BudgetBackend(Arc::new(AtomicUsize::new(4096))),
+        )
+        .unwrap();
+        let mut sink = store.handle();
+        let appended = 5_000u64;
+        for i in 0..appended {
+            sink.append(&rec(i));
+        }
+        sink.flush();
+        drop(sink);
+        let report = store.finish();
+        assert!(report.records > 0, "the budget allows some persistence");
+        assert!(report.io_error_records > 0, "the budget must run out");
+        assert_eq!(
+            report.records + report.drops.dropped_records() + report.io_error_records,
+            appended,
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn finish_writes_readable_meta_sidecar() {
+        let dir = TempDir::new("meta");
+        let store = TraceStore::create(TraceStoreConfig::new(&dir.0)).unwrap();
+        let mut sink = store.handle();
+        for i in 0..100 {
+            sink.append(&rec(i));
+        }
+        drop(sink);
+        let report = store.finish();
+        let meta = read_meta(&dir.0).expect("sidecar written at finish");
+        let get = |key: &str| {
+            meta.iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        assert_eq!(get("records"), report.records.to_string());
+        assert_eq!(get("policy"), "Block");
+        assert_eq!(get("dropped_oldest_records"), "0");
+        assert_eq!(get("io_error_records"), "0");
+        // The sidecar must not confuse the segment reader.
+        let (records, integrity) = read_trace(&dir.0).unwrap();
+        assert_eq!(records.len(), 100);
+        assert!(integrity.aggregate().is_clean());
+        // Absent sidecar (older captures) reads as None, not an error.
+        assert!(read_meta(&dir.0.join("nope")).is_none());
     }
 
     #[test]

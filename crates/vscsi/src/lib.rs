@@ -28,10 +28,12 @@
 mod cdb;
 pub mod emulation;
 mod request;
+mod status;
 mod types;
 mod vdisk;
 
 pub use cdb::{opcodes, Cdb, CdbError, RwVariant};
 pub use request::{IoCompletion, IoRequest};
+pub use status::{ScsiStatus, SenseKey};
 pub use types::{IoDirection, Lba, RequestId, TargetId, VDiskId, VmId, SECTOR_SIZE};
 pub use vdisk::{OutOfRange, VirtualDisk};

@@ -2,6 +2,7 @@
 //! layer observes at its two hook points (issue and completion).
 
 use crate::cdb::Cdb;
+use crate::status::ScsiStatus;
 use crate::types::{IoDirection, Lba, RequestId, TargetId, SECTOR_SIZE};
 use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimTime};
@@ -104,22 +105,35 @@ impl fmt::Display for IoRequest {
     }
 }
 
-/// A completed I/O: the original request plus its completion instant.
+/// A completed I/O: the original request, its completion instant, and
+/// the SCSI outcome the device (or the abort path) reported.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct IoCompletion {
     /// The request that finished.
     pub request: IoRequest,
     /// When the device reported completion back to the vSCSI layer.
     pub complete_time: SimTime,
+    /// How the command ended (`GOOD` for the infallible paths).
+    #[serde(default)]
+    pub status: ScsiStatus,
 }
 
 impl IoCompletion {
-    /// Pairs a request with its completion time.
+    /// Pairs a request with its completion time; status is `GOOD`.
     ///
     /// # Panics
     ///
     /// Panics if `complete_time` precedes the request's issue time.
     pub fn new(request: IoRequest, complete_time: SimTime) -> Self {
+        IoCompletion::with_status(request, complete_time, ScsiStatus::Good)
+    }
+
+    /// Pairs a request with its completion time and an explicit outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `complete_time` precedes the request's issue time.
+    pub fn with_status(request: IoRequest, complete_time: SimTime, status: ScsiStatus) -> Self {
         assert!(
             complete_time >= request.issue_time,
             "completion precedes issue"
@@ -127,19 +141,51 @@ impl IoCompletion {
         IoCompletion {
             request,
             complete_time,
+            status,
+        }
+    }
+
+    /// Builds a completion from an *observed* (possibly imperfect)
+    /// stream without validating timestamp order. Consumers that accept
+    /// external traces use this; they must tolerate `complete_time <
+    /// issue_time` (see `IoStatsCollector`'s clock-anomaly handling).
+    pub fn observed(request: IoRequest, complete_time: SimTime, status: ScsiStatus) -> Self {
+        IoCompletion {
+            request,
+            complete_time,
+            status,
         }
     }
 
     /// Device latency: issue → completion (§3.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the completion was built from an anomalous stream where
+    /// `complete_time` precedes the issue time; use
+    /// [`IoCompletion::saturating_latency`] for observed streams.
     #[inline]
     pub fn latency(&self) -> SimDuration {
         self.complete_time - self.request.issue_time
+    }
+
+    /// Like [`IoCompletion::latency`], but a non-monotonic pair yields
+    /// zero instead of panicking.
+    #[inline]
+    pub fn saturating_latency(&self) -> SimDuration {
+        self.complete_time.saturating_since(self.request.issue_time)
     }
 }
 
 impl fmt::Display for IoCompletion {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} done in {}", self.request, self.latency())
+        write!(
+            f,
+            "{} done in {} [{}]",
+            self.request,
+            self.saturating_latency(),
+            self.status
+        )
     }
 }
 
@@ -214,6 +260,30 @@ mod tests {
     fn completion_before_issue_rejected() {
         let r = req(0, 8);
         let _ = IoCompletion::new(r, SimTime::ZERO);
+    }
+
+    #[test]
+    fn new_defaults_to_good_status() {
+        let c = IoCompletion::new(req(0, 8), SimTime::from_micros(20));
+        assert_eq!(c.status, crate::ScsiStatus::Good);
+    }
+
+    #[test]
+    fn with_status_carries_outcome() {
+        use crate::{ScsiStatus, SenseKey};
+        let c = IoCompletion::with_status(
+            req(0, 8),
+            SimTime::from_micros(20),
+            ScsiStatus::CheckCondition(SenseKey::MediumError),
+        );
+        assert!(!c.status.is_good());
+        assert!(c.to_string().contains("MEDIUM ERROR"));
+    }
+
+    #[test]
+    fn observed_tolerates_clock_inversion() {
+        let c = IoCompletion::observed(req(0, 8), SimTime::ZERO, crate::ScsiStatus::Good);
+        assert_eq!(c.saturating_latency(), SimDuration::ZERO);
     }
 
     #[test]
