@@ -1,11 +1,14 @@
 //! Ablation of the bin layout design (DESIGN.md §5.1/§5.3): the paper's
-//! irregular layouts vs plain power-of-two layouts, and the linear bin scan
-//! vs binary search. For the small, fixed bin counts the paper uses, a
-//! branch-predictable linear scan is competitive with (usually faster
-//! than) binary search, and irregular layouts cost nothing extra.
+//! irregular layouts vs plain power-of-two layouts, and the three bin-index
+//! strategies — linear scan, binary search, and the branchless
+//! [`FastBinner`] the hot path uses. For the small, fixed bin counts the
+//! paper uses, a branch-predictable linear scan is competitive with
+//! (usually faster than) binary search; the leading-zeros class split beats
+//! both. Every timed case is first checked for agreement on the full value
+//! stream, so the ablation doubles as an equivalence proof.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use histo::{layouts, BinEdges};
+use histo::{layouts, BinEdges, FastBinner};
 use simkit::SimRng;
 
 fn values(n: usize, lo: i64, hi: i64) -> Vec<i64> {
@@ -28,6 +31,16 @@ fn bench(c: &mut Criterion) {
         ("pow2_layout", layouts::pow2(21)),
     ];
     for (name, edges) in cases {
+        let fast = FastBinner::try_new(&edges).expect("paper layouts fit the fast path");
+        // All three strategies must agree before any of them is timed.
+        for &v in &vals {
+            assert_eq!(
+                edges.bin_index(v),
+                edges.bin_index_binary(v),
+                "{name} v={v}"
+            );
+            assert_eq!(edges.bin_index(v), fast.bin_index(v), "{name} v={v}");
+        }
         let mut i = 0usize;
         group.bench_function(format!("{name}/linear"), |b| {
             b.iter(|| {
@@ -42,6 +55,14 @@ fn bench(c: &mut Criterion) {
                 let v = vals[j & 4095];
                 j = j.wrapping_add(1);
                 black_box(edges.bin_index_binary(black_box(v)))
+            })
+        });
+        let mut k = 0usize;
+        group.bench_function(format!("{name}/fast"), |b| {
+            b.iter(|| {
+                let v = vals[k & 4095];
+                k = k.wrapping_add(1);
+                black_box(fast.bin_index(black_box(v)))
             })
         });
     }

@@ -1,0 +1,51 @@
+//! Table 2, per configuration: nanoseconds per command (issue hook plus
+//! completion hook) through the service front-end for each collection
+//! configuration the paper prices, plus the pre-slab collector so the
+//! flat-slab rewrite's per-command win shows up in the same report.
+//!
+//! Each iteration processes one issue/completion pair, so Criterion's
+//! per-iteration time *is* the per-command overhead. The one-shot
+//! equivalent (for CI and for `BENCH_percommand.json`) is
+//! `vscsistats --bench-overhead`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vscsistats_bench::legacy::LegacyCollector;
+use vscsistats_bench::percommand::{build_harness_service, make_pairs, OverheadMode};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_overhead");
+    group.sample_size(60);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let pairs = make_pairs(4096);
+
+    for mode in OverheadMode::TABLE2 {
+        let service = build_harness_service(mode).expect("table2 modes use the service");
+        let mut i = 0usize;
+        group.bench_function(mode.name(), |b| {
+            b.iter(|| {
+                let (req, completion) = &pairs[i & 4095];
+                service.handle_issue(black_box(req));
+                service.handle_complete(black_box(completion));
+                i = i.wrapping_add(1);
+            })
+        });
+    }
+
+    // Pre-slab baseline: same stream, the old Vec<Histogram> hot path.
+    let mut legacy = LegacyCollector::default();
+    let mut j = 0usize;
+    group.bench_function(OverheadMode::LegacyHistograms.name(), |b| {
+        b.iter(|| {
+            let (req, completion) = &pairs[j & 4095];
+            legacy.on_issue(black_box(req));
+            legacy.on_complete(black_box(completion));
+            j = j.wrapping_add(1);
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -84,9 +84,9 @@ fn main() {
         panel2(
             "I/O Latency Histogram (GOOD completions only) [microseconds]",
             "clean",
-            clean.collectors[0].histogram(Metric::Latency, Lens::All),
+            &clean.collectors[0].histogram(Metric::Latency, Lens::All),
             "faulted",
-            faulted.collectors[0].histogram(Metric::Latency, Lens::All),
+            &faulted.collectors[0].histogram(Metric::Latency, Lens::All),
         )
     );
     println!("--- I/O Errors by Outcome (faulted run) ---");

@@ -101,15 +101,18 @@ fn main() {
 
     println!(
         "{}",
-        panel("Write seek distance — combined disk (WAL + data)", seek_all)
+        panel(
+            "Write seek distance — combined disk (WAL + data)",
+            &seek_all
+        )
     );
     println!(
         "{}",
-        panel("Write seek distance — data disk only (split)", seek_data)
+        panel("Write seek distance — data disk only (split)", &seek_data)
     );
     println!(
         "{}",
-        panel("Write seek distance — WAL disk only (split)", seek_wal)
+        panel("Write seek distance — WAL disk only (split)", &seek_wal)
     );
 
     let seq = |h: &histo::Histogram| h.fraction_in(0, 2);

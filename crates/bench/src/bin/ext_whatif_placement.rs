@@ -95,9 +95,9 @@ fn main() {
         panel2(
             "I/O Latency Histogram [us] — same command stream, two placements",
             "CX3 cache-off",
-            lat_off,
+            &lat_off,
             "Symmetrix",
-            lat_symm
+            &lat_symm
         )
     );
     println!(

@@ -27,15 +27,15 @@ fn main() {
     let seek_w = c.histogram(Metric::SeekDistance, Lens::Writes);
     let seek_r = c.histogram(Metric::SeekDistance, Lens::Reads);
 
-    println!("{}", panel("(a) I/O Length Histogram [bytes]", len));
-    println!("{}", panel("(b) Seek Distance Histogram [sectors]", seek));
+    println!("{}", panel("(a) I/O Length Histogram [bytes]", &len));
+    println!("{}", panel("(b) Seek Distance Histogram [sectors]", &seek));
     println!(
         "{}",
-        panel("(c) Seek Distance Histogram (Writes) [sectors]", seek_w)
+        panel("(c) Seek Distance Histogram (Writes) [sectors]", &seek_w)
     );
     println!(
         "{}",
-        panel("(d) Seek Distance Histogram (Reads) [sectors]", seek_r)
+        panel("(d) Seek Distance Histogram (Reads) [sectors]", &seek_r)
     );
     println!(
         "commands={} IOps={:.0} MBps={:.1} read%={}\n",

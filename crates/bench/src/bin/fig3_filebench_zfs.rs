@@ -29,21 +29,21 @@ fn main() {
     let seek_r = c.histogram(Metric::SeekDistance, Lens::Reads);
     let windowed = c.histogram(Metric::SeekDistanceWindowed, Lens::All);
 
-    println!("{}", panel("(a) I/O Length Histogram [bytes]", len));
-    println!("{}", panel("(b) Seek Distance Histogram [sectors]", seek));
+    println!("{}", panel("(a) I/O Length Histogram [bytes]", &len));
+    println!("{}", panel("(b) Seek Distance Histogram [sectors]", &seek));
     println!(
         "{}",
-        panel("(c) Seek Distance Histogram (Writes) [sectors]", seek_w)
+        panel("(c) Seek Distance Histogram (Writes) [sectors]", &seek_w)
     );
     println!(
         "{}",
-        panel("(d) Seek Distance Histogram (Reads) [sectors]", seek_r)
+        panel("(d) Seek Distance Histogram (Reads) [sectors]", &seek_r)
     );
     println!(
         "{}",
         panel(
             "(extra) Windowed min seek distance, N=16 [sectors]",
-            windowed
+            &windowed
         )
     );
     println!(

@@ -30,17 +30,17 @@ fn main() {
 
     println!(
         "{}",
-        panel("(a) Seek Distance Histogram (Writes) [sectors]", seek_w)
+        panel("(a) Seek Distance Histogram (Writes) [sectors]", &seek_w)
     );
-    println!("{}", panel("(b) I/O Length Histogram [bytes]", len));
+    println!("{}", panel("(b) I/O Length Histogram [bytes]", &len));
     println!(
         "{}",
         panel2(
             "(c) Outstanding I/Os Histogram",
             "Reads",
-            oio_r,
+            &oio_r,
             "Writes",
-            oio_w
+            &oio_w
         )
     );
     if let Some(series) = c.outstanding_series() {

@@ -36,9 +36,9 @@ fn main() {
         panel2(
             "(a) I/O Latency Histogram [us]",
             "XP Pro",
-            lat_x,
+            &lat_x,
             "Vista",
-            lat_v
+            &lat_v
         )
     );
     println!(
@@ -46,9 +46,9 @@ fn main() {
         panel2(
             "(b) I/O Length Histogram [bytes]",
             "XP Pro",
-            len_x,
+            &len_x,
             "Vista",
-            len_v
+            &len_v
         )
     );
     println!(
@@ -56,9 +56,9 @@ fn main() {
         panel2(
             "(c) Seek Distance Histogram (windowed, N=16) [sectors]",
             "XP Pro",
-            seek_x,
+            &seek_x,
             "Vista",
-            seek_v
+            &seek_v
         )
     );
     println!(

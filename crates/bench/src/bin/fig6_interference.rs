@@ -43,9 +43,9 @@ fn main() {
         panel2(
             "(a) I/O Latency Histogram (8K Random Reader) [us]",
             "Solo VM",
-            rand_solo_lat,
+            &rand_solo_lat,
             "Dual VM",
-            rand_dual_lat
+            &rand_dual_lat
         )
     );
     println!(
@@ -53,9 +53,9 @@ fn main() {
         panel2(
             "(b) I/O Latency Histogram (8K Sequential Reader) [us]",
             "Solo VM",
-            seq_solo_lat,
+            &seq_solo_lat,
             "Dual VM",
-            seq_dual_lat
+            &seq_dual_lat
         )
     );
 

@@ -23,6 +23,7 @@ use vscsi_stats::{
     fingerprint, replay, report, CollectorConfig, IoStatsCollector, TraceRecord,
     WorkloadFingerprint,
 };
+use vscsistats_bench::percommand;
 use vscsistats_bench::scenarios::{
     prepare_dbt2, prepare_filebench_oltp, prepare_filecopy, prepare_interference, CopyOs, FsKind,
     InterferenceMode, Prepared,
@@ -52,6 +53,9 @@ struct Args {
     list: bool,
     trace_out: Option<PathBuf>,
     replay: Option<PathBuf>,
+    bench_overhead: bool,
+    bench_out: Option<PathBuf>,
+    bench_commands: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -65,6 +69,9 @@ fn parse_args() -> Result<Args, String> {
         list: false,
         trace_out: None,
         replay: None,
+        bench_overhead: false,
+        bench_out: Some(PathBuf::from("BENCH_percommand.json")),
+        bench_commands: 100_000,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -94,6 +101,18 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => {
                 args.replay = Some(PathBuf::from(it.next().ok_or("--replay needs a path")?));
             }
+            "--bench-overhead" => args.bench_overhead = true,
+            "--bench-commands" => {
+                args.bench_commands = it
+                    .next()
+                    .ok_or("--bench-commands needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--bench-commands: {e}"))?;
+            }
+            "--bench-out" => {
+                let v = it.next().ok_or("--bench-out needs a path (or '-')")?;
+                args.bench_out = (v != "-").then(|| PathBuf::from(v));
+            }
             "--csv" => args.csv = true,
             "--fingerprint" | "-f" => args.fingerprint = true,
             "--report" | "-r" => args.report = true,
@@ -112,6 +131,7 @@ fn print_help() {
     println!("vscsistats — online disk I/O workload characterization (simulated host)\n");
     println!("usage: vscsistats --workload <name> [--seconds N] [--seed N] [--report] [--csv] [--fingerprint] [--trace-out DIR]");
     println!("       vscsistats --replay <path> [--report] [--csv] [--fingerprint]");
+    println!("       vscsistats --bench-overhead [--bench-commands N] [--bench-out PATH|-]");
     println!("       vscsistats --list\n");
     println!("workloads:");
     for (name, desc) in WORKLOADS {
@@ -123,6 +143,8 @@ fn print_help() {
     println!("  --fingerprint  environment-independent fingerprint + classification + advice");
     println!("  --trace-out D  also capture a binary trace into directory D (tracestore segments)");
     println!("  --replay P     rebuild histograms from a trace file/directory instead of running");
+    println!("  --bench-overhead  measure ns/command per collection config (Table 2) and write");
+    println!("                    BENCH_percommand.json (override with --bench-out, '-' = stdout)");
 }
 
 fn prepare_workload(name: &str, duration: SimTime, seed: u64) -> Result<Prepared, String> {
@@ -231,6 +253,38 @@ fn run_replay(path: &Path, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `--bench-overhead`: the Table 2 reproduction. Measures nanoseconds per
+/// command (issue + completion hooks) for each collection configuration
+/// plus the pre-slab baseline, prints the table, and writes the JSON
+/// artifact.
+fn run_bench_overhead(args: &Args) {
+    const REPEATS: usize = 5;
+    let commands = args.bench_commands.max(1_000);
+    eprintln!(
+        "measuring per-command overhead: {commands} commands x {REPEATS} repeats per config..."
+    );
+    let rows = percommand::measure_all(commands, REPEATS);
+    println!("--- per-command overhead (Table 2 shape) ---");
+    for row in &rows {
+        println!(
+            "{:<20} {:>8.1} ns/command",
+            row.mode.name(),
+            row.ns_per_command
+        );
+    }
+    let json = percommand::to_json(&rows, commands, REPEATS);
+    match args.bench_out.as_deref() {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{json}"),
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -250,6 +304,10 @@ fn main() {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
+        return;
+    }
+    if args.bench_overhead {
+        run_bench_overhead(&args);
         return;
     }
     let Some(workload) = args.workload.as_deref() else {

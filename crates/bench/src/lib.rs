@@ -16,10 +16,12 @@
 //! | `table2_microbench` | Table 2 — service overhead microbenchmark |
 //! | `fig6_interference` | Figure 6 / §5.3 — multi-VM interference |
 //! | `contention_multi_vm` | sharded vs global-lock ingestion scaling (`BENCH_contention.json`) |
+//! | `vscsistats --bench-overhead` | Table 2 — ns/command per config (`BENCH_percommand.json`) |
 
 #![warn(missing_docs)]
 
 pub mod contention;
 pub mod legacy;
+pub mod percommand;
 pub mod reporting;
 pub mod scenarios;

@@ -1,0 +1,256 @@
+//! Per-command overhead measurement — the paper's Table 2, re-measured.
+//!
+//! Table 2 reports the CPU cost vscsiStats adds to each SCSI command for a
+//! handful of collection configurations. This module is the shared harness
+//! behind the two consumers that reproduce it:
+//!
+//! * the `table2_overhead` Criterion bench (statistical, interactive), and
+//! * `vscsistats --bench-overhead`, which emits `BENCH_percommand.json`
+//!   with one ns/command figure per configuration in a single run.
+//!
+//! Both drive the same synthetic stream of issue/completion pairs (seeded,
+//! so every mode sees identical commands) through the real
+//! [`StatsService`] front-end, plus the pre-slab [`LegacyCollector`]
+//! baseline so the flat-slab rewrite's win is measured in the same report
+//! that claims it.
+
+use crate::legacy::LegacyCollector;
+use simkit::{SimDuration, SimRng, SimTime};
+use std::fmt::Write as _;
+use std::time::Instant;
+use vscsi::{IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId};
+use vscsi_stats::{CollectorConfig, StatsService, TraceCapacity};
+
+/// One measured collection configuration (a Table 2 row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverheadMode {
+    /// Service constructed but disabled: the always-on hook cost every
+    /// command pays even when nobody is characterizing the workload.
+    Off,
+    /// Online histograms only (the paper's default mode).
+    Histograms,
+    /// Histograms plus the 6-second over-time histogram series
+    /// ([`CollectorConfig::paper_figures`]).
+    HistogramsSeries,
+    /// Histograms plus a flight-recorder trace ring on the target.
+    HistogramsTrace,
+    /// The pre-slab collector driven directly: per-lens bin-index
+    /// recomputation and linear in-flight scans, as the hot path worked
+    /// before the flat-slab rewrite.
+    LegacyHistograms,
+}
+
+impl OverheadMode {
+    /// The four service configurations of the Table 2 reproduction.
+    pub const TABLE2: [OverheadMode; 4] = [
+        OverheadMode::Off,
+        OverheadMode::Histograms,
+        OverheadMode::HistogramsSeries,
+        OverheadMode::HistogramsTrace,
+    ];
+
+    /// Every mode, Table 2 rows first, baseline last.
+    pub const ALL: [OverheadMode; 5] = [
+        OverheadMode::Off,
+        OverheadMode::Histograms,
+        OverheadMode::HistogramsSeries,
+        OverheadMode::HistogramsTrace,
+        OverheadMode::LegacyHistograms,
+    ];
+
+    /// Stable row name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            OverheadMode::Off => "off",
+            OverheadMode::Histograms => "histograms",
+            OverheadMode::HistogramsSeries => "histograms_series",
+            OverheadMode::HistogramsTrace => "histograms_trace",
+            OverheadMode::LegacyHistograms => "legacy_histograms",
+        }
+    }
+}
+
+/// One ns/command result.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadRow {
+    /// Which configuration was measured.
+    pub mode: OverheadMode,
+    /// Best-of-repeats nanoseconds per command (issue + completion).
+    pub ns_per_command: f64,
+}
+
+/// Builds `n` issue/completion pairs: seeded random LBAs over a 10M-sector
+/// span, 4 KiB commands, one write per three commands, 100 µs apart, each
+/// completing 500 µs after issue (the `collector_overhead` bench stream).
+pub fn make_pairs(n: usize) -> Vec<(IoRequest, IoCompletion)> {
+    let mut rng = SimRng::seed_from(3);
+    let mut t = SimTime::ZERO;
+    (0..n)
+        .map(|i| {
+            t += SimDuration::from_micros(100);
+            let req = IoRequest::new(
+                RequestId(i as u64),
+                TargetId::default(),
+                if i % 3 == 0 {
+                    IoDirection::Write
+                } else {
+                    IoDirection::Read
+                },
+                Lba::new(rng.range_inclusive(0, 10_000_000)),
+                8,
+                t,
+            );
+            (
+                req,
+                IoCompletion::new(req, t + SimDuration::from_micros(500)),
+            )
+        })
+        .collect()
+}
+
+/// Builds the fully configured service for a mode — enabled and, for the
+/// trace mode, with a flight-recorder ring installed on the default
+/// target. Returns `None` for the direct-collector modes.
+pub fn build_harness_service(mode: OverheadMode) -> Option<StatsService> {
+    let service = match mode {
+        OverheadMode::Off => StatsService::default(),
+        OverheadMode::Histograms => StatsService::default(),
+        OverheadMode::HistogramsSeries => StatsService::new(CollectorConfig::paper_figures()),
+        OverheadMode::HistogramsTrace => StatsService::default(),
+        OverheadMode::LegacyHistograms => return None,
+    };
+    if mode != OverheadMode::Off {
+        service.enable_all();
+    }
+    if mode == OverheadMode::HistogramsTrace {
+        service.start_trace(TargetId::default(), TraceCapacity::Ring(4096));
+    }
+    Some(service)
+}
+
+/// Runs every pair through a fresh instance of `mode` once and returns the
+/// wall-clock nanoseconds per command.
+fn run_once(mode: OverheadMode, pairs: &[(IoRequest, IoCompletion)]) -> f64 {
+    let elapsed_ns = match build_harness_service(mode) {
+        Some(service) => {
+            let start = Instant::now();
+            for (req, completion) in pairs {
+                service.handle_issue(req);
+                service.handle_complete(completion);
+            }
+            start.elapsed().as_nanos()
+        }
+        None => {
+            let mut legacy = LegacyCollector::new(CollectorConfig::default());
+            let start = Instant::now();
+            for (req, completion) in pairs {
+                legacy.on_issue(req);
+                legacy.on_complete(completion);
+            }
+            let elapsed = start.elapsed().as_nanos();
+            assert_eq!(legacy.completed_commands(), pairs.len() as u64);
+            elapsed
+        }
+    };
+    elapsed_ns as f64 / pairs.len() as f64
+}
+
+/// Measures one mode: `repeats` fresh runs over the same pairs, keeping
+/// the fastest (the run least disturbed by the host).
+pub fn measure(mode: OverheadMode, pairs: &[(IoRequest, IoCompletion)], repeats: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        best = best.min(run_once(mode, pairs));
+    }
+    best
+}
+
+/// Measures every mode over one shared stream of `commands` pairs.
+pub fn measure_all(commands: usize, repeats: usize) -> Vec<OverheadRow> {
+    let pairs = make_pairs(commands);
+    // One throwaway warm-up pass so lazily initialized statics (layout
+    // registry, allocator arenas) are charged to nobody.
+    let _ = run_once(OverheadMode::Histograms, &pairs);
+    OverheadMode::ALL
+        .into_iter()
+        .map(|mode| OverheadRow {
+            mode,
+            ns_per_command: measure(mode, &pairs, repeats),
+        })
+        .collect()
+}
+
+/// Renders rows as `BENCH_percommand.json` (hand-rolled: the workspace
+/// carries no JSON dependency).
+pub fn to_json(rows: &[OverheadRow], commands: usize, repeats: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"table2_percommand_overhead\",");
+    let _ = writeln!(out, "  \"commands\": {commands},");
+    let _ = writeln!(out, "  \"repeats\": {repeats},");
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"config\": \"{}\", \"ns_per_command\": {:.1}}}{comma}",
+            row.mode.name(),
+            row.ns_per_command
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let hist = rows
+        .iter()
+        .find(|r| r.mode == OverheadMode::Histograms)
+        .map_or(f64::NAN, |r| r.ns_per_command);
+    let legacy = rows
+        .iter()
+        .find(|r| r.mode == OverheadMode::LegacyHistograms)
+        .map_or(f64::NAN, |r| r.ns_per_command);
+    let _ = writeln!(
+        out,
+        "  \"slab_speedup_vs_legacy\": {:.2}",
+        legacy / hist.max(1e-9)
+    );
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every mode produces a finite positive per-command figure, and the
+    /// JSON report carries one row per mode.
+    #[test]
+    fn measure_all_covers_every_mode() {
+        let rows = measure_all(2_000, 1);
+        assert_eq!(rows.len(), OverheadMode::ALL.len());
+        for row in &rows {
+            assert!(
+                row.ns_per_command.is_finite() && row.ns_per_command > 0.0,
+                "{}: {}",
+                row.mode.name(),
+                row.ns_per_command
+            );
+        }
+        let json = to_json(&rows, 2_000, 1);
+        for mode in OverheadMode::ALL {
+            assert!(json.contains(mode.name()), "missing {}", mode.name());
+        }
+        assert!(json.contains("slab_speedup_vs_legacy"));
+    }
+
+    /// The shared stream is deterministic: two builds are identical.
+    #[test]
+    fn pairs_are_deterministic() {
+        let a = make_pairs(64);
+        let b = make_pairs(64);
+        for ((ra, ca), (rb, cb)) in a.iter().zip(&b) {
+            assert_eq!(ra.id, rb.id);
+            assert_eq!(ra.lba, rb.lba);
+            assert_eq!(ra.direction, rb.direction);
+            assert_eq!(ca.complete_time, cb.complete_time);
+        }
+    }
+}

@@ -11,9 +11,32 @@
 //! Each hook performs a constant number of histogram inserts plus O(N) work
 //! in the (fixed, default 16) seek-window size: O(1) per command overall,
 //! with no allocation on the hot path.
+//!
+//! # The flat counter slab
+//!
+//! The collector does not hold 21 `Histogram` objects. All per-bin counters
+//! live in one contiguous [`SLAB_LEN`]-slot `Box<[u64]>` (2400 bytes — a
+//! few cache lines), addressed by precomputed per-metric offsets:
+//!
+//! ```text
+//! slab[SLAB_BASE[m] + lens * SLAB_BINS[m] + bin]
+//! ```
+//!
+//! with the three lenses of one metric adjacent so an event's All + Reads
+//! (or All + Writes) bumps touch neighbouring cache lines. Bin lookup goes
+//! through the process-lifetime [`FastBinner`] tables cached per metric, so
+//! each metric's bin index is computed **exactly once** per event and each
+//! lens costs one extra add (the index-once invariant; see DESIGN.md).
+//! Exact running totals/sums/min/max live in a small inline [`Agg`] matrix.
+//! `Histogram` values are materialized from the slab only at snapshot time
+//! via [`IoStatsCollector::histogram`].
 
+use crate::inflight::InflightTable;
 use crate::metrics::{Lens, Metric};
-use histo::{layouts, signed_distance, Histogram, Histogram2d, HistogramSeries, SeekWindow};
+use histo::{
+    layouts, signed_distance, FastBinner, Histogram, Histogram2d, HistogramSeries, LayoutId,
+    SeekWindow,
+};
 use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimTime};
 use vscsi::{IoCompletion, IoRequest};
@@ -57,6 +80,19 @@ impl CollectorConfig {
 }
 
 const LENSES: usize = 3;
+const METRICS: usize = 7;
+
+/// Bin count of each metric's layout, in [`metric_index`] order. Pinned as
+/// constants so slab offsets are compile-time; a test asserts they match
+/// the registered layouts.
+const SLAB_BINS: [usize; METRICS] = [18, 20, 20, 12, 13, 11, 6];
+
+/// Slab offset of each metric's first (All-lens) counter:
+/// `SLAB_BASE[m] = 3 * (SLAB_BINS[0] + … + SLAB_BINS[m-1])`.
+const SLAB_BASE: [usize; METRICS] = [0, 54, 114, 174, 210, 249, 282];
+
+/// Total slab slots: all metrics × all lenses × all bins.
+const SLAB_LEN: usize = 300;
 
 fn lens_index(lens: Lens) -> usize {
     match lens {
@@ -78,14 +114,54 @@ fn metric_index(metric: Metric) -> usize {
     }
 }
 
-fn layout_for(metric: Metric) -> histo::BinEdges {
+fn layout_id(metric: Metric) -> LayoutId {
     match metric {
-        Metric::IoLength => layouts::io_length_bytes(),
-        Metric::SeekDistance | Metric::SeekDistanceWindowed => layouts::seek_distance_sectors(),
-        Metric::Interarrival => layouts::interarrival_us(),
-        Metric::OutstandingIos => layouts::outstanding_ios(),
-        Metric::Latency => layouts::latency_us(),
-        Metric::Errors => layouts::scsi_outcomes(),
+        Metric::IoLength => LayoutId::IoLengthBytes,
+        Metric::SeekDistance | Metric::SeekDistanceWindowed => LayoutId::SeekDistanceSectors,
+        Metric::Interarrival => LayoutId::InterarrivalUs,
+        Metric::OutstandingIos => LayoutId::OutstandingIos,
+        Metric::Latency => LayoutId::LatencyUs,
+        Metric::Errors => LayoutId::ScsiOutcomes,
+    }
+}
+
+fn layout_for(metric: Metric) -> histo::BinEdges {
+    layout_id(metric).edges()
+}
+
+/// Exact running aggregates for one (metric, lens) pair, maintained beside
+/// the binned slab counts so snapshot histograms keep exact min/max/mean.
+#[derive(Debug, Clone, Copy)]
+struct Agg {
+    total: u64,
+    sum: i128,
+    min: i64,
+    max: i64,
+}
+
+impl Agg {
+    const EMPTY: Agg = Agg {
+        total: 0,
+        sum: 0,
+        min: i64::MAX,
+        max: i64::MIN,
+    };
+
+    #[inline]
+    fn observe(&mut self, value: i64) {
+        self.total += 1;
+        self.sum += i128::from(value);
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    #[inline]
+    fn min_max(&self) -> Option<(i64, i64)> {
+        (self.total > 0).then_some((self.min, self.max))
     }
 }
 
@@ -112,8 +188,13 @@ fn layout_for(metric: Metric) -> histo::BinEdges {
 #[derive(Debug, Clone)]
 pub struct IoStatsCollector {
     config: CollectorConfig,
-    /// `histograms[metric * 3 + lens]`.
-    histograms: Vec<Histogram>,
+    /// The flat counter slab: `slab[SLAB_BASE[m] + lens * SLAB_BINS[m] + bin]`.
+    slab: Box<[u64]>,
+    /// Exact running aggregates per (metric, lens).
+    aggs: [[Agg; LENSES]; METRICS],
+    /// Cached process-lifetime binner tables, one per metric, so the hot
+    /// path never touches the `OnceLock` registry.
+    binners: [&'static FastBinner; METRICS],
     window: SeekWindow,
     /// Last block of the previous I/O (any direction), for plain seek
     /// distance. The paper stores exactly this: one u64 per virtual disk.
@@ -141,8 +222,9 @@ pub struct IoStatsCollector {
     latency_series: Option<HistogramSeries>,
     outstanding_series: Option<HistogramSeries>,
     /// Seek-distance-at-issue for in-flight requests, only when the 2-D
-    /// correlation extension is on.
-    inflight_seeks: Vec<(vscsi::RequestId, i64)>,
+    /// correlation extension is on. Fixed-capacity open addressing keyed by
+    /// request id; allocation-free up to the OIO layout's 64-deep queue.
+    inflight_seeks: InflightTable<i64>,
     seek_latency: Option<Histogram2d>,
 }
 
@@ -153,15 +235,14 @@ impl Default for IoStatsCollector {
 }
 
 impl IoStatsCollector {
-    /// Creates a collector; all histogram memory is allocated here, up
+    /// Creates a collector; all counter memory (the flat slab, the probe
+    /// array for in-flight state, the seek window) is allocated here, up
     /// front, so the hot path never allocates (§5.2: "histogram data
     /// structures are dynamically created as needed").
     pub fn new(config: CollectorConfig) -> Self {
-        let mut histograms = Vec::with_capacity(Metric::ALL.len() * LENSES);
+        let mut binners = [LayoutId::ScsiOutcomes.binner(); METRICS];
         for metric in Metric::ALL {
-            for _ in 0..LENSES {
-                histograms.push(Histogram::new(layout_for(metric)));
-            }
+            binners[metric_index(metric)] = layout_id(metric).binner();
         }
         let latency_series = config
             .series_interval
@@ -175,7 +256,9 @@ impl IoStatsCollector {
         IoStatsCollector {
             window: SeekWindow::new(config.window_capacity),
             config,
-            histograms,
+            slab: vec![0u64; SLAB_LEN].into_boxed_slice(),
+            aggs: [[Agg::EMPTY; LENSES]; METRICS],
+            binners,
             last_end_block: None,
             last_end_block_by_dir: [None, None],
             last_arrival: None,
@@ -189,7 +272,7 @@ impl IoStatsCollector {
             bytes_written: 0,
             latency_series,
             outstanding_series,
-            inflight_seeks: Vec::new(),
+            inflight_seeks: InflightTable::new(),
             seek_latency,
         }
     }
@@ -278,7 +361,7 @@ impl IoStatsCollector {
         }
         if self.seek_latency.is_some() {
             if let Some(prev_seek) = windowed {
-                self.inflight_seeks.push((req.id, prev_seek));
+                self.inflight_seeks.insert(req.id.0, prev_seek);
             }
         }
     }
@@ -309,8 +392,7 @@ impl IoStatsCollector {
         if let Some(h2) = &mut self.seek_latency {
             // The in-flight entry is retired either way so errors cannot
             // leak slots, but only good completions contribute a point.
-            if let Some(pos) = self.inflight_seeks.iter().position(|(id, _)| *id == req.id) {
-                let (_, seek) = self.inflight_seeks.swap_remove(pos);
+            if let Some(seek) = self.inflight_seeks.remove(req.id.0) {
                 if completion.status.is_good() {
                     h2.record(seek, lat_us);
                 }
@@ -326,20 +408,45 @@ impl IoStatsCollector {
         self.completed_commands += 1;
     }
 
+    /// Records under All *and* (when distinct) the given lens, computing
+    /// the bin index exactly once — the index-once invariant.
+    #[inline]
     fn record(&mut self, metric: Metric, lens: Lens, value: i64) {
-        self.record_single(metric, Lens::All, value);
-        if lens != Lens::All {
-            self.record_single(metric, lens, value);
+        let m = metric_index(metric);
+        let bin = self.binners[m].bin_index(value);
+        let base = SLAB_BASE[m];
+        self.slab[base + bin] += 1;
+        self.aggs[m][0].observe(value);
+        let l = lens_index(lens);
+        if l != 0 {
+            self.slab[base + l * SLAB_BINS[m] + bin] += 1;
+            self.aggs[m][l].observe(value);
         }
     }
 
+    /// Records under exactly one lens (used where All and the direction
+    /// lens observe *different* values, e.g. per-direction seek streams).
+    #[inline]
     fn record_single(&mut self, metric: Metric, lens: Lens, value: i64) {
-        self.histograms[metric_index(metric) * LENSES + lens_index(lens)].record(value);
+        let m = metric_index(metric);
+        let bin = self.binners[m].bin_index(value);
+        self.slab[SLAB_BASE[m] + lens_index(lens) * SLAB_BINS[m] + bin] += 1;
+        self.aggs[m][lens_index(lens)].observe(value);
     }
 
-    /// The histogram for a metric/lens pair.
-    pub fn histogram(&self, metric: Metric, lens: Lens) -> &Histogram {
-        &self.histograms[metric_index(metric) * LENSES + lens_index(lens)]
+    /// A snapshot histogram for a metric/lens pair, materialized from the
+    /// flat counter slab.
+    ///
+    /// The hot path maintains raw slab counters only; this constructs a
+    /// full [`Histogram`] (cached static layout + copied counts + exact
+    /// aggregates) on demand. Call it at snapshot/report time, not per
+    /// command.
+    pub fn histogram(&self, metric: Metric, lens: Lens) -> Histogram {
+        let m = metric_index(metric);
+        let start = SLAB_BASE[m] + lens_index(lens) * SLAB_BINS[m];
+        let counts = self.slab[start..start + SLAB_BINS[m]].to_vec();
+        let agg = &self.aggs[m][lens_index(lens)];
+        Histogram::from_parts(layout_for(metric), counts, agg.sum, agg.min_max())
     }
 
     /// Commands issued so far.
@@ -384,8 +491,9 @@ impl IoStatsCollector {
     /// Fraction of issued commands that were reads (`None` before any
     /// command) — the §3.4 read/write ratio.
     pub fn read_fraction(&self) -> Option<f64> {
-        let reads = self.histogram(Metric::IoLength, Lens::Reads).total();
-        let all = self.histogram(Metric::IoLength, Lens::All).total();
+        let m = metric_index(Metric::IoLength);
+        let reads = self.aggs[m][lens_index(Lens::Reads)].total;
+        let all = self.aggs[m][lens_index(Lens::All)].total;
         (all > 0).then(|| reads as f64 / all as f64)
     }
 
@@ -407,9 +515,8 @@ impl IoStatsCollector {
     /// Clears all histograms and per-stream state; in-flight commands keep
     /// counting so outstanding-I/O tracking stays consistent.
     pub fn reset(&mut self) {
-        for h in &mut self.histograms {
-            h.reset();
-        }
+        self.slab.fill(0);
+        self.aggs = [[Agg::EMPTY; LENSES]; METRICS];
         self.window.reset();
         self.last_end_block = None;
         self.last_end_block_by_dir = [None, None];
@@ -449,11 +556,6 @@ impl IoStatsCollector {
     /// growth; see `EXPERIMENTS.md`).
     pub fn memory_footprint_bytes(&self) -> usize {
         use std::mem::size_of;
-        let hist_bytes: usize = self
-            .histograms
-            .iter()
-            .map(|h| size_of::<Histogram>() + h.counts().len() * size_of::<u64>())
-            .sum();
         let series_bytes: usize = [&self.latency_series, &self.outstanding_series]
             .iter()
             .filter_map(|s| s.as_ref())
@@ -464,10 +566,10 @@ impl IoStatsCollector {
             })
             .sum();
         size_of::<Self>()
-            + hist_bytes
+            + self.slab.len() * size_of::<u64>()
             + series_bytes
             + self.config.window_capacity * size_of::<u64>()
-            + self.inflight_seeks.capacity() * size_of::<(vscsi::RequestId, i64)>()
+            + self.inflight_seeks.heap_footprint_bytes()
     }
 }
 
@@ -854,6 +956,44 @@ mod tests {
         assert_eq!(c.error_commands(), 0);
         assert_eq!(c.clock_anomalies(), 0);
         assert_eq!(c.histogram(Metric::Errors, Lens::All).total(), 0);
+    }
+
+    #[test]
+    fn slab_constants_match_registered_layouts() {
+        let mut expected_base = 0usize;
+        for metric in Metric::ALL {
+            let m = metric_index(metric);
+            assert_eq!(
+                SLAB_BINS[m],
+                layout_for(metric).bin_count(),
+                "{metric}: SLAB_BINS out of sync with layout"
+            );
+            assert_eq!(SLAB_BASE[m], expected_base, "{metric}: SLAB_BASE");
+            expected_base += LENSES * SLAB_BINS[m];
+        }
+        assert_eq!(SLAB_LEN, expected_base);
+    }
+
+    #[test]
+    fn histogram_snapshots_materialize_from_slab() {
+        let mut c = IoStatsCollector::default();
+        let r = mk(0, IoDirection::Read, 0, 8, 0);
+        c.on_issue(&r);
+        c.on_complete(&IoCompletion::new(r, SimTime::from_micros(300)));
+        // Two snapshots of the same state are equal but independent values.
+        let a = c.histogram(Metric::Latency, Lens::All);
+        let b = c.histogram(Metric::Latency, Lens::All);
+        assert_eq!(a, b);
+        assert_eq!(a.total(), 1);
+        assert_eq!(a.min(), Some(300));
+        assert_eq!(a.max(), Some(300));
+        assert_eq!(a.mean(), Some(300.0));
+        // The layout comes from the static registry, not a fresh Vec.
+        let c2 = IoStatsCollector::default();
+        assert!(std::ptr::eq(
+            a.edges().edges(),
+            c2.histogram(Metric::Latency, Lens::All).edges().edges()
+        ));
     }
 
     #[test]

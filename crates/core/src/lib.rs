@@ -53,6 +53,7 @@
 pub mod analysis;
 mod collector;
 pub mod fingerprint;
+mod inflight;
 mod metrics;
 pub mod report;
 mod service;
@@ -60,6 +61,7 @@ mod trace;
 
 pub use collector::{CollectorConfig, IoStatsCollector, LatencyPercentiles};
 pub use fingerprint::{recommendations, FingerprintLibrary, WorkloadClass, WorkloadFingerprint};
+pub use inflight::InflightTable;
 pub use metrics::{Lens, Metric};
 pub use service::{StatsService, TargetSummary, VscsiEvent};
 pub use trace::{

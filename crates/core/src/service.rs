@@ -148,6 +148,57 @@ impl ShardState {
             tracer.on_complete(completion);
         }
     }
+
+    /// Applies a contiguous run of events that all belong to `target`,
+    /// resolving the target's state **once** instead of once per event.
+    /// `idxs` are `(shard, event-index)` pairs from the batch ordering.
+    ///
+    /// Matches the per-event paths exactly: completions alone never create
+    /// target state, an enabled issue creates the collector lazily, and a
+    /// disabled issue is visible only to an existing tracer.
+    fn apply_target_run(
+        &mut self,
+        enabled: bool,
+        config: &CollectorConfig,
+        target: TargetId,
+        events: &[VscsiEvent],
+        idxs: &[(u32, u32)],
+    ) {
+        if enabled
+            && !self.targets.contains_key(&target)
+            && idxs
+                .iter()
+                .any(|&(_, i)| matches!(events[i as usize], VscsiEvent::Issue(_)))
+        {
+            self.targets.entry(target).or_default();
+        }
+        let Some(state) = self.targets.get_mut(&target) else {
+            return;
+        };
+        for &(_, i) in idxs {
+            match &events[i as usize] {
+                VscsiEvent::Issue(req) => {
+                    if enabled {
+                        state
+                            .collector
+                            .get_or_insert_with(|| IoStatsCollector::new(config.clone()))
+                            .on_issue(req);
+                    }
+                    if let Some(tracer) = &mut state.tracer {
+                        tracer.on_issue(req);
+                    }
+                }
+                VscsiEvent::Complete(c) => {
+                    if let Some(collector) = &mut state.collector {
+                        collector.on_complete(c);
+                    }
+                    if let Some(tracer) = &mut state.tracer {
+                        tracer.on_complete(c);
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -404,9 +455,13 @@ impl StatsService {
             .enumerate()
             .map(|(idx, ev)| (self.shard_index(ev.target()) as u32, idx as u32))
             .collect();
-        // Stable sort: events within one shard (hence one target) keep
-        // their original relative order.
-        order.sort_by_key(|&(shard, _)| shard);
+        // Stable sort by (shard, target): events for one target stay in
+        // slice order (per-stream metrics — seek distance, interarrival —
+        // depend on it), while grouping by target lets each run resolve its
+        // target state once and walk the collector's counter slab while it
+        // is cache-hot. Cross-target reordering within a shard is safe:
+        // collector and tracer state is per-target.
+        order.sort_by_key(|&(shard, idx)| (shard, events[idx as usize].target()));
 
         let mut run_start = 0;
         while run_start < order.len() {
@@ -421,11 +476,23 @@ impl StatsService {
                 || shard.occupied.load(Ordering::Acquire);
             if must_lock {
                 let mut state = shard.state.lock();
-                for &(_, idx) in &order[run_start..run_end] {
-                    match &events[idx as usize] {
-                        VscsiEvent::Issue(req) => state.apply_issue(enabled, &self.config, req),
-                        VscsiEvent::Complete(c) => state.apply_complete(c),
+                // Split the shard run into per-target sub-runs.
+                let mut sub = run_start;
+                while sub < run_end {
+                    let target = events[order[sub].1 as usize].target();
+                    let mut sub_end = sub + 1;
+                    while sub_end < run_end && events[order[sub_end].1 as usize].target() == target
+                    {
+                        sub_end += 1;
                     }
+                    state.apply_target_run(
+                        enabled,
+                        &self.config,
+                        target,
+                        events,
+                        &order[sub..sub_end],
+                    );
+                    sub = sub_end;
                 }
                 if enabled {
                     shard.occupied.store(true, Ordering::Release);

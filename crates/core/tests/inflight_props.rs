@@ -1,0 +1,123 @@
+//! Property tests for the open-addressing in-flight table: under any
+//! sequence of issue/complete/abort-style operations — out-of-order
+//! completions, double completions (stale aborts), and queue depths that
+//! spill past the fast region — [`InflightTable`] behaves exactly like the
+//! `HashMap` it replaced on the hot path.
+//!
+//! The operation generator mirrors the fault-path property style of
+//! `esx/tests/fault_props.rs`: model the life cycle of commands (issue,
+//! complete out of order, abort, occasional full drain) rather than
+//! uniform random map calls, so probe chains experience the same churn the
+//! simulator's timeout/retry machinery produces.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use vscsi_stats::InflightTable;
+
+/// One in-flight-tracking operation, as the vSCSI data path would emit it.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Command issued: insert (re-issue of a live id replaces, like the
+    /// retry path re-stamping an entry).
+    Issue(u64, u64),
+    /// Completion surfaced for an id — possibly stale (already aborted or
+    /// never issued): remove, tolerant of absence.
+    Complete(u64),
+    /// Timeout/abort path touches the entry in place before delivering.
+    Touch(u64, u64),
+    /// Stale-stamp check: read without modifying.
+    Probe(u64),
+    /// Quarantine drain: everything goes at once.
+    Drain,
+}
+
+fn arb_op(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0..key_space, any::<u64>()).prop_map(|(k, v)| Op::Issue(k, v)),
+        6 => (0..key_space).prop_map(Op::Complete),
+        2 => (0..key_space, any::<u64>()).prop_map(|(k, v)| Op::Touch(k, v)),
+        2 => (0..key_space).prop_map(Op::Probe),
+        1 => Just(Op::Drain),
+    ]
+}
+
+/// Key spaces straddling the 64-entry fast region: small (heavy collision
+/// churn), at capacity, and far beyond it (sustained spill).
+fn arb_ops() -> impl Strategy<Value = (u64, Vec<Op>)> {
+    prop_oneof![Just(12u64), Just(64), Just(96), Just(300)].prop_flat_map(|key_space| {
+        proptest::collection::vec(arb_op(key_space), 0..600).prop_map(move |ops| (key_space, ops))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Differential test against `HashMap`: identical return values for
+    /// every operation and identical final contents.
+    #[test]
+    fn inflight_table_matches_hashmap((key_space, ops) in arb_ops()) {
+        let mut table: InflightTable<u64> = InflightTable::new();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Issue(k, v) => {
+                    prop_assert_eq!(table.insert(k, v), reference.insert(k, v), "step {}", step);
+                }
+                Op::Complete(k) => {
+                    prop_assert_eq!(table.remove(k), reference.remove(&k), "step {}", step);
+                }
+                Op::Touch(k, v) => {
+                    let t = table.get_mut(k);
+                    let r = reference.get_mut(&k);
+                    prop_assert_eq!(t.as_deref(), r.as_deref(), "step {}", step);
+                    if let (Some(t), Some(r)) = (t, r) {
+                        *t = v;
+                        *r = v;
+                    }
+                }
+                Op::Probe(k) => {
+                    prop_assert_eq!(table.get(k), reference.get(&k), "step {}", step);
+                }
+                Op::Drain => {
+                    table.clear();
+                    reference.clear();
+                }
+            }
+            prop_assert_eq!(table.len(), reference.len(), "step {}", step);
+            prop_assert_eq!(table.is_empty(), reference.is_empty(), "step {}", step);
+        }
+        // Final state: every key agrees in both directions.
+        for k in 0..key_space {
+            prop_assert_eq!(table.get(k), reference.get(&k), "final key {}", k);
+        }
+    }
+
+    /// Out-of-order completion in the large: issue a burst deeper than the
+    /// fast region, then complete it in an arbitrary permutation. Every
+    /// completion must find its entry exactly once.
+    #[test]
+    fn burst_issue_then_permuted_complete(
+        depth in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut table: InflightTable<u64> = InflightTable::new();
+        for k in 0..depth as u64 {
+            prop_assert_eq!(table.insert(k, k ^ 0xABCD), None);
+        }
+        prop_assert_eq!(table.len(), depth);
+        // Fisher–Yates with a splitmix-style step for the permutation.
+        let mut order: Vec<u64> = (0..depth as u64).collect();
+        let mut s = seed;
+        for i in (1..depth).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        for &k in &order {
+            prop_assert_eq!(table.remove(k), Some(k ^ 0xABCD), "completing {}", k);
+            // A stale second completion for the same id finds nothing.
+            prop_assert_eq!(table.remove(k), None);
+        }
+        prop_assert!(table.is_empty());
+    }
+}

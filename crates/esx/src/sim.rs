@@ -11,12 +11,11 @@ use crate::vm::Attachment;
 use faultkit::FaultPlan;
 use guests::{Poll, Workload};
 use simkit::{EventQueue, IntervalCounter, SimDuration, SimTime};
-use std::collections::HashMap;
 use std::sync::Arc;
 use storage::{StorageArray, Submission};
 use vscsi::SECTOR_SIZE;
 use vscsi::{IoCompletion, IoRequest, RequestId, ScsiStatus};
-use vscsi_stats::{StatsService, VscsiEvent};
+use vscsi_stats::{InflightTable, StatsService, VscsiEvent};
 
 /// Per-attachment runtime counters, the `esxtop`-style view (§5.2).
 #[derive(Debug, Clone)]
@@ -210,7 +209,10 @@ struct AttachmentRuntime {
     /// Commands at the device.
     active: u32,
     /// Every command between issue and final delivery, by request id.
-    cmds: HashMap<u64, Inflight>,
+    /// Open addressing sized to the architectural queue depth: lookups on
+    /// the dispatch/complete path are a multiply and a short probe, with
+    /// overflow spilling gracefully past 64 in-flight commands.
+    cmds: InflightTable<Inflight>,
     timer_generation: u64,
     /// Quarantined targets stop dispatching and drain with aborts.
     quarantined: bool,
@@ -417,7 +419,7 @@ impl Simulation {
                 workload,
                 pending: Vec::new(),
                 active: 0,
-                cmds: HashMap::new(),
+                cmds: InflightTable::new(),
                 timer_generation: 0,
                 quarantined: false,
                 timeout_override: None,
@@ -598,7 +600,7 @@ impl Simulation {
             runtime.active += 1;
             let cmd = runtime
                 .cmds
-                .get_mut(&request.id.0)
+                .get_mut(request.id.0)
                 .expect("pending command is tracked");
             cmd.dispatch += 1;
             cmd.at_device = true;
@@ -658,7 +660,7 @@ impl Simulation {
         for request in pending {
             let cmd = runtime
                 .cmds
-                .get_mut(&request.id.0)
+                .get_mut(request.id.0)
                 .expect("pending command is tracked");
             cmd.dispatch += 1;
             cmd.at_device = false;
@@ -681,7 +683,7 @@ impl Simulation {
     /// already aborted, delivered, or re-dispatched) are ignored.
     fn complete(&mut self, attach: usize, request_id: u64, dispatch: u64, now: SimTime) {
         let runtime = &mut self.attachments[attach];
-        let Some(cmd) = runtime.cmds.get_mut(&request_id) else {
+        let Some(cmd) = runtime.cmds.get_mut(request_id) else {
             return;
         };
         if cmd.dispatch != dispatch {
@@ -732,7 +734,7 @@ impl Simulation {
     /// at the device, abort it and deliver `TASK ABORTED`.
     fn timeout(&mut self, attach: usize, request_id: u64, dispatch: u64, now: SimTime) {
         let runtime = &mut self.attachments[attach];
-        let Some(cmd) = runtime.cmds.get_mut(&request_id) else {
+        let Some(cmd) = runtime.cmds.get_mut(request_id) else {
             return;
         };
         if cmd.dispatch != dispatch || !cmd.at_device {
@@ -750,7 +752,7 @@ impl Simulation {
     /// it if the target got quarantined while it was backing off.
     fn retry(&mut self, attach: usize, request_id: u64, dispatch: u64, now: SimTime) {
         let runtime = &mut self.attachments[attach];
-        let Some(cmd) = runtime.cmds.get_mut(&request_id) else {
+        let Some(cmd) = runtime.cmds.get_mut(request_id) else {
             return;
         };
         if cmd.dispatch != dispatch || cmd.at_device {
@@ -771,7 +773,7 @@ impl Simulation {
     fn deliver(&mut self, attach: usize, request_id: u64, now: SimTime, status: ScsiStatus) {
         let cmd = self.attachments[attach]
             .cmds
-            .remove(&request_id)
+            .remove(request_id)
             .expect("delivered command is tracked");
         let request = cmd.request;
         let completion = IoCompletion::with_status(request, now, status);

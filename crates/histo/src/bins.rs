@@ -8,8 +8,10 @@
 //! upper bounds; values map to bins in O(m) (or O(log m)) time where m is
 //! tiny and constant, giving the paper's O(1)-per-command cost.
 
-use serde::{Deserialize, Serialize};
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::fmt;
+use std::sync::Arc;
 
 /// Error returned when a bin-edge list is not usable.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,9 +63,14 @@ impl std::error::Error for BinEdgesError {}
 /// assert_eq!(edges.bin_index(99), 3); // > 2
 /// # Ok::<(), histo::BinEdgesError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The edge list is stored behind an [`Arc`], so cloning a layout — which
+/// the hot path's histogram-materialization and the static layout registry
+/// in [`crate::layouts`] both rely on — is a reference-count bump, never a
+/// heap allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BinEdges {
-    edges: Vec<i64>,
+    edges: Arc<[i64]>,
 }
 
 impl BinEdges {
@@ -83,7 +90,9 @@ impl BinEdges {
                 return Err(BinEdgesError::NotStrictlyIncreasing(i));
             }
         }
-        Ok(BinEdges { edges })
+        Ok(BinEdges {
+            edges: edges.into(),
+        })
     }
 
     /// The inclusive upper bounds (excludes the implicit overflow bin).
@@ -105,7 +114,7 @@ impl BinEdges {
     #[inline]
     pub fn bin_index(&self, value: i64) -> usize {
         let mut idx = 0usize;
-        for &e in &self.edges {
+        for &e in self.edges.iter() {
             // Branch-free accumulate: counts how many edges are below `value`.
             idx += usize::from(value > e);
         }
@@ -164,6 +173,31 @@ impl BinEdges {
             (Some(lo), None) => lo as f64 + 1.0,
             (None, None) => unreachable!("edges are never empty"),
         }
+    }
+}
+
+// Manual serde impls: the derive would require serde's "rc" feature for
+// `Arc<[i64]>`. Serializing as a one-field struct keeps the wire shape of
+// the old `{ edges: Vec<i64> }` derive, and deserialization re-validates
+// through `BinEdges::new`, so a corrupted edge list is rejected at the
+// boundary instead of breaking bin lookups later.
+impl Serialize for BinEdges {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("BinEdges", 1)?;
+        st.serialize_field("edges", &*self.edges)?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for BinEdges {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        struct Raw {
+            edges: Vec<i64>,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        BinEdges::new(raw.edges).map_err(D::Error::custom)
     }
 }
 
@@ -232,6 +266,15 @@ mod tests {
         assert_eq!(e.bin_midpoint(0), 0.0);
         assert_eq!(e.bin_midpoint(1), 5.0);
         assert_eq!(e.bin_midpoint(2), 11.0);
+    }
+
+    #[test]
+    fn clone_shares_edge_storage() {
+        let a = BinEdges::new(vec![1, 2, 3]).unwrap();
+        let b = a.clone();
+        assert_eq!(a, b);
+        // Arc-backed: a clone points at the very same edge slice.
+        assert!(std::ptr::eq(a.edges(), b.edges()));
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Branchless bin lookup for the registered layouts.
+//!
+//! The linear scan in [`BinEdges::bin_index`] is already cheap for the
+//! paper's bin counts (m ≈ 12–20 compares), but the hot path pays it for
+//! every metric of every command. A [`FastBinner`] precomputes, per
+//! *bit-width class* of the value, how many edges lie entirely below the
+//! class and which (at most [`CLASS_SLOTS`]) edges fall inside it. A lookup
+//! is then: one `leading_zeros` (a single machine instruction), one table
+//! row, and [`CLASS_SLOTS`] branch-free compares — independent of the
+//! layout's total edge count.
+//!
+//! Negative values are handled by a sign-split: for `v <= 0` the bin index
+//! equals `neg_count - |{negative edges e : e >= v}|`, and the magnitude
+//! comparison runs through a mirrored class table over `|e|`. This covers
+//! the full `i64` domain including `i64::MIN` (whose magnitude does not fit
+//! in `i64` — the tables store magnitudes as `u64`).
+//!
+//! Construction falls back (returns `None`) when a layout packs more than
+//! [`CLASS_SLOTS`] edges into one power-of-two span; callers keep the
+//! linear scan for such layouts. All six paper layouts fit (the densest is
+//! the outstanding-I/O layout with `{16, 20, 24, 28}` in `[16, 31]`), and
+//! the `fastbin_props` proptest pins agreement with both scan strategies
+//! over arbitrary `i64` input.
+
+use crate::bins::BinEdges;
+
+/// Maximum number of edges sharing one power-of-two class. Chosen to cover
+/// the densest registered layout; see the module docs.
+pub const CLASS_SLOTS: usize = 4;
+
+/// Number of bit-width classes: widths 0 (value 0) through 64
+/// (magnitude `2^63`, i.e. `i64::MIN`), inclusive.
+const CLASSES: usize = 65;
+
+/// Precomputed branchless bin-lookup tables for one [`BinEdges`] layout.
+#[derive(Debug, Clone)]
+pub struct FastBinner {
+    /// `pos_base[w]` = number of edges `< 2^(w-1)` — every edge strictly
+    /// below the positive class `w` span `[2^(w-1), 2^w - 1]`.
+    pos_base: [u16; CLASSES],
+    /// Edges inside positive class `w`, padded with `i64::MAX` (a pad never
+    /// satisfies `v > pad`, so it contributes nothing).
+    pos_class: [[i64; CLASS_SLOTS]; CLASSES],
+    /// `neg_base[w]` = number of negative-edge magnitudes `< 2^(w-1)`.
+    neg_base: [u16; CLASSES],
+    /// Negative-edge magnitudes inside class `w`, padded with `u64::MAX`
+    /// (unreachable: magnitudes are at most `2^63`).
+    neg_class: [[u64; CLASS_SLOTS]; CLASSES],
+    /// Total number of strictly negative edges.
+    neg_count: u16,
+}
+
+/// Bit-width class of a non-negative magnitude: 0 for 0, otherwise
+/// `floor(log2(m)) + 1`.
+#[inline]
+fn width(m: u64) -> usize {
+    (u64::BITS - m.leading_zeros()) as usize
+}
+
+impl FastBinner {
+    /// Builds the lookup tables for `edges`, or `None` if any power-of-two
+    /// span holds more than [`CLASS_SLOTS`] edges (keep the linear scan for
+    /// such layouts).
+    pub fn try_new(edges: &BinEdges) -> Option<FastBinner> {
+        Self::try_from_edges(edges.edges())
+    }
+
+    /// [`FastBinner::try_new`] over a raw (strictly increasing, non-empty)
+    /// edge slice.
+    pub fn try_from_edges(edges: &[i64]) -> Option<FastBinner> {
+        if edges.is_empty() || edges.len() > usize::from(u16::MAX) {
+            return None;
+        }
+        let mut pos_base = [0u16; CLASSES];
+        let mut pos_class = [[i64::MAX; CLASS_SLOTS]; CLASSES];
+        let mut pos_fill = [0usize; CLASSES];
+        let mut neg_base = [0u16; CLASSES];
+        let mut neg_class = [[u64::MAX; CLASS_SLOTS]; CLASSES];
+        let mut neg_fill = [0usize; CLASSES];
+        let mut neg_count = 0u16;
+
+        for &e in edges {
+            if e > 0 {
+                let w = width(e as u64);
+                let slot = pos_fill[w];
+                if slot >= CLASS_SLOTS {
+                    return None;
+                }
+                pos_class[w][slot] = e;
+                pos_fill[w] = slot + 1;
+            } else if e < 0 {
+                neg_count += 1;
+                let w = width(e.unsigned_abs());
+                let slot = neg_fill[w];
+                if slot >= CLASS_SLOTS {
+                    return None;
+                }
+                neg_class[w][slot] = e.unsigned_abs();
+                neg_fill[w] = slot + 1;
+            }
+            // e == 0 needs no slot: it is below every positive class span
+            // (counted by pos_base) and outside every `v <= 0` lookup
+            // (no edge `0` is ever `< v` for `v <= 0`).
+        }
+
+        // pos_base[w] counts edges of any sign strictly below 2^(w-1);
+        // neg_base[w] counts negative-edge magnitudes strictly below the
+        // same threshold. Class 0 is only reachable for v == 0 / u == 0 and
+        // has an empty span, so its base stays 0 (neg) / unused (pos).
+        for w in 1..CLASSES {
+            let lo = 1u64 << (w - 1);
+            pos_base[w] = edges
+                .iter()
+                .filter(|&&e| e < 0 || ((e as u64) < lo && e >= 0))
+                .count() as u16;
+            neg_base[w] = edges
+                .iter()
+                .filter(|&&e| e < 0 && e.unsigned_abs() < lo)
+                .count() as u16;
+        }
+
+        Some(FastBinner {
+            pos_base,
+            pos_class,
+            neg_base,
+            neg_class,
+            neg_count,
+        })
+    }
+
+    /// Maps a value to its bin index. Always agrees with
+    /// [`BinEdges::bin_index`] and [`BinEdges::bin_index_binary`] for the
+    /// layout the binner was built from.
+    #[inline]
+    pub fn bin_index(&self, v: i64) -> usize {
+        if v > 0 {
+            // idx = |{edges e : e < v}| = pos_base[w] + in-class compares.
+            let w = width(v as u64);
+            let class = &self.pos_class[w];
+            let mut idx = usize::from(self.pos_base[w]);
+            for &e in class {
+                idx += usize::from(v > e);
+            }
+            idx
+        } else {
+            // For v <= 0 only negative edges can lie below v:
+            // idx = neg_count - |{negative e : |e| <= |v|}|.
+            let u = v.unsigned_abs();
+            let w = width(u);
+            let class = &self.neg_class[w];
+            let mut le = usize::from(self.neg_base[w]);
+            for &m in class {
+                le += usize::from(u >= m);
+            }
+            usize::from(self.neg_count) - le
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_all(edges: Vec<i64>, probes: &[i64]) {
+        let be = BinEdges::new(edges).unwrap();
+        let fast = FastBinner::try_new(&be).expect("layout fits");
+        for &v in probes {
+            assert_eq!(fast.bin_index(v), be.bin_index(v), "v = {v}");
+            assert_eq!(fast.bin_index(v), be.bin_index_binary(v), "v = {v}");
+        }
+    }
+
+    fn probes_for(edges: &[i64]) -> Vec<i64> {
+        let mut p = vec![0, 1, -1, i64::MIN, i64::MIN + 1, i64::MAX, i64::MAX - 1];
+        for &e in edges {
+            for d in [-2i64, -1, 0, 1, 2] {
+                p.push(e.saturating_add(d));
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn agrees_on_paper_layouts() {
+        use crate::layouts;
+        for be in [
+            layouts::io_length_bytes(),
+            layouts::seek_distance_sectors(),
+            layouts::latency_us(),
+            layouts::interarrival_us(),
+            layouts::outstanding_ios(),
+            layouts::scsi_outcomes(),
+        ] {
+            let edges = be.edges().to_vec();
+            check_all(edges.clone(), &probes_for(&edges));
+        }
+    }
+
+    #[test]
+    fn seek_layout_spot_values() {
+        let be = crate::layouts::seek_distance_sectors();
+        let fast = FastBinner::try_new(&be).unwrap();
+        // Hand-derived anchors (9 negative edges, then 0, then 9 positive).
+        assert_eq!(fast.bin_index(i64::MIN), 0);
+        assert_eq!(fast.bin_index(-2), 7);
+        assert_eq!(fast.bin_index(-1), 8);
+        assert_eq!(fast.bin_index(0), 9);
+        assert_eq!(fast.bin_index(1), 10);
+        assert_eq!(fast.bin_index(i64::MAX), 19);
+    }
+
+    #[test]
+    fn extreme_edges_are_handled() {
+        check_all(
+            vec![i64::MIN, -7, 0, 7, i64::MAX],
+            &probes_for(&[i64::MIN, -7, 0, 7, i64::MAX]),
+        );
+        check_all(vec![i64::MIN], &probes_for(&[i64::MIN]));
+        check_all(vec![i64::MAX], &probes_for(&[i64::MAX]));
+        check_all(vec![0], &probes_for(&[0]));
+    }
+
+    #[test]
+    fn overfull_class_falls_back() {
+        // Five edges in one power-of-two span exceed CLASS_SLOTS.
+        let be = BinEdges::new(vec![16, 17, 18, 19, 20]).unwrap();
+        assert!(FastBinner::try_new(&be).is_none());
+        // Negative side too.
+        let be = BinEdges::new(vec![-20, -19, -18, -17, -16]).unwrap();
+        assert!(FastBinner::try_new(&be).is_none());
+    }
+
+    #[test]
+    fn dense_class_at_capacity_works() {
+        // Exactly CLASS_SLOTS edges in [16, 31] — the outstanding-I/O shape.
+        let edges = vec![16, 20, 24, 28];
+        check_all(edges.clone(), &probes_for(&edges));
+    }
+}

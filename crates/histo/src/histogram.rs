@@ -79,6 +79,40 @@ impl Histogram {
         Ok(Histogram::new(BinEdges::new(edges)?))
     }
 
+    /// Reassembles a histogram from externally maintained state: a layout,
+    /// per-bin counts, the exact running sum, and `Some((min, max))` when at
+    /// least one value was observed. The total is derived from `counts`.
+    ///
+    /// This is how the stats collector materializes `Histogram` views from
+    /// its flat counter slab at snapshot time — the hot path only bumps slab
+    /// counters and never holds `Histogram`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != edges.bin_count()`.
+    pub fn from_parts(
+        edges: BinEdges,
+        counts: Vec<u64>,
+        sum: i128,
+        min_max: Option<(i64, i64)>,
+    ) -> Self {
+        assert_eq!(
+            counts.len(),
+            edges.bin_count(),
+            "count vector does not match bin layout"
+        );
+        let total = counts.iter().sum();
+        let (min, max) = min_max.unwrap_or((i64::MAX, i64::MIN));
+        Histogram {
+            edges,
+            counts,
+            total,
+            sum,
+            min,
+            max,
+        }
+    }
+
     /// The bin layout.
     #[inline]
     pub fn edges(&self) -> &BinEdges {

@@ -11,6 +11,109 @@
 //!   axis).
 
 use crate::bins::BinEdges;
+use crate::fastbin::FastBinner;
+use std::sync::OnceLock;
+
+/// Identifies one of the six registered paper layouts.
+///
+/// Each layout (its validated [`BinEdges`] plus the precomputed
+/// [`FastBinner`] tables) is built once per process and cached in a
+/// [`OnceLock`]; every later access is a pointer read plus — for
+/// [`LayoutId::edges`] — an `Arc` refcount bump. The hot path in the stats
+/// collector resolves its seven histogram layouts through this registry at
+/// construction time and never touches a `Vec<i64>` again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutId {
+    /// [`io_length_bytes`]
+    IoLengthBytes,
+    /// [`seek_distance_sectors`]
+    SeekDistanceSectors,
+    /// [`latency_us`]
+    LatencyUs,
+    /// [`interarrival_us`]
+    InterarrivalUs,
+    /// [`outstanding_ios`]
+    OutstandingIos,
+    /// [`scsi_outcomes`]
+    ScsiOutcomes,
+}
+
+impl LayoutId {
+    /// Every registered layout, for exhaustive iteration in tests and the
+    /// ablation bench.
+    pub const ALL: [LayoutId; 6] = [
+        LayoutId::IoLengthBytes,
+        LayoutId::SeekDistanceSectors,
+        LayoutId::LatencyUs,
+        LayoutId::InterarrivalUs,
+        LayoutId::OutstandingIos,
+        LayoutId::ScsiOutcomes,
+    ];
+
+    /// The layout's edges. Allocation-free: clones the cached `Arc`-backed
+    /// [`BinEdges`].
+    pub fn edges(self) -> BinEdges {
+        self.entry().0.clone()
+    }
+
+    /// The layout's precomputed branchless binner. Lives for the process
+    /// lifetime, so collectors can cache the reference.
+    pub fn binner(self) -> &'static FastBinner {
+        &self.entry().1
+    }
+
+    fn entry(self) -> &'static (BinEdges, FastBinner) {
+        fn build(edges: Vec<i64>) -> (BinEdges, FastBinner) {
+            let be = BinEdges::new(edges).expect("static layout is valid");
+            let fast = FastBinner::try_new(&be).expect("static layout fits the branchless binner");
+            (be, fast)
+        }
+        match self {
+            LayoutId::IoLengthBytes => {
+                static CELL: OnceLock<(BinEdges, FastBinner)> = OnceLock::new();
+                CELL.get_or_init(|| {
+                    build(vec![
+                        512, 1024, 2048, 4095, 4096, 8191, 8192, 16383, 16384, 32768, 49152, 65535,
+                        65536, 81920, 131072, 262144, 524288,
+                    ])
+                })
+            }
+            LayoutId::SeekDistanceSectors => {
+                static CELL: OnceLock<(BinEdges, FastBinner)> = OnceLock::new();
+                CELL.get_or_init(|| {
+                    build(vec![
+                        -500_000, -50_000, -5_000, -500, -64, -16, -6, -2, -1, 0, 1, 2, 6, 16, 64,
+                        500, 5_000, 50_000, 500_000,
+                    ])
+                })
+            }
+            LayoutId::LatencyUs => {
+                static CELL: OnceLock<(BinEdges, FastBinner)> = OnceLock::new();
+                CELL.get_or_init(|| {
+                    build(vec![
+                        1, 10, 100, 500, 1_000, 5_000, 15_000, 30_000, 50_000, 100_000,
+                    ])
+                })
+            }
+            LayoutId::InterarrivalUs => {
+                static CELL: OnceLock<(BinEdges, FastBinner)> = OnceLock::new();
+                CELL.get_or_init(|| {
+                    build(vec![
+                        1, 10, 30, 100, 500, 1_000, 5_000, 15_000, 30_000, 50_000, 100_000,
+                    ])
+                })
+            }
+            LayoutId::OutstandingIos => {
+                static CELL: OnceLock<(BinEdges, FastBinner)> = OnceLock::new();
+                CELL.get_or_init(|| build(vec![1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 32, 64]))
+            }
+            LayoutId::ScsiOutcomes => {
+                static CELL: OnceLock<(BinEdges, FastBinner)> = OnceLock::new();
+                CELL.get_or_init(|| build(vec![0, 1, 2, 3, 4]))
+            }
+        }
+    }
+}
 
 /// I/O length histogram edges, in **bytes** (Figures 2(a), 3(a), 4(b), 5(b)).
 ///
@@ -28,49 +131,35 @@ use crate::bins::BinEdges;
 /// assert_eq!(e.bin_label(e.bin_index(4097)), "8191");
 /// ```
 pub fn io_length_bytes() -> BinEdges {
-    BinEdges::new(vec![
-        512, 1024, 2048, 4095, 4096, 8191, 8192, 16383, 16384, 32768, 49152, 65535, 65536, 81920,
-        131072, 262144, 524288,
-    ])
-    .expect("static layout is valid")
+    LayoutId::IoLengthBytes.edges()
 }
 
 /// Seek distance histogram edges, in **sectors**, signed (Figures 2(b)–(d),
 /// 3(b)–(d), 4(a), 5(c)). Negative distances are reverse seeks (§3.1).
 pub fn seek_distance_sectors() -> BinEdges {
-    BinEdges::new(vec![
-        -500_000, -50_000, -5_000, -500, -64, -16, -6, -2, -1, 0, 1, 2, 6, 16, 64, 500, 5_000,
-        50_000, 500_000,
-    ])
-    .expect("static layout is valid")
+    LayoutId::SeekDistanceSectors.edges()
 }
 
 /// Device latency histogram edges, in **microseconds** (Figures 5(a), 6).
 pub fn latency_us() -> BinEdges {
-    BinEdges::new(vec![
-        1, 10, 100, 500, 1_000, 5_000, 15_000, 30_000, 50_000, 100_000,
-    ])
-    .expect("static layout is valid")
+    LayoutId::LatencyUs.edges()
 }
 
 /// I/O interarrival-time histogram edges, in **microseconds** (§3.2).
 pub fn interarrival_us() -> BinEdges {
-    BinEdges::new(vec![
-        1, 10, 30, 100, 500, 1_000, 5_000, 15_000, 30_000, 50_000, 100_000,
-    ])
-    .expect("static layout is valid")
+    LayoutId::InterarrivalUs.edges()
 }
 
 /// Outstanding-I/Os-at-arrival histogram edges (Figure 4(c)–(d)).
 pub fn outstanding_ios() -> BinEdges {
-    BinEdges::new(vec![1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 32, 64]).expect("static layout is valid")
+    LayoutId::OutstandingIos.edges()
 }
 
 /// SCSI outcome-code histogram edges: one bin per outcome in
 /// `ScsiStatus::outcome_code` order (0 = GOOD, 1 = MEDIUM ERROR,
 /// 2 = UNIT ATTENTION, 3 = BUSY, 4 = TASK ABORTED).
 pub fn scsi_outcomes() -> BinEdges {
-    BinEdges::new(vec![0, 1, 2, 3, 4]).expect("static layout is valid")
+    LayoutId::ScsiOutcomes.edges()
 }
 
 /// A plain power-of-two layout spanning `[1, 2^max_pow2]`, used by the
@@ -152,6 +241,24 @@ mod tests {
         assert_eq!(e.bin_label(e.bin_index(33)), "64");
         assert_eq!(e.bin_label(e.bin_index(65)), ">64");
         assert_eq!(e.bin_label(e.bin_index(1)), "1");
+    }
+
+    #[test]
+    fn layouts_are_cached_statics() {
+        // Two calls hand back the same Arc-backed edge storage.
+        let a = io_length_bytes();
+        let b = io_length_bytes();
+        assert!(std::ptr::eq(a.edges(), b.edges()));
+        // Every registered layout has a binner that agrees with the scan.
+        for id in LayoutId::ALL {
+            let edges = id.edges();
+            let binner = id.binner();
+            for &e in edges.edges() {
+                for v in [e.saturating_sub(1), e, e.saturating_add(1)] {
+                    assert_eq!(binner.bin_index(v), edges.bin_index(v), "{id:?} v={v}");
+                }
+            }
+        }
     }
 
     #[test]

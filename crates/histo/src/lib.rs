@@ -47,6 +47,7 @@
 mod bins;
 pub mod distance;
 pub mod export;
+mod fastbin;
 mod hist2d;
 mod histogram;
 pub mod layouts;
@@ -54,7 +55,9 @@ mod series;
 mod window;
 
 pub use bins::{BinEdges, BinEdgesError};
+pub use fastbin::FastBinner;
 pub use hist2d::Histogram2d;
 pub use histogram::{Histogram, MergeError};
+pub use layouts::LayoutId;
 pub use series::HistogramSeries;
 pub use window::{signed_distance, SeekWindow};

@@ -1,6 +1,6 @@
 //! Property-based tests for the histogram core.
 
-use histo::{layouts, BinEdges, Histogram, SeekWindow};
+use histo::{layouts, BinEdges, Histogram, LayoutId, SeekWindow};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -174,6 +174,21 @@ proptest! {
         }
     }
 
+    /// For every registered layout and arbitrary values, the branchless
+    /// fast path agrees with both scan strategies.
+    #[test]
+    fn fast_binner_matches_both_scans(values in vec(any::<i64>(), 1..200)) {
+        for id in LayoutId::ALL {
+            let edges = id.edges();
+            let fast = id.binner();
+            for &v in &values {
+                let linear = edges.bin_index(v);
+                prop_assert_eq!(fast.bin_index(v), linear, "{:?} v={}", id, v);
+                prop_assert_eq!(edges.bin_index_binary(v), linear, "{:?} v={}", id, v);
+            }
+        }
+    }
+
     /// Distance metrics are symmetric, bounded, and zero on identity.
     #[test]
     fn distances_well_behaved(
@@ -196,6 +211,28 @@ proptest! {
         // if TV is 0 then Hellinger is 0.
         if tv_ab < 1e-12 {
             prop_assert!(hel < 1e-9);
+        }
+    }
+}
+
+/// Deterministic companion to `fast_binner_matches_both_scans`: the domain
+/// extremes and every exact edge (± 1) of every registered layout, which
+/// random sampling of `i64` would essentially never hit.
+#[test]
+fn fast_binner_matches_on_extremes_and_exact_edges() {
+    for id in LayoutId::ALL {
+        let edges = id.edges();
+        let fast = id.binner();
+        let mut probes = vec![i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX];
+        for &e in edges.edges() {
+            probes.push(e.saturating_sub(1));
+            probes.push(e);
+            probes.push(e.saturating_add(1));
+        }
+        for v in probes {
+            let linear = edges.bin_index(v);
+            assert_eq!(fast.bin_index(v), linear, "{id:?} v={v}");
+            assert_eq!(edges.bin_index_binary(v), linear, "{id:?} v={v}");
         }
     }
 }
