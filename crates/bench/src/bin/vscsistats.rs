@@ -56,6 +56,7 @@ struct Args {
     bench_overhead: bool,
     bench_out: Option<PathBuf>,
     bench_commands: usize,
+    health: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -72,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
         bench_overhead: false,
         bench_out: Some(PathBuf::from("BENCH_percommand.json")),
         bench_commands: 100_000,
+        health: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -113,6 +115,7 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--bench-out needs a path (or '-')")?;
                 args.bench_out = (v != "-").then(|| PathBuf::from(v));
             }
+            "--health" => args.health = true,
             "--csv" => args.csv = true,
             "--fingerprint" | "-f" => args.fingerprint = true,
             "--report" | "-r" => args.report = true,
@@ -142,6 +145,7 @@ fn print_help() {
     println!("  --csv          machine-readable metric,lens,bin,count dump");
     println!("  --fingerprint  environment-independent fingerprint + classification + advice");
     println!("  --trace-out D  also capture a binary trace into directory D (tracestore segments)");
+    println!("  --health       supervise the run with the sentinel and print its health snapshot");
     println!("  --replay P     rebuild histograms from a trace file/directory instead of running");
     println!("  --bench-overhead  measure ns/command per collection config (Table 2) and write");
     println!("                    BENCH_percommand.json (override with --bench-out, '-' = stdout)");
@@ -326,6 +330,12 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let health_service = args.health.then(|| {
+        prepared
+            .service()
+            .enable_sentinel(vscsi_stats::SentinelConfig::new(args.seed));
+        std::sync::Arc::clone(prepared.service())
+    });
     let store = match args.trace_out.as_deref() {
         Some(dir) => match TraceStore::create(TraceStoreConfig::new(dir)) {
             Ok(store) => {
@@ -388,5 +398,11 @@ fn main() {
             );
         }
         print_views(collector, &args, want_report);
+    }
+    if let Some(service) = health_service {
+        match service.command("health") {
+            Ok(snapshot) => print!("{snapshot}"),
+            Err(e) => eprintln!("error: health: {e}"),
+        }
     }
 }

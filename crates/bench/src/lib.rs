@@ -17,11 +17,13 @@
 //! | `fig6_interference` | Figure 6 / §5.3 — multi-VM interference |
 //! | `contention_multi_vm` | sharded vs global-lock ingestion scaling (`BENCH_contention.json`) |
 //! | `vscsistats --bench-overhead` | Table 2 — ns/command per config (`BENCH_percommand.json`) |
+//! | `ext_overload` | sentinel governor / watchdog / quarantine chaos suite (`BENCH_overload.json`) |
 
 #![warn(missing_docs)]
 
 pub mod contention;
 pub mod legacy;
+pub mod overload;
 pub mod percommand;
 pub mod reporting;
 pub mod scenarios;

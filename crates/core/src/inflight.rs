@@ -128,9 +128,37 @@ impl<V> InflightTable<V> {
             let (_, value) = self.slots[j].take().expect("occupied");
             self.fast_len -= 1;
             self.backward_shift(j);
+            self.unspill_one();
             return Some(value);
         }
         self.spill.remove(&key)
+    }
+
+    /// Refills the freed fast slot from the spill. Without this, an
+    /// overflow episode left entries stranded on the heap forever: removes
+    /// that hit the fast array shrank `fast_len` below capacity while the
+    /// spilled keys — and their `BTreeMap` nodes — stayed behind, so the
+    /// table's load factor and heap footprint never recovered even after
+    /// the queue drained back under [`Self::FAST_CAPACITY`].
+    #[inline]
+    fn unspill_one(&mut self) {
+        if self.spill.is_empty() || self.fast_len >= Self::FAST_CAPACITY {
+            return;
+        }
+        let (key, value) = self.spill.pop_first().expect("non-empty spill");
+        let mut j = slot_of(key);
+        while self.slots[j].is_some() {
+            j = (j + 1) & (SLOTS - 1);
+        }
+        self.slots[j] = Some((key, value));
+        self.fast_len += 1;
+    }
+
+    /// Entries currently resident in the heap spill (0 in the steady
+    /// state; nonzero only while more than [`Self::FAST_CAPACITY`] entries
+    /// are simultaneously in flight).
+    pub fn spilled_len(&self) -> usize {
+        self.spill.len()
     }
 
     /// Backward-shift deletion: walk the chain after the hole and move back
@@ -238,6 +266,80 @@ mod tests {
             assert_eq!(t.remove(k), Some(k * 10));
         }
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn spill_drains_back_into_fast_array() {
+        // Regression: removes that hit the fast array used to leave
+        // spilled keys stranded on the heap, so the load factor never
+        // recovered after an overflow episode. The spill must drain as
+        // the in-flight count falls back under FAST_CAPACITY.
+        let cap = InflightTable::<u64>::FAST_CAPACITY as u64;
+        let mut t = InflightTable::new();
+        for k in 0..cap + 30 {
+            t.insert(k, k);
+        }
+        assert_eq!(t.spilled_len(), 30);
+        let spilled_footprint = t.heap_footprint_bytes();
+        // Remove 30 of the *original fast* keys (0..cap inserted first, so
+        // they are the resident ones); each remove must pull one spilled
+        // entry back in.
+        for k in 0..30 {
+            assert_eq!(t.remove(k), Some(k));
+        }
+        assert_eq!(t.len(), cap as usize);
+        assert_eq!(t.spilled_len(), 0, "spill must drain to empty");
+        assert!(t.heap_footprint_bytes() < spilled_footprint);
+        // Every surviving key is still reachable, wherever it now lives.
+        for k in 30..cap + 30 {
+            assert_eq!(t.get(k), Some(&k), "key {k} lost during unspill");
+        }
+    }
+
+    #[test]
+    fn spill_unspill_churn_matches_hashmap() {
+        // Long alternating spill/unspill churn, mirrored against a
+        // HashMap oracle with a deterministic mixed op stream.
+        use std::collections::HashMap;
+        let mut t = InflightTable::new();
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut live: Vec<u64> = Vec::new();
+        for round in 0..20_000u64 {
+            let r = step();
+            // Bias toward inserts while small, removes while large, so the
+            // population repeatedly crosses the spill boundary.
+            let grow = oracle.len() < InflightTable::<u64>::FAST_CAPACITY + 40;
+            if live.is_empty() || (r % 100 < 55) == grow {
+                let key = r % 512;
+                assert_eq!(t.insert(key, round), oracle.insert(key, round));
+                if !live.contains(&key) {
+                    live.push(key);
+                }
+            } else {
+                let key = live.swap_remove((r % live.len() as u64) as usize);
+                assert_eq!(t.remove(key), oracle.remove(&key));
+            }
+            assert_eq!(t.len(), oracle.len());
+            // The structural invariant behind the fix: the heap spill is
+            // only ever occupied while the fast array is full.
+            assert!(
+                t.spilled_len() == 0
+                    || t.len() - t.spilled_len() == InflightTable::<u64>::FAST_CAPACITY
+            );
+        }
+        // Drain completely; the spill must be long gone before empty.
+        for key in live {
+            assert_eq!(t.remove(key), oracle.remove(&key));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.spilled_len(), 0);
     }
 
     #[test]

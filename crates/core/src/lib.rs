@@ -14,6 +14,10 @@
 //!   `vscsiStats`-style command interface, sharded so concurrent VMs
 //!   ingest without contending and the disabled path takes no locks
 //!   (batch ingestion via [`VscsiEvent`] slices).
+//! * [`sentinel`] — supervision for the always-on promise: an overload
+//!   governor with a deterministic degradation ladder, watchdog
+//!   heartbeats, and panic quarantine with salvage, surfaced through
+//!   [`HealthSnapshot`].
 //! * [`VscsiTracer`] / [`replay`] — the command tracing framework for
 //!   analyses that need more than histograms, plus offline replay (which
 //!   reproduces the online histograms exactly).
@@ -56,6 +60,7 @@ pub mod fingerprint;
 mod inflight;
 mod metrics;
 pub mod report;
+pub mod sentinel;
 mod service;
 mod trace;
 
@@ -63,6 +68,10 @@ pub use collector::{CollectorConfig, IoStatsCollector, LatencyPercentiles};
 pub use fingerprint::{recommendations, FingerprintLibrary, WorkloadClass, WorkloadFingerprint};
 pub use inflight::InflightTable;
 pub use metrics::{Lens, Metric};
+pub use sentinel::{
+    ChaosSpec, DegradeLevel, HealthSnapshot, LoadCounters, SalvageRecord, SalvagedTarget,
+    SentinelConfig, ShardHealth, SinkHealth,
+};
 pub use service::{StatsService, TargetSummary, VscsiEvent};
 pub use trace::{
     replay, ParseTraceError, TraceCapacity, TraceRecord, TraceSink, VecSink, VscsiTracer,

@@ -32,12 +32,18 @@
 
 use crate::collector::{CollectorConfig, IoStatsCollector};
 use crate::metrics::{Lens, Metric};
+use crate::sentinel::{
+    Admission, HealthSnapshot, SalvageRecord, SalvagedTarget, SentinelConfig, ShardHealth,
+    ShardSentinel,
+};
 use crate::trace::{TraceCapacity, TraceRecord, TraceSink, VscsiTracer};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use vscsi::{IoCompletion, IoRequest, TargetId};
 
 /// Snapshot of a collector's headline counters, for `esxtop`-style listings.
@@ -112,6 +118,10 @@ struct TargetState {
 #[derive(Debug, Default)]
 struct ShardState {
     targets: BTreeMap<TargetId, TargetState>,
+    /// Supervision state (governor, quarantine generation, load counters).
+    /// Inert — zero branches on the hot path — until
+    /// [`StatsService::enable_sentinel`] installs a config.
+    sentinel: ShardSentinel,
 }
 
 impl ShardState {
@@ -209,6 +219,12 @@ struct Shard {
     /// Whether any target state was ever created in this shard. Lets the
     /// completion path skip the shard lock while the shard is empty.
     occupied: AtomicBool,
+    /// Watchdog heartbeat: the virtual timestamp at which the current
+    /// supervised ingest entered the shard, or `u64::MAX` while idle. Only
+    /// written on the supervised (sentinel-on) path. This is a heuristic
+    /// heartbeat — it flags an ingest that *entered* and never left, which
+    /// is exactly the wedged-writer signature the watchdog hunts.
+    busy_since_ns: AtomicU64,
     state: Mutex<ShardState>,
 }
 
@@ -217,6 +233,7 @@ impl Shard {
         Shard {
             tracers: AtomicU32::new(0),
             occupied: AtomicBool::new(false),
+            busy_since_ns: AtomicU64::new(u64::MAX),
             state: Mutex::new(ShardState::default()),
         }
     }
@@ -283,6 +300,20 @@ pub struct StatsService {
     /// Shared collector template; never cloned on the hot path — only when
     /// a target's collector is lazily created.
     config: Arc<CollectorConfig>,
+    /// Whether the sentinel supervision layer is active. While `false`
+    /// (the default) every path below is exactly the unsupervised legacy
+    /// pipeline — bit-for-bit.
+    sentinel_on: AtomicBool,
+    /// The installed sentinel config (reader patience, watchdog budget).
+    /// Cold: read on snapshot paths and watchdog checks only.
+    sentinel_cfg: Mutex<Option<Arc<SentinelConfig>>>,
+    /// Retained quarantine salvage records, bounded by
+    /// [`Self::SALVAGE_RETENTION`]; `salvages_total` keeps the true count.
+    salvages: Mutex<Vec<SalvageRecord>>,
+    salvages_total: AtomicU64,
+    /// Watchdog trips against shards: stuck supervised ingests spotted by
+    /// [`Self::watchdog_check`] plus readers that gave up on a shard lock.
+    shard_watchdog_trips: AtomicU64,
     /// Power-of-two shard table; `shards.len() - 1` is the index mask.
     shards: Box<[Shard]>,
 }
@@ -313,6 +344,11 @@ impl StatsService {
         StatsService {
             enabled: AtomicBool::new(false),
             config: Arc::new(config),
+            sentinel_on: AtomicBool::new(false),
+            sentinel_cfg: Mutex::new(None),
+            salvages: Mutex::new(Vec::new()),
+            salvages_total: AtomicU64::new(0),
+            shard_watchdog_trips: AtomicU64::new(0),
             shards: shards.into_boxed_slice(),
         }
     }
@@ -397,7 +433,9 @@ impl StatsService {
     pub fn tracer_footprint_bytes(&self) -> usize {
         let mut total = 0;
         for shard in self.shards.iter() {
-            let state = shard.state.lock();
+            let Some(state) = self.read_state(shard) else {
+                continue;
+            };
             total += state
                 .targets
                 .values()
@@ -418,6 +456,9 @@ impl StatsService {
         if !enabled && shard.tracers.load(Ordering::Acquire) == 0 {
             return;
         }
+        if self.sentinel_on.load(Ordering::Acquire) {
+            return self.supervised_issue(self.shard_index(req.target), enabled, req);
+        }
         let mut state = shard.state.lock();
         state.apply_issue(enabled, &self.config, req);
         if enabled {
@@ -432,6 +473,10 @@ impl StatsService {
         let shard = self.shard(completion.request.target);
         if !shard.occupied.load(Ordering::Acquire) {
             return;
+        }
+        if self.sentinel_on.load(Ordering::Acquire) {
+            return self
+                .supervised_complete(self.shard_index(completion.request.target), completion);
         }
         shard.state.lock().apply_complete(completion);
     }
@@ -448,6 +493,20 @@ impl StatsService {
             [VscsiEvent::Issue(req)] => return self.handle_issue(req),
             [VscsiEvent::Complete(completion)] => return self.handle_complete(completion),
             _ => {}
+        }
+        if self.sentinel_on.load(Ordering::Acquire) {
+            // Supervised ingestion gives up the lock-once-per-shard
+            // amortization: every event must pass the governor and carry
+            // its own panic fence, so the batch walks the per-event paths
+            // in slice order. That cost only exists once the sentinel is
+            // armed — the unsupervised batch path below is untouched.
+            for event in events {
+                match event {
+                    VscsiEvent::Issue(req) => self.handle_issue(req),
+                    VscsiEvent::Complete(completion) => self.handle_complete(completion),
+                }
+            }
+            return;
         }
         let enabled = self.enabled.load(Ordering::Acquire);
         let mut order: Vec<(u32, u32)> = events
@@ -502,10 +561,271 @@ impl StatsService {
         }
     }
 
-    /// Resets histograms for every target, one shard at a time.
+    /// How many quarantine salvage records are retained in memory;
+    /// [`HealthSnapshot::salvages_total`] keeps counting past the cap.
+    pub const SALVAGE_RETENTION: usize = 32;
+
+    /// Arms the sentinel supervision layer (see [`crate::sentinel`]): the
+    /// overload governor, watchdog heartbeats, and panic quarantine start
+    /// covering every subsequent ingest. Until this is called the service
+    /// runs the exact unsupervised pipeline — no extra branches, no
+    /// behavior change.
+    pub fn enable_sentinel(&self, config: SentinelConfig) {
+        let config = Arc::new(config);
+        *self.sentinel_cfg.lock() = Some(Arc::clone(&config));
+        for shard in self.shards.iter() {
+            shard.state.lock().sentinel.enable(Arc::clone(&config));
+        }
+        self.sentinel_on.store(true, Ordering::Release);
+    }
+
+    /// Whether the sentinel supervision layer is armed.
+    pub fn sentinel_enabled(&self) -> bool {
+        self.sentinel_on.load(Ordering::Acquire)
+    }
+
+    /// Supervised issue path: watchdog heartbeat, governor admission,
+    /// panic fence, quarantine on unwind.
+    fn supervised_issue(&self, idx: usize, enabled: bool, req: &IoRequest) {
+        let shard = &self.shards[idx];
+        let now_ns = req.issue_time.as_nanos();
+        shard.busy_since_ns.store(now_ns, Ordering::Release);
+        let mut state = shard.state.lock();
+        let admission = if enabled {
+            state.sentinel.admit(now_ns, req.id.0)
+        } else {
+            // Tracer-only traffic (collection off) bypasses the governor:
+            // it is not offered to the stats path, so it must not perturb
+            // the conservation counters.
+            Admission::Ingest
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| match admission {
+            Admission::Ingest => {
+                state.sentinel.maybe_chaos_panic(req);
+                let creates = enabled
+                    && state
+                        .targets
+                        .get(&req.target)
+                        .is_none_or(|t| t.collector.is_none());
+                state.apply_issue(enabled, &self.config, req);
+                if creates {
+                    let bytes = state
+                        .targets
+                        .get(&req.target)
+                        .and_then(|t| t.collector.as_ref())
+                        .map_or(0, IoStatsCollector::memory_footprint_bytes);
+                    state.sentinel.note_collector_created(bytes);
+                }
+            }
+            Admission::SampleOut | Admission::CountOnly => {
+                // Degraded: cheap counters only — but an active tracer
+                // still sees the command (tracing is the debugging tool of
+                // last resort; only Shed silences it).
+                state.sentinel.note_light(req.len_bytes());
+                if let Some(tracer) = state
+                    .targets
+                    .get_mut(&req.target)
+                    .and_then(|t| t.tracer.as_mut())
+                {
+                    tracer.on_issue(req);
+                }
+            }
+            Admission::Shed => {}
+        }));
+        if enabled {
+            shard.occupied.store(true, Ordering::Release);
+        }
+        if outcome.is_err() {
+            self.quarantine_locked(idx, shard, &mut state, now_ns);
+        }
+        drop(state);
+        shard.busy_since_ns.store(u64::MAX, Ordering::Release);
+    }
+
+    /// Supervised completion path. The admission coin is keyed by the
+    /// request id, so a command kept at issue is kept at completion and a
+    /// sampled-out command stays invisible end to end.
+    fn supervised_complete(&self, idx: usize, completion: &IoCompletion) {
+        let shard = &self.shards[idx];
+        let now_ns = completion.complete_time.as_nanos();
+        shard.busy_since_ns.store(now_ns, Ordering::Release);
+        let mut state = shard.state.lock();
+        let admission = state.sentinel.admit(now_ns, completion.request.id.0);
+        let outcome = catch_unwind(AssertUnwindSafe(|| match admission {
+            Admission::Ingest => {
+                if state.targets.contains_key(&completion.request.target) {
+                    state.apply_complete(completion);
+                } else if state.sentinel.generation() > 0 {
+                    // The target's state was torn down by a quarantine
+                    // rebuild: this is a late completion from the old
+                    // generation. Count it as stale instead of resurrecting
+                    // state for it.
+                    state.sentinel.note_stale_completion();
+                }
+            }
+            Admission::SampleOut | Admission::CountOnly => {
+                state.sentinel.note_light(0);
+                if let Some(tracer) = state
+                    .targets
+                    .get_mut(&completion.request.target)
+                    .and_then(|t| t.tracer.as_mut())
+                {
+                    tracer.on_complete(completion);
+                }
+            }
+            Admission::Shed => {}
+        }));
+        if outcome.is_err() {
+            self.quarantine_locked(idx, shard, &mut state, now_ns);
+        }
+        drop(state);
+        shard.busy_since_ns.store(u64::MAX, Ordering::Release);
+    }
+
+    /// Quarantines a shard whose ingest panicked: salvages headline
+    /// counters from the wounded collectors into a [`SalvageRecord`],
+    /// rebuilds the shard empty, and bumps its generation so late
+    /// completions from the torn-down state are counted as stale.
+    fn quarantine_locked(&self, idx: usize, shard: &Shard, state: &mut ShardState, now_ns: u64) {
+        let generation = state.sentinel.generation();
+        // The salvage read is itself fenced: a collector wounded badly
+        // enough to panic mid-ingest may panic again while being read, and
+        // that must not defeat the rebuild. Worst case the record is empty.
+        let targets = catch_unwind(AssertUnwindSafe(|| {
+            state
+                .targets
+                .iter()
+                .map(|(target, t)| {
+                    let (issued, completed, outstanding, error_outcomes) =
+                        t.collector.as_ref().map_or((0, 0, 0, Vec::new()), |c| {
+                            (
+                                c.issued_commands(),
+                                c.completed_commands(),
+                                c.outstanding_now(),
+                                c.histogram(Metric::Errors, Lens::All).counts().to_vec(),
+                            )
+                        });
+                    SalvagedTarget {
+                        target: *target,
+                        issued,
+                        completed,
+                        outstanding,
+                        error_outcomes,
+                    }
+                })
+                .collect::<Vec<_>>()
+        }))
+        .unwrap_or_default();
+        // Rebuild: dropping the targets flushes streaming tracers via their
+        // Drop impls (bounded — sink flushes time out and demote).
+        state.targets.clear();
+        state.sentinel.note_quarantine();
+        shard.tracers.store(0, Ordering::Release);
+        self.salvages_total.fetch_add(1, Ordering::AcqRel);
+        let mut salvages = self.salvages.lock();
+        if salvages.len() < Self::SALVAGE_RETENTION {
+            salvages.push(SalvageRecord {
+                shard: idx,
+                generation,
+                at_ns: now_ns,
+                targets,
+            });
+        }
+    }
+
+    /// Poison-recovering shard access for snapshot/read paths: while the
+    /// sentinel is armed, a reader waits at most the configured patience
+    /// for a shard lock and then *skips the shard* (counting a watchdog
+    /// trip) instead of wedging behind a stuck writer. With the sentinel
+    /// off this is a plain blocking lock, exactly as before.
+    fn read_state<'a>(&self, shard: &'a Shard) -> Option<MutexGuard<'a, ShardState>> {
+        if !self.sentinel_on.load(Ordering::Acquire) {
+            return Some(shard.state.lock());
+        }
+        let patience = self
+            .sentinel_cfg
+            .lock()
+            .as_ref()
+            .map_or(Duration::from_millis(500), |c| c.reader_patience);
+        match shard.state.try_lock_for(patience) {
+            Some(guard) => Some(guard),
+            None => {
+                self.shard_watchdog_trips.fetch_add(1, Ordering::AcqRel);
+                None
+            }
+        }
+    }
+
+    /// Watchdog sweep: returns the indices of shards whose supervised
+    /// ingest entered more than the configured budget of *virtual* time
+    /// before `now_ns` and has not left, counting one trip per stuck
+    /// shard. Drive this from the simulation/poll loop.
+    pub fn watchdog_check(&self, now_ns: u64) -> Vec<usize> {
+        let budget = self
+            .sentinel_cfg
+            .lock()
+            .as_ref()
+            .map_or(u64::MAX, |c| c.watchdog_budget_ns);
+        let mut stuck = Vec::new();
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let busy = shard.busy_since_ns.load(Ordering::Acquire);
+            if busy != u64::MAX && now_ns.saturating_sub(busy) > budget {
+                stuck.push(idx);
+            }
+        }
+        if !stuck.is_empty() {
+            self.shard_watchdog_trips
+                .fetch_add(stuck.len() as u64, Ordering::AcqRel);
+        }
+        stuck
+    }
+
+    /// Full service health: per-shard degradation level, generation, and
+    /// load-conservation counters, retained salvage records, and watchdog
+    /// trip totals (shard-side plus every active tracer sink's). Shards
+    /// whose lock cannot be had within the reader patience are reported
+    /// [`ShardHealth::unreachable`] rather than blocking the snapshot.
+    pub fn health_snapshot(&self) -> HealthSnapshot {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        let mut sink_watchdog_trips = 0u64;
+        for (idx, shard) in self.shards.iter().enumerate() {
+            match self.read_state(shard) {
+                Some(state) => {
+                    sink_watchdog_trips += state
+                        .targets
+                        .values()
+                        .filter_map(|t| t.tracer.as_ref())
+                        .map(|tracer| tracer.sink_health().watchdog_trips)
+                        .sum::<u64>();
+                    shards.push(state.sentinel.shard_health(idx, state.targets.len()));
+                }
+                None => shards.push(ShardHealth::unreachable(idx)),
+            }
+        }
+        HealthSnapshot {
+            shards,
+            salvages: self.salvages.lock().clone(),
+            salvages_total: self.salvages_total.load(Ordering::Acquire),
+            shard_watchdog_trips: self.shard_watchdog_trips.load(Ordering::Acquire),
+            sink_watchdog_trips,
+        }
+    }
+
+    #[cfg(test)]
+    fn debug_mark_busy(&self, idx: usize, now_ns: u64) {
+        self.shards[idx]
+            .busy_since_ns
+            .store(now_ns, Ordering::Release);
+    }
+
+    /// Resets histograms for every target, one shard at a time. With the
+    /// sentinel armed, a shard held by a stuck writer is skipped (and
+    /// counted as a watchdog trip) rather than wedging the reset.
     pub fn reset_all(&self) {
         for shard in self.shards.iter() {
-            let mut state = shard.state.lock();
+            let Some(mut state) = self.read_state(shard) else {
+                continue;
+            };
             for target in state.targets.values_mut() {
                 if let Some(c) = &mut target.collector {
                     c.reset();
@@ -518,7 +838,10 @@ impl StatsService {
     pub fn targets(&self) -> Vec<TargetId> {
         let mut out = Vec::new();
         for shard in self.shards.iter() {
-            out.extend(shard.state.lock().targets.keys().copied());
+            let Some(state) = self.read_state(shard) else {
+                continue;
+            };
+            out.extend(state.targets.keys().copied());
         }
         out.sort_unstable();
         out
@@ -528,9 +851,7 @@ impl StatsService {
     /// small — a few KiB — so cloning out is the safe reporting interface).
     /// Locks only the target's own shard.
     pub fn collector(&self, target: TargetId) -> Option<IoStatsCollector> {
-        self.shard(target)
-            .state
-            .lock()
+        self.read_state(self.shard(target))?
             .targets
             .get(&target)
             .and_then(|t| t.collector.clone())
@@ -542,7 +863,9 @@ impl StatsService {
     pub fn collectors(&self) -> Vec<(TargetId, IoStatsCollector)> {
         let mut out = Vec::new();
         for shard in self.shards.iter() {
-            let state = shard.state.lock();
+            let Some(state) = self.read_state(shard) else {
+                continue;
+            };
             out.extend(
                 state
                     .targets
@@ -559,7 +882,9 @@ impl StatsService {
     pub fn summaries(&self) -> Vec<TargetSummary> {
         let mut out = Vec::new();
         for shard in self.shards.iter() {
-            let state = shard.state.lock();
+            let Some(state) = self.read_state(shard) else {
+                continue;
+            };
             out.extend(state.targets.iter().filter_map(|(target, s)| {
                 let c = s.collector.as_ref()?;
                 Some(TargetSummary {
@@ -580,7 +905,8 @@ impl StatsService {
 
     /// Executes a `vscsiStats`-style textual command and returns its output.
     ///
-    /// Supported commands: `start`, `stop`, `reset`, `status`, `list`.
+    /// Supported commands: `start`, `stop`, `reset`, `status`, `list`,
+    /// `health` (the sentinel's [`HealthSnapshot`] rendering).
     ///
     /// # Errors
     ///
@@ -603,6 +929,7 @@ impl StatsService {
                 "vscsiStats: collection {}",
                 if self.is_enabled() { "ON" } else { "OFF" }
             )),
+            "health" => Ok(self.health_snapshot().render()),
             "list" => {
                 let mut out = String::new();
                 for s in self.summaries() {
@@ -925,5 +1252,262 @@ mod tests {
         for (_, c) in &snap {
             assert_eq!(c.issued_commands(), 1);
         }
+    }
+
+    // ---- sentinel supervision -------------------------------------------
+
+    use crate::sentinel::{ChaosSpec, DegradeLevel};
+
+    /// A sentinel config with thresholds far above anything the tests
+    /// offer, so only the knobs a test overrides have any effect.
+    fn quiet_sentinel(seed: u64) -> SentinelConfig {
+        let mut cfg = SentinelConfig::new(seed);
+        cfg.full_max_rate = u64::MAX;
+        cfg.sampled_max_rate = u64::MAX;
+        cfg.counters_max_rate = u64::MAX;
+        cfg
+    }
+
+    #[test]
+    fn sentinel_governor_degrades_and_conserves() {
+        let s = StatsService::default();
+        s.enable_all();
+        let mut cfg = SentinelConfig::new(11);
+        cfg.window_ns = 1_000;
+        cfg.full_max_rate = 4;
+        cfg.sampled_max_rate = 8;
+        cfg.counters_max_rate = 16;
+        s.enable_sentinel(cfg);
+        assert!(s.sentinel_enabled());
+
+        let t = TargetId::new(VmId(1), VDiskId(0));
+        // ~100 events per 1000 ns window: way past every threshold.
+        for i in 0..2_000u64 {
+            s.handle_issue(&IoRequest::new(
+                RequestId(i),
+                t,
+                IoDirection::Read,
+                Lba::new(i * 8),
+                8,
+                SimTime::from_nanos(i * 10),
+            ));
+        }
+        let health = s.health_snapshot();
+        assert!(health.conserves(), "conservation must hold under overload");
+        assert_eq!(health.worst_level(), DegradeLevel::Shed);
+        let totals = health.totals();
+        assert_eq!(totals.offered, 2_000);
+        assert!(totals.shed > 0);
+        assert!(totals.ingested < 2_000);
+        // The collector saw only what the governor admitted.
+        assert_eq!(s.collector(t).unwrap().issued_commands(), totals.ingested);
+    }
+
+    #[test]
+    fn sentinel_sampled_histograms_are_subsets() {
+        let t = TargetId::new(VmId(3), VDiskId(1));
+        let mut events = Vec::new();
+        for i in 0..400u64 {
+            let r = IoRequest::new(
+                RequestId(i),
+                t,
+                if i % 3 == 0 {
+                    IoDirection::Write
+                } else {
+                    IoDirection::Read
+                },
+                Lba::new((i * 37) % 5_000),
+                8 + (i % 4) as u32 * 8,
+                SimTime::from_micros(i * 5),
+            );
+            events.push(VscsiEvent::Issue(r));
+            events.push(VscsiEvent::Complete(IoCompletion::new(
+                r,
+                SimTime::from_micros(i * 5 + 3),
+            )));
+        }
+
+        let full = StatsService::default();
+        full.enable_all();
+        full.handle_batch(&events);
+
+        let sampled = StatsService::default();
+        sampled.enable_all();
+        let mut cfg = quiet_sentinel(77);
+        cfg.initial_level = DegradeLevel::SampledSeries;
+        sampled.enable_sentinel(cfg);
+        sampled.handle_batch(&events);
+
+        let cf = full.collector(t).unwrap();
+        let cs = sampled.collector(t).unwrap();
+        assert!(cs.issued_commands() < cf.issued_commands());
+        assert!(cs.issued_commands() > 0);
+        // The per-command coin keeps issue and completion together, so the
+        // kept stream is an exact subset: per-bin counts can only shrink.
+        for metric in [Metric::IoLength, Metric::Latency] {
+            for lens in [Lens::All, Lens::Reads, Lens::Writes] {
+                let hf = cf.histogram(metric, lens);
+                let hs = cs.histogram(metric, lens);
+                for (bin, (&a, &b)) in hs.counts().iter().zip(hf.counts()).enumerate() {
+                    assert!(
+                        a <= b,
+                        "{metric} {lens:?} bin {bin}: sampled {a} > full {b}"
+                    );
+                }
+            }
+        }
+        let health = sampled.health_snapshot();
+        assert!(health.conserves());
+        assert!(health.totals().sampled_out > 0);
+    }
+
+    #[test]
+    fn chaos_panic_quarantines_salvages_and_counts_stale() {
+        let s = StatsService::default();
+        s.enable_all();
+        let wounded = TargetId::new(VmId(7), VDiskId(0));
+        let healthy = TargetId::new(VmId(1), VDiskId(0));
+        assert_ne!(
+            s.shard_index(wounded),
+            s.shard_index(healthy),
+            "test targets must land on different shards"
+        );
+        let mut cfg = quiet_sentinel(5);
+        cfg.chaos = Some(ChaosSpec {
+            vm: Some(7),
+            lba_min: 1_000_000,
+            lba_max: 1_000_100,
+            max_panics: 1,
+        });
+        s.enable_sentinel(cfg);
+
+        // Clean traffic on both targets; r0 stays in flight on the shard
+        // that is about to be wounded.
+        let r0 = req(wounded, 0, 0);
+        s.handle_issue(&r0);
+        s.handle_issue(&req(healthy, 1, 5));
+
+        // The poisoned command panics inside the shard boundary; the
+        // service must absorb it.
+        s.handle_issue(&IoRequest::new(
+            RequestId(2),
+            wounded,
+            IoDirection::Read,
+            Lba::new(1_000_050),
+            8,
+            SimTime::from_micros(10),
+        ));
+
+        let health = s.health_snapshot();
+        assert_eq!(health.quarantines(), 1);
+        assert_eq!(health.salvages_total, 1);
+        let record = &health.salvages[0];
+        assert_eq!(record.shard, s.shard_index(wounded));
+        assert_eq!(record.generation, 0);
+        assert_eq!(record.targets.len(), 1);
+        assert_eq!(record.targets[0].target, wounded);
+        assert_eq!(record.targets[0].issued, 1);
+        assert_eq!(record.targets[0].outstanding, 1);
+
+        // r0's completion arrives after the rebuild: counted stale, not
+        // resurrected.
+        s.handle_complete(&IoCompletion::new(r0, SimTime::from_micros(50)));
+        let health = s.health_snapshot();
+        assert_eq!(health.stale_completions(), 1);
+        assert!(s.collector(wounded).is_none());
+
+        // The healthy shard never noticed; the wounded one rebuilds lazily.
+        assert_eq!(s.collector(healthy).unwrap().issued_commands(), 1);
+        s.handle_issue(&req(wounded, 3, 60));
+        assert_eq!(s.collector(wounded).unwrap().issued_commands(), 1);
+        assert!(s.health_snapshot().conserves());
+    }
+
+    #[test]
+    fn readers_skip_wedged_shard_instead_of_blocking() {
+        let s = StatsService::with_shards(CollectorConfig::default(), 1);
+        s.enable_all();
+        let mut cfg = quiet_sentinel(1);
+        cfg.reader_patience = Duration::from_millis(10);
+        s.enable_sentinel(cfg);
+        s.handle_issue(&req(TargetId::default(), 0, 0));
+        assert_eq!(s.summaries().len(), 1);
+
+        // Wedge the only shard, as a stuck writer would.
+        let guard = s.shards[0].state.lock();
+        assert!(s.summaries().is_empty());
+        assert!(s.targets().is_empty());
+        let health = s.health_snapshot();
+        assert!(!health.shards[0].reachable);
+        drop(guard);
+
+        // Released: everything is visible again, and the give-ups were
+        // counted as watchdog trips.
+        assert_eq!(s.summaries().len(), 1);
+        let health = s.health_snapshot();
+        assert!(health.shards[0].reachable);
+        assert!(health.shard_watchdog_trips >= 3);
+    }
+
+    #[test]
+    fn watchdog_check_flags_stuck_shards() {
+        let s = StatsService::default();
+        let mut cfg = quiet_sentinel(1);
+        cfg.watchdog_budget_ns = 1_000;
+        s.enable_sentinel(cfg);
+        assert!(s.watchdog_check(5_000).is_empty());
+        s.debug_mark_busy(3, 500);
+        assert_eq!(s.watchdog_check(5_000), vec![3]);
+        assert_eq!(s.health_snapshot().shard_watchdog_trips, 1);
+        s.debug_mark_busy(3, u64::MAX);
+        assert!(s.watchdog_check(5_000).is_empty());
+    }
+
+    #[test]
+    fn health_command_renders_snapshot() {
+        let s = StatsService::default();
+        let out = s.command("health").unwrap();
+        assert!(out.contains("sentinel health"));
+        s.enable_all();
+        s.enable_sentinel(quiet_sentinel(2));
+        s.handle_issue(&req(TargetId::default(), 0, 0));
+        let out = s.command("health").unwrap();
+        assert!(out.contains("conserved=true"));
+    }
+
+    #[test]
+    fn sentinel_full_level_matches_unsupervised_ingestion() {
+        // With the sentinel armed but calm (Full everywhere), histograms
+        // must be bit-identical to the unsupervised pipeline.
+        let t = TargetId::new(VmId(4), VDiskId(2));
+        let mut events = Vec::new();
+        for i in 0..128u64 {
+            let r = req(t, i, i * 10);
+            events.push(VscsiEvent::Issue(r));
+            events.push(VscsiEvent::Complete(IoCompletion::new(
+                r,
+                SimTime::from_micros(i * 10 + 4),
+            )));
+        }
+        let plain = StatsService::default();
+        plain.enable_all();
+        plain.handle_batch(&events);
+        let supervised = StatsService::default();
+        supervised.enable_all();
+        supervised.enable_sentinel(quiet_sentinel(9));
+        supervised.handle_batch(&events);
+        let cp = plain.collector(t).unwrap();
+        let cs = supervised.collector(t).unwrap();
+        for metric in Metric::ALL {
+            for lens in [Lens::All, Lens::Reads, Lens::Writes] {
+                assert_eq!(
+                    cp.histogram(metric, lens).counts(),
+                    cs.histogram(metric, lens).counts(),
+                    "{metric} {lens:?}"
+                );
+            }
+        }
+        let totals = supervised.health_snapshot().totals();
+        assert_eq!(totals.offered, totals.ingested);
     }
 }

@@ -8,6 +8,7 @@
 //! online histograms exactly (that equivalence is property-tested).
 
 use crate::collector::{CollectorConfig, IoStatsCollector};
+use crate::sentinel::SinkHealth;
 use serde::{Deserialize, Serialize};
 use simkit::SimTime;
 use std::collections::VecDeque;
@@ -220,6 +221,13 @@ pub trait TraceSink: Send + Sync + fmt::Debug {
     /// Records this sink has dropped under backpressure.
     fn dropped_records(&self) -> u64 {
         0
+    }
+
+    /// Supervision health of the sink's writer pipeline. Sinks with a
+    /// background writer (e.g. `tracestore`) report demotions and watchdog
+    /// trips here; trivial sinks are always healthy.
+    fn health(&self) -> SinkHealth {
+        SinkHealth::default()
     }
 }
 
@@ -460,6 +468,16 @@ impl VscsiTracer {
         std::mem::size_of::<Self>()
             + self.records.capacity() * std::mem::size_of::<TraceRecord>()
             + sink_bytes
+    }
+
+    /// Supervision health of the tracer's sink pipeline: demotions and
+    /// watchdog trips for a streaming backend, always-healthy for the
+    /// in-memory backend.
+    pub fn sink_health(&self) -> SinkHealth {
+        match &self.backend {
+            Backend::Memory { .. } => SinkHealth::default(),
+            Backend::Streaming { sink, .. } => sink.health(),
+        }
     }
 }
 

@@ -1,0 +1,233 @@
+//! Property tests for the sentinel degradation ladder: for *arbitrary*
+//! offered loads,
+//!
+//! * every degradation level's surviving histograms are statistically
+//!   consistent subsamples of the full-fidelity stream — per-command
+//!   metrics (I/O length, latency, errors) can only lose bin counts,
+//!   never gain or move them, and every metric's total shrinks;
+//! * the admission ledger conserves exactly
+//!   (`ingested + sampled_out + shed == offered`) at every rung;
+//! * the sampling coin is replay-stable: the same seed over the same
+//!   load keeps the same commands.
+//!
+//! Levels are pinned by starting the ladder at the level under test with
+//! unreachable thresholds and unreachable recovery, so arbitrary event
+//! timing cannot migrate the shard mid-run.
+
+use proptest::prelude::*;
+use simkit::SimTime;
+use vscsi::{
+    IoCompletion, IoDirection, IoRequest, Lba, RequestId, ScsiStatus, SenseKey, TargetId, VDiskId,
+    VmId,
+};
+use vscsi_stats::{DegradeLevel, Lens, Metric, SentinelConfig, StatsService, VscsiEvent};
+
+/// One generated command: enough degrees of freedom to move every
+/// histogram (length, seek, latency, interarrival, errors).
+#[derive(Debug, Clone, Copy)]
+struct Cmd {
+    vm: u32,
+    lba: u64,
+    len_blocks: u32,
+    write: bool,
+    gap_us: u64,
+    latency_us: u64,
+    error: bool,
+}
+
+fn arb_cmd() -> impl Strategy<Value = Cmd> {
+    (
+        0u32..3,
+        0u64..200_000,
+        1u32..65,
+        any::<bool>(),
+        0u64..500,
+        1u64..20_000,
+        proptest::bool::weighted(0.08),
+    )
+        .prop_map(
+            |(vm, lba, len_blocks, write, gap_us, latency_us, error)| Cmd {
+                vm,
+                lba,
+                len_blocks,
+                write,
+                gap_us,
+                latency_us,
+                error,
+            },
+        )
+}
+
+fn arb_load() -> impl Strategy<Value = Vec<Cmd>> {
+    proptest::collection::vec(arb_cmd(), 1..250)
+}
+
+/// Builds the event stream: monotone issue clock, completion inline after
+/// each issue (both runs see the identical sequence, which is all the
+/// subset property needs).
+fn events_for(cmds: &[Cmd]) -> Vec<VscsiEvent> {
+    let mut events = Vec::with_capacity(cmds.len() * 2);
+    let mut now_us = 0u64;
+    for (serial, cmd) in cmds.iter().enumerate() {
+        now_us += cmd.gap_us;
+        let req = IoRequest::new(
+            RequestId(serial as u64),
+            TargetId::new(VmId(cmd.vm), VDiskId(0)),
+            if cmd.write {
+                IoDirection::Write
+            } else {
+                IoDirection::Read
+            },
+            Lba::new(cmd.lba),
+            cmd.len_blocks * 8,
+            SimTime::from_micros(now_us),
+        );
+        events.push(VscsiEvent::Issue(req));
+        let done = SimTime::from_micros(now_us + cmd.latency_us);
+        events.push(VscsiEvent::Complete(if cmd.error {
+            IoCompletion::with_status(req, done, ScsiStatus::CheckCondition(SenseKey::MediumError))
+        } else {
+            IoCompletion::new(req, done)
+        }));
+    }
+    events
+}
+
+/// A sentinel pinned at `level`: thresholds no load can exceed, recovery
+/// no calm streak can satisfy.
+fn pinned(level: DegradeLevel, seed: u64) -> SentinelConfig {
+    let mut cfg = SentinelConfig::new(seed);
+    cfg.full_max_rate = u64::MAX;
+    cfg.sampled_max_rate = u64::MAX;
+    cfg.counters_max_rate = u64::MAX;
+    cfg.recover_windows = u32::MAX;
+    cfg.initial_level = level;
+    cfg
+}
+
+fn run_at(events: &[VscsiEvent], level: DegradeLevel, seed: u64) -> StatsService {
+    let service = StatsService::default();
+    service.enable_all();
+    service.enable_sentinel(pinned(level, seed));
+    service.handle_batch(events);
+    service
+}
+
+/// The metrics recorded once per kept command, independent of which
+/// other commands were kept — these subsample per-bin.
+const PER_COMMAND_METRICS: [Metric; 3] = [Metric::IoLength, Metric::Latency, Metric::Errors];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `SampledSeries` keeps an exact per-command subset: per-bin counts
+    /// of the per-command metrics never exceed the full run's, and every
+    /// metric's total shrinks or holds. The ledger conserves.
+    #[test]
+    fn sampled_series_is_a_per_bin_subsample(cmds in arb_load(), seed in any::<u64>()) {
+        let events = events_for(&cmds);
+        let full = run_at(&events, DegradeLevel::Full, seed);
+        let sampled = run_at(&events, DegradeLevel::SampledSeries, seed);
+
+        for vm in 0..3u32 {
+            let target = TargetId::new(VmId(vm), VDiskId(0));
+            let (Some(cf), Some(cs)) = (full.collector(target), sampled.collector(target)) else {
+                // The sampler may have kept nothing for this target (or the
+                // load never touched it) — nothing to compare.
+                continue;
+            };
+            for metric in PER_COMMAND_METRICS {
+                for lens in Lens::ALL {
+                    let hf = cf.histogram(metric, lens);
+                    let hs = cs.histogram(metric, lens);
+                    for (bin, (&s, &f)) in hs.counts().iter().zip(hf.counts()).enumerate() {
+                        prop_assert!(
+                            s <= f,
+                            "{metric} {lens:?} bin {bin}: sampled {s} > full {f}"
+                        );
+                    }
+                }
+            }
+            for &metric in Metric::ALL.iter() {
+                for lens in Lens::ALL {
+                    prop_assert!(
+                        cs.histogram(metric, lens).total() <= cf.histogram(metric, lens).total(),
+                        "{metric} {lens:?}: sampled total exceeds full total"
+                    );
+                }
+            }
+        }
+
+        let health = sampled.health_snapshot();
+        prop_assert!(health.conserves());
+        let totals = health.totals();
+        prop_assert_eq!(totals.offered, events.len() as u64);
+        prop_assert_eq!(totals.shed, 0);
+    }
+
+    /// Every rung conserves the offered load exactly, whatever the load:
+    /// each admission lands in exactly one ledger bucket.
+    #[test]
+    fn every_level_conserves_arbitrary_loads(cmds in arb_load(), seed in any::<u64>()) {
+        let events = events_for(&cmds);
+        for level in DegradeLevel::ALL {
+            let service = run_at(&events, level, seed);
+            let health = service.health_snapshot();
+            prop_assert!(health.conserves(), "{level}: ledger does not conserve");
+            let totals = health.totals();
+            prop_assert_eq!(totals.offered, events.len() as u64);
+            match level {
+                DegradeLevel::Full => {
+                    prop_assert_eq!(totals.ingested, totals.offered);
+                    prop_assert_eq!(totals.sampled_out + totals.shed, 0);
+                }
+                DegradeLevel::SampledSeries => prop_assert_eq!(totals.shed, 0),
+                DegradeLevel::CountersOnly => {
+                    // Everything is diverted to the cheap counters; no
+                    // collector is ever built.
+                    prop_assert_eq!(totals.ingested, 0);
+                    prop_assert_eq!(totals.sampled_out, totals.offered);
+                    prop_assert_eq!(totals.light_events, totals.offered);
+                    for vm in 0..3u32 {
+                        prop_assert!(
+                            service.collector(TargetId::new(VmId(vm), VDiskId(0))).is_none()
+                        );
+                    }
+                }
+                DegradeLevel::Shed => {
+                    prop_assert_eq!(totals.shed, totals.offered);
+                    prop_assert_eq!(totals.light_events, 0);
+                }
+            }
+        }
+    }
+
+    /// Replay stability: the same seed keeps the same commands — every
+    /// histogram of two same-seed sampled runs is bit-identical, and a
+    /// different coin seed is allowed to (and generally does) differ.
+    #[test]
+    fn sampling_coin_is_replay_stable(cmds in arb_load(), seed in any::<u64>()) {
+        let events = events_for(&cmds);
+        let a = run_at(&events, DegradeLevel::SampledSeries, seed);
+        let b = run_at(&events, DegradeLevel::SampledSeries, seed);
+        for vm in 0..3u32 {
+            let target = TargetId::new(VmId(vm), VDiskId(0));
+            let (ca, cb) = (a.collector(target), b.collector(target));
+            prop_assert_eq!(ca.is_some(), cb.is_some());
+            let (Some(ca), Some(cb)) = (ca, cb) else { continue };
+            for &metric in Metric::ALL.iter() {
+                for lens in Lens::ALL {
+                    prop_assert_eq!(
+                        ca.histogram(metric, lens).counts(),
+                        cb.histogram(metric, lens).counts(),
+                        "{} {:?} differs across same-seed replays", metric, lens
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(
+            a.health_snapshot().render(),
+            b.health_snapshot().render()
+        );
+    }
+}

@@ -403,6 +403,15 @@ impl Simulation {
         &self.service
     }
 
+    /// Supervision health of the stats service at the current instant
+    /// (see [`vscsi_stats::HealthSnapshot`]). Also runs the sentinel
+    /// watchdog against the simulated clock so stuck-shard detection
+    /// keys off virtual rather than wall time.
+    pub fn health_snapshot(&self) -> vscsi_stats::HealthSnapshot {
+        self.service.watchdog_check(self.now().as_nanos());
+        self.service.health_snapshot()
+    }
+
     /// Adds a VM (all its attachments); accepts a finished [`crate::Vm`] or
     /// a [`crate::VmBuilder`]. Disks are placed end-to-end on the backing
     /// array, each in its own physical region. Returns the index of the

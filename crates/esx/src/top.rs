@@ -10,6 +10,7 @@
 
 use crate::sim::Simulation;
 use simkit::{OnlineStats, SimDuration};
+use vscsi_stats::HealthSnapshot;
 
 /// One attachment's counters over one sampling interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +39,7 @@ pub struct TopSample {
 pub struct EsxTop {
     interval: SimDuration,
     samples: Vec<TopSample>,
+    health: HealthSnapshot,
 }
 
 impl EsxTop {
@@ -100,12 +102,26 @@ impl EsxTop {
                 });
             }
         }
-        EsxTop { interval, samples }
+        let health = sim.health_snapshot();
+        EsxTop {
+            interval,
+            samples,
+            health,
+        }
     }
 
     /// The sampling interval.
     pub fn interval(&self) -> SimDuration {
         self.interval
+    }
+
+    /// Stats-service supervision health captured at the end of the
+    /// measurement window: per-shard degradation level, quarantine and
+    /// watchdog counters, and salvage records. Operators read this next
+    /// to the rate table to know whether the numbers above were taken at
+    /// full fidelity or under load shedding.
+    pub fn health(&self) -> &HealthSnapshot {
+        &self.health
     }
 
     /// All samples, in (interval, attachment) order.
@@ -205,5 +221,29 @@ mod tests {
         let x = top.samples()[0];
         assert!((x.mbps - x.iops * 4096.0 / 1e6).abs() < 0.5);
         assert_eq!(top.interval(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn health_snapshot_rides_along() {
+        use vscsi_stats::{DegradeLevel, SentinelConfig};
+        let mut s = sim();
+        s.service().enable_all();
+        s.service().enable_sentinel(SentinelConfig::new(7));
+        let top = EsxTop::run(
+            &mut s,
+            SimDuration::ZERO,
+            SimDuration::from_millis(200),
+            SimDuration::from_millis(200),
+        );
+        let health = top.health();
+        // Calm closed-loop run: every shard reachable at full fidelity,
+        // nothing quarantined, the ledger balanced.
+        assert_eq!(health.worst_level(), DegradeLevel::Full);
+        assert!(health.conserves());
+        assert_eq!(health.quarantines(), 0);
+        assert!(health.shards.iter().all(|sh| sh.reachable));
+        let totals = health.totals();
+        assert!(totals.offered > 0);
+        assert_eq!(totals.offered, totals.ingested);
     }
 }

@@ -20,8 +20,9 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
+use std::time::{Duration, Instant};
 
 /// What to do with a freshly sealed chunk when the ring is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -86,24 +87,57 @@ pub(crate) struct ChunkRing {
     not_full: Condvar,
     not_empty: Condvar,
     max_chunks: usize,
-    policy: BackpressurePolicy,
+    /// Current policy, encoded for lock-free reads and *runtime demotion*:
+    /// a stuck writer flips `Block` to `DropOldest` so producers are never
+    /// wedged longer than `block_budget` (see [`Self::demote_to_drop_oldest`]).
+    policy: AtomicU8,
+    /// Longest a `Block` producer will wait for the writer before the
+    /// watchdog demotes the ring to `DropOldest`.
+    block_budget: Duration,
+    /// Whether the watchdog demoted the policy (one-way; surfaced in
+    /// reports so demotion is never silent).
+    demoted: AtomicBool,
+    /// Watchdog trips: expired block waits plus demotions requested by the
+    /// store's flush watchdog.
+    watchdog_trips: AtomicU64,
     /// Allocated bytes of queued chunks, maintained outside the lock so
     /// footprint probes never contend with the writer.
     queued_bytes: AtomicUsize,
+}
+
+fn encode_policy(policy: BackpressurePolicy) -> u8 {
+    match policy {
+        BackpressurePolicy::DropOldest => 0,
+        BackpressurePolicy::DropNewest => 1,
+        BackpressurePolicy::Block => 2,
+    }
+}
+
+fn decode_policy(bits: u8) -> BackpressurePolicy {
+    match bits {
+        0 => BackpressurePolicy::DropOldest,
+        1 => BackpressurePolicy::DropNewest,
+        _ => BackpressurePolicy::Block,
+    }
 }
 
 impl std::fmt::Debug for ChunkRing {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ChunkRing")
             .field("max_chunks", &self.max_chunks)
-            .field("policy", &self.policy)
+            .field("policy", &self.policy())
+            .field("demoted", &self.demoted.load(Ordering::Relaxed))
             .field("queued_bytes", &self.queued_bytes.load(Ordering::Relaxed))
             .finish()
     }
 }
 
 impl ChunkRing {
-    pub(crate) fn new(max_chunks: usize, policy: BackpressurePolicy) -> Self {
+    pub(crate) fn new(
+        max_chunks: usize,
+        policy: BackpressurePolicy,
+        block_budget: Duration,
+    ) -> Self {
         ChunkRing {
             state: Mutex::new(RingState {
                 queue: VecDeque::new(),
@@ -114,7 +148,68 @@ impl ChunkRing {
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             max_chunks: max_chunks.max(1),
-            policy,
+            policy: AtomicU8::new(encode_policy(policy)),
+            block_budget,
+            demoted: AtomicBool::new(false),
+            watchdog_trips: AtomicU64::new(0),
+            queued_bytes: AtomicUsize::new(0),
+        }
+    }
+
+    /// The backpressure policy currently in force.
+    pub(crate) fn policy(&self) -> BackpressurePolicy {
+        decode_policy(self.policy.load(Ordering::Acquire))
+    }
+
+    /// Whether the watchdog demoted a `Block` ring to `DropOldest`.
+    pub(crate) fn is_demoted(&self) -> bool {
+        self.demoted.load(Ordering::Acquire)
+    }
+
+    /// Watchdog trips recorded against this ring.
+    pub(crate) fn watchdog_trips(&self) -> u64 {
+        self.watchdog_trips.load(Ordering::Acquire)
+    }
+
+    /// Demotes the ring to `DropOldest` and counts a watchdog trip: the
+    /// stuck-writer escape hatch. Producers stop waiting and start paying
+    /// with the *oldest* queued data — flight-recorder semantics — which
+    /// keeps the traced workload live at the price of explicit, accounted
+    /// drops. One-way: a writer that later recovers keeps the demoted
+    /// policy (the trace is already lossy; un-demoting would only hide that).
+    pub(crate) fn demote_to_drop_oldest(&self) {
+        self.watchdog_trips.fetch_add(1, Ordering::AcqRel);
+        if self.policy.swap(
+            encode_policy(BackpressurePolicy::DropOldest),
+            Ordering::AcqRel,
+        ) != encode_policy(BackpressurePolicy::DropOldest)
+        {
+            self.demoted.store(true, Ordering::Release);
+        }
+        // Wake any producer parked in a block wait so it re-evaluates
+        // under the new policy.
+        self.not_full.notify_all();
+    }
+
+    /// Evicts queued chunks until a slot is free, with DropOldest
+    /// accounting. Caller holds the state lock.
+    fn evict_oldest_locked(&self, state: &mut RingState) {
+        while state.chunks >= self.max_chunks {
+            let Some(idx) = state
+                .queue
+                .iter()
+                .position(|m| matches!(m, Msg::Chunk { .. }))
+            else {
+                break;
+            };
+            let Some(Msg::Chunk { payload, records }) = state.queue.remove(idx) else {
+                unreachable!("position() found a chunk at idx");
+            };
+            state.chunks -= 1;
+            state.drops.oldest_chunks += 1;
+            state.drops.oldest_records += u64::from(records);
+            self.queued_bytes
+                .fetch_sub(payload.capacity(), Ordering::Relaxed);
         }
     }
 
@@ -126,18 +221,37 @@ impl ChunkRing {
             state.drops.closed_records += u64::from(records);
             return;
         }
-        match self.policy {
+        match self.policy() {
             BackpressurePolicy::Block => {
                 if state.chunks >= self.max_chunks {
                     state.drops.block_waits += 1;
-                    while state.chunks >= self.max_chunks && !state.closed {
-                        self.not_full.wait(&mut state);
+                    // Bounded wait: a producer is never on the hook for
+                    // more than the block budget. If the writer has not
+                    // freed a slot by then it is presumed stuck; the
+                    // watchdog demotes the ring and this push falls
+                    // through to DropOldest eviction.
+                    let deadline = Instant::now() + self.block_budget;
+                    let mut expired = false;
+                    while state.chunks >= self.max_chunks
+                        && !state.closed
+                        && self.policy() == BackpressurePolicy::Block
+                    {
+                        if self.not_full.wait_until(&mut state, deadline).timed_out() {
+                            expired = true;
+                            break;
+                        }
                     }
-                }
-                if state.closed {
-                    state.drops.closed_chunks += 1;
-                    state.drops.closed_records += u64::from(records);
-                    return;
+                    if state.closed {
+                        state.drops.closed_chunks += 1;
+                        state.drops.closed_records += u64::from(records);
+                        return;
+                    }
+                    if expired && state.chunks >= self.max_chunks {
+                        self.demote_to_drop_oldest();
+                    }
+                    // Demoted (by this wait or concurrently): make room
+                    // the DropOldest way.
+                    self.evict_oldest_locked(&mut state);
                 }
             }
             BackpressurePolicy::DropNewest => {
@@ -148,23 +262,7 @@ impl ChunkRing {
                 }
             }
             BackpressurePolicy::DropOldest => {
-                while state.chunks >= self.max_chunks {
-                    let Some(idx) = state
-                        .queue
-                        .iter()
-                        .position(|m| matches!(m, Msg::Chunk { .. }))
-                    else {
-                        break;
-                    };
-                    let Some(Msg::Chunk { payload, records }) = state.queue.remove(idx) else {
-                        unreachable!("position() found a chunk at idx");
-                    };
-                    state.chunks -= 1;
-                    state.drops.oldest_chunks += 1;
-                    state.drops.oldest_records += u64::from(records);
-                    self.queued_bytes
-                        .fetch_sub(payload.capacity(), Ordering::Relaxed);
-                }
+                self.evict_oldest_locked(&mut state);
             }
         }
         self.queued_bytes
@@ -235,13 +333,60 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
+    /// A block budget no test is expected to exhaust: behaves like the
+    /// old unbounded Block policy.
+    const LONG: Duration = Duration::from_secs(60);
+
     fn chunk(n: u8) -> Vec<u8> {
         vec![n; 8]
     }
 
     #[test]
+    fn expired_block_wait_demotes_to_drop_oldest() {
+        // No consumer at all: the worst writer stall. A Block producer
+        // must be on the hook for at most the budget, then the watchdog
+        // demotes the ring and the push lands via DropOldest eviction.
+        let ring = ChunkRing::new(1, BackpressurePolicy::Block, Duration::from_millis(20));
+        ring.push_chunk(chunk(0), 3);
+        assert!(!ring.is_demoted());
+        // Fills → blocks → budget expires → demotion + eviction.
+        ring.push_chunk(chunk(1), 3);
+        assert!(ring.is_demoted());
+        assert_eq!(ring.policy(), BackpressurePolicy::DropOldest);
+        assert!(ring.watchdog_trips() >= 1);
+        // Subsequent pushes never wait again.
+        ring.push_chunk(chunk(2), 3);
+        let drops = ring.drops();
+        assert_eq!(drops.block_waits, 1);
+        assert_eq!(drops.oldest_chunks, 2);
+        assert_eq!(drops.oldest_records, 6);
+        // The newest chunk is the one queued.
+        let Some(Msg::Chunk { payload, .. }) = ring.pop() else {
+            panic!("expected queued chunk");
+        };
+        assert_eq!(payload[0], 2);
+    }
+
+    #[test]
+    fn explicit_demotion_wakes_blocked_producer() {
+        let ring = Arc::new(ChunkRing::new(1, BackpressurePolicy::Block, LONG));
+        ring.push_chunk(chunk(0), 1);
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || ring.push_chunk(chunk(1), 1))
+        };
+        // Let the producer park, then demote (as the store's flush
+        // watchdog would); the producer must complete via eviction.
+        std::thread::sleep(Duration::from_millis(20));
+        ring.demote_to_drop_oldest();
+        producer.join().unwrap();
+        assert!(ring.is_demoted());
+        assert_eq!(ring.drops().oldest_chunks, 1);
+    }
+
+    #[test]
     fn drop_oldest_keeps_newest() {
-        let ring = ChunkRing::new(2, BackpressurePolicy::DropOldest);
+        let ring = ChunkRing::new(2, BackpressurePolicy::DropOldest, LONG);
         for i in 0..5u8 {
             ring.push_chunk(chunk(i), 10);
         }
@@ -260,7 +405,7 @@ mod tests {
 
     #[test]
     fn drop_newest_keeps_oldest() {
-        let ring = ChunkRing::new(2, BackpressurePolicy::DropNewest);
+        let ring = ChunkRing::new(2, BackpressurePolicy::DropNewest, LONG);
         for i in 0..5u8 {
             ring.push_chunk(chunk(i), 7);
         }
@@ -278,7 +423,7 @@ mod tests {
 
     #[test]
     fn block_policy_waits_for_consumer_and_loses_nothing() {
-        let ring = Arc::new(ChunkRing::new(2, BackpressurePolicy::Block));
+        let ring = Arc::new(ChunkRing::new(2, BackpressurePolicy::Block, LONG));
         let producer = {
             let ring = Arc::clone(&ring);
             std::thread::spawn(move || {
@@ -304,7 +449,7 @@ mod tests {
 
     #[test]
     fn close_unblocks_producer_and_accounts_drops() {
-        let ring = Arc::new(ChunkRing::new(1, BackpressurePolicy::Block));
+        let ring = Arc::new(ChunkRing::new(1, BackpressurePolicy::Block, LONG));
         ring.push_chunk(chunk(0), 5);
         let producer = {
             let ring = Arc::clone(&ring);
@@ -323,7 +468,7 @@ mod tests {
 
     #[test]
     fn queued_bytes_tracks_capacity() {
-        let ring = ChunkRing::new(4, BackpressurePolicy::Block);
+        let ring = ChunkRing::new(4, BackpressurePolicy::Block, LONG);
         assert_eq!(ring.queued_bytes(), 0);
         let payload = Vec::with_capacity(128);
         ring.push_chunk(payload, 0);

@@ -36,7 +36,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use vscsi_stats::{TraceRecord, TraceSink};
+use vscsi_stats::{SinkHealth, TraceRecord, TraceSink};
 
 /// Name of the sidecar capture-summary file a finished store writes next
 /// to its segments. `key=value` lines; read back with [`read_meta`]. The
@@ -115,13 +115,22 @@ pub struct TraceStoreConfig {
     pub policy: BackpressurePolicy,
     /// Whether [`TraceSink::flush`] also issues `fsync`.
     pub sync_on_flush: bool,
-    /// How long a flush waits for the writer's acknowledgement.
+    /// How long a flush waits for the writer's acknowledgement. A flush
+    /// that times out is treated as a stuck-writer watchdog trip: the
+    /// ring is demoted to [`BackpressurePolicy::DropOldest`] so producers
+    /// can never be wedged behind the dead flush.
     pub flush_timeout: Duration,
+    /// Watchdog budget for a producer stalled on a full ring under
+    /// [`BackpressurePolicy::Block`]: once exceeded, the ring demotes
+    /// itself to `DropOldest` (accounted, surfaced in the report) rather
+    /// than keep the producer hostage.
+    pub block_budget: Duration,
 }
 
 impl TraceStoreConfig {
     /// Defaults: 64 MiB segments, 64 KiB chunks, ≤4096 records/block,
-    /// 64-chunk ring, [`BackpressurePolicy::Block`] (lossless), no fsync.
+    /// 64-chunk ring, [`BackpressurePolicy::Block`] (lossless), no fsync,
+    /// 2 s stuck-writer watchdog budget.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         TraceStoreConfig {
             dir: dir.into(),
@@ -132,6 +141,7 @@ impl TraceStoreConfig {
             policy: BackpressurePolicy::default(),
             sync_on_flush: false,
             flush_timeout: Duration::from_secs(5),
+            block_budget: Duration::from_secs(2),
         }
     }
 
@@ -166,6 +176,12 @@ pub struct StoreReport {
     pub io_error_records: u64,
     /// The first I/O error message, if any.
     pub first_error: Option<String>,
+    /// Whether the stuck-writer watchdog demoted the ring from `Block` to
+    /// `DropOldest` (expired block wait or flush timeout). The trace is
+    /// then lossy-by-policy even though `Block` was configured.
+    pub demoted: bool,
+    /// Watchdog trips recorded against the writer pipeline.
+    pub watchdog_trips: u64,
 }
 
 impl StoreReport {
@@ -193,6 +209,8 @@ fn render_meta(report: &StoreReport, policy: BackpressurePolicy) -> String {
     let _ = writeln!(s, "block_waits={}", report.drops.block_waits);
     let _ = writeln!(s, "io_errors={}", report.io_errors);
     let _ = writeln!(s, "io_error_records={}", report.io_error_records);
+    let _ = writeln!(s, "demoted={}", report.demoted);
+    let _ = writeln!(s, "watchdog_trips={}", report.watchdog_trips);
     s
 }
 
@@ -373,7 +391,7 @@ impl TraceStore {
     ) -> std::io::Result<TraceStore> {
         fs::create_dir_all(&config.dir)?;
         let shared = Arc::new(Shared {
-            ring: ChunkRing::new(config.max_chunks, config.policy),
+            ring: ChunkRing::new(config.max_chunks, config.policy, config.block_budget),
             stats: Mutex::new(WriterStats::default()),
             writer_bytes: AtomicUsize::new(0),
         });
@@ -425,6 +443,8 @@ impl TraceStore {
             io_errors: stats.io_errors,
             io_error_records: stats.io_error_records,
             first_error: stats.first_error.clone(),
+            demoted: self.shared.ring.is_demoted(),
+            watchdog_trips: self.shared.ring.watchdog_trips(),
         }
     }
 
@@ -496,8 +516,14 @@ impl TraceSink for TraceStoreHandle {
     fn flush(&mut self) {
         self.seal();
         let (ack_tx, ack_rx) = mpsc::channel();
-        if self.shared.ring.push_control(Msg::Flush(ack_tx)) {
-            let _ = ack_rx.recv_timeout(self.flush_timeout);
+        if self.shared.ring.push_control(Msg::Flush(ack_tx))
+            && ack_rx.recv_timeout(self.flush_timeout).is_err()
+        {
+            // The writer failed to ack within its budget: presume it is
+            // stuck (dead disk, hung fsync). Demote the ring so producers
+            // stop queueing behind it — capture degrades to a lossy
+            // flight recorder instead of wedging the workload.
+            self.shared.ring.demote_to_drop_oldest();
         }
     }
 
@@ -509,6 +535,13 @@ impl TraceSink for TraceStoreHandle {
 
     fn dropped_records(&self) -> u64 {
         self.shared.ring.drops().dropped_records()
+    }
+
+    fn health(&self) -> SinkHealth {
+        SinkHealth {
+            demoted: self.shared.ring.is_demoted(),
+            watchdog_trips: self.shared.ring.watchdog_trips(),
+        }
     }
 }
 
@@ -716,6 +749,77 @@ mod tests {
         }
     }
 
+    /// Backend whose segments block every write until the shared gate
+    /// opens — a hung disk / dead iSCSI session.
+    struct StuckBackend(Arc<(Mutex<bool>, parking_lot::Condvar)>);
+
+    struct StuckSegment(Arc<(Mutex<bool>, parking_lot::Condvar)>);
+
+    impl Write for StuckSegment {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let (gate, cvar) = &*self.0;
+            let mut open = gate.lock();
+            while !*open {
+                cvar.wait(&mut open);
+            }
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SegmentWrite for StuckSegment {
+        fn sync_all(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SegmentBackend for StuckBackend {
+        fn create(&mut self, _: &Path) -> io::Result<Box<dyn SegmentWrite>> {
+            Ok(Box::new(StuckSegment(Arc::clone(&self.0))))
+        }
+    }
+
+    #[test]
+    fn stuck_writer_demotes_instead_of_wedging_producers() {
+        let dir = TempDir::new("stuck");
+        let mut config = TraceStoreConfig::new(&dir.0);
+        config.chunk_bytes = 128;
+        config.max_chunks = 2;
+        config.policy = BackpressurePolicy::Block; // lossless until the watchdog says otherwise
+        config.flush_timeout = Duration::from_millis(50);
+        config.block_budget = Duration::from_millis(50);
+        let gate = Arc::new((Mutex::new(false), parking_lot::Condvar::new()));
+        let store =
+            TraceStore::create_with_backend(config, StuckBackend(Arc::clone(&gate))).unwrap();
+        let mut sink = store.handle();
+        // The writer picks up the first sealed chunk and hangs inside
+        // write(); the ring fills behind it. No append or flush below may
+        // wedge for longer than the configured budgets.
+        for i in 0..64 {
+            sink.append(&rec(i));
+        }
+        sink.flush();
+        let health = sink.health();
+        assert!(health.demoted, "stuck writer must demote the ring");
+        assert!(health.watchdog_trips >= 1);
+        // Demoted to DropOldest: a flood far past ring capacity completes
+        // immediately, paying with accounted drops instead of stalls.
+        for i in 64..2_064 {
+            sink.append(&rec(i));
+        }
+        assert!(sink.dropped_records() > 0);
+        // Open the gate so the writer drains and the store can finish.
+        *gate.0.lock() = true;
+        gate.1.notify_all();
+        drop(sink);
+        let report = store.finish();
+        assert!(report.demoted);
+        assert!(report.watchdog_trips >= 1);
+    }
+
     #[test]
     fn writer_absorbs_io_errors_without_blocking_producers() {
         let dir = TempDir::new("ioerr");
@@ -789,6 +893,8 @@ mod tests {
         assert_eq!(get("policy"), "Block");
         assert_eq!(get("dropped_oldest_records"), "0");
         assert_eq!(get("io_error_records"), "0");
+        assert_eq!(get("demoted"), "false");
+        assert_eq!(get("watchdog_trips"), "0");
         // The sidecar must not confuse the segment reader.
         let (records, integrity) = read_trace(&dir.0).unwrap();
         assert_eq!(records.len(), 100);
