@@ -7,9 +7,10 @@
 
 use crate::legacy::IngestionPath;
 use simkit::{SimRng, SimTime};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vscsi::{IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId, VDiskId, VmId};
-use vscsi_stats::VscsiEvent;
+use vscsi_stats::{IngestPipeline, PipelineConfig, StatsService, VscsiEvent};
 
 /// Builds one VM's event stream: `commands` issue/complete pairs with a
 /// deterministic mixed random/sequential access pattern.
@@ -79,6 +80,46 @@ pub fn run_threads<S: IngestionPath>(
     start.elapsed()
 }
 
+/// Replays each stream through the thread-per-core pipeline: one
+/// [`PipelineProducer`](vscsi_stats::PipelineProducer) per stream thread
+/// publishing into lock-free SPSC lanes, `config.aggregators` workers
+/// applying the events batched. Blocking (lossless) offers, so every
+/// event lands; returns wall-clock time from first publish to pipeline
+/// drained and joined.
+pub fn run_pipeline(
+    service: &Arc<StatsService>,
+    per_thread: &[Vec<VscsiEvent>],
+    config: PipelineConfig,
+    batch: usize,
+) -> Duration {
+    let batch = batch.max(1);
+    let config = PipelineConfig {
+        producers: per_thread.len().max(1),
+        ..config
+    };
+    let start = Instant::now();
+    let (pipeline, producers) = IngestPipeline::start(Arc::clone(service), config);
+    crossbeam::thread::scope(|scope| {
+        for (mut producer, events) in producers.into_iter().zip(per_thread) {
+            scope.spawn(move |_| {
+                for chunk in events.chunks(batch) {
+                    producer.offer_batch_blocking(chunk);
+                }
+                producer
+            });
+        }
+    })
+    .expect("pipeline producer panicked");
+    let report = pipeline.finish(Vec::new());
+    let elapsed = start.elapsed();
+    let total: usize = per_thread.iter().map(Vec::len).sum();
+    assert_eq!(
+        report.ingested, total as u64,
+        "blocking pipeline ingest must be lossless"
+    );
+    elapsed
+}
+
 /// Events per second for a run over `per_thread` streams.
 pub fn events_per_second(per_thread: &[Vec<VscsiEvent>], elapsed: Duration) -> f64 {
     let total: usize = per_thread.iter().map(Vec::len).sum();
@@ -110,6 +151,32 @@ mod tests {
             let target = TargetId::new(VmId(vm), VDiskId(0));
             assert_eq!(sharded.issued(target), per_target, "sharded vm{vm}");
             assert_eq!(legacy.issued(target), per_target, "legacy vm{vm}");
+        }
+    }
+
+    #[test]
+    fn pipeline_driver_ingests_every_command() {
+        let threads = 4;
+        let targets = 8u32;
+        let per_target = 200u64;
+        let workload = make_workload(threads, targets, per_target, 7);
+
+        let service = Arc::new(StatsService::default());
+        service.enable_all();
+        run_pipeline(
+            &service,
+            &workload,
+            PipelineConfig {
+                aggregators: 2,
+                ring_capacity: 256,
+                drain_batch: 16,
+                ..PipelineConfig::default()
+            },
+            32,
+        );
+        for vm in 0..targets {
+            let target = TargetId::new(VmId(vm), VDiskId(0));
+            assert_eq!(service.issued(target), per_target, "threadpercore vm{vm}");
         }
     }
 }

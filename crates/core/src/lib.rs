@@ -14,6 +14,9 @@
 //!   `vscsiStats`-style command interface, sharded so concurrent VMs
 //!   ingest without contending and the disabled path takes no locks
 //!   (batch ingestion via [`VscsiEvent`] slices).
+//! * [`pipeline`] — thread-per-core ingest: lock-free SPSC lanes
+//!   ([`spsc`]) feeding aggregator workers that own disjoint shard
+//!   sets, with ring-full shedding folded into the sentinel ledger.
 //! * [`sentinel`] — supervision for the always-on promise: an overload
 //!   governor with a deterministic degradation ladder, watchdog
 //!   heartbeats, and panic quarantine with salvage, surfaced through
@@ -59,15 +62,18 @@ mod collector;
 pub mod fingerprint;
 mod inflight;
 mod metrics;
+pub mod pipeline;
 pub mod report;
 pub mod sentinel;
 mod service;
+pub mod spsc;
 mod trace;
 
 pub use collector::{CollectorConfig, IoStatsCollector, LatencyPercentiles};
 pub use fingerprint::{recommendations, FingerprintLibrary, WorkloadClass, WorkloadFingerprint};
 pub use inflight::InflightTable;
 pub use metrics::{Lens, Metric};
+pub use pipeline::{IngestPipeline, PipelineConfig, PipelineProducer, PipelineReport};
 pub use sentinel::{
     ChaosSpec, DegradeLevel, HealthSnapshot, LoadCounters, SalvageRecord, SalvagedTarget,
     SentinelConfig, ShardHealth, SinkHealth,

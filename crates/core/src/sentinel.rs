@@ -413,6 +413,24 @@ impl ShardSentinel {
         self.counters.stale_completions += 1;
     }
 
+    /// Accounts `n` events dropped at a full ingest ring *before* they
+    /// could reach this shard's governor (the thread-per-core pipeline's
+    /// lossy backpressure). They were offered to the stats path and lost,
+    /// so the conservation identity `ingested + sampled_out + shed ==
+    /// offered` only survives if they are booked as offered-and-shed
+    /// here. Attributed to the shard's current degrade level: ring
+    /// overflow *is* an overload signal, observed upstream of the
+    /// admission coin. No-op while the sentinel is disabled (there is no
+    /// ledger to conserve).
+    pub(crate) fn note_ring_shed(&mut self, n: u64) {
+        if self.config.is_none() || n == 0 {
+            return;
+        }
+        self.counters.offered += n;
+        self.counters.offered_at_level[self.level.index()] += n;
+        self.counters.shed += n;
+    }
+
     /// Accounts a freshly created collector against the memory budget.
     pub(crate) fn note_collector_created(&mut self, bytes: usize) {
         self.memory_bytes = self.memory_bytes.saturating_add(bytes);

@@ -30,7 +30,7 @@
 //!   shard at a time and clones collectors out, so report generation never
 //!   stalls ingestion on the other shards.
 
-use crate::collector::{CollectorConfig, IoStatsCollector};
+use crate::collector::{CollectorConfig, IoStatsCollector, INGEST_CHUNK};
 use crate::metrics::{Lens, Metric};
 use crate::sentinel::{
     Admission, HealthSnapshot, SalvageRecord, SalvagedTarget, SentinelConfig, ShardHealth,
@@ -174,40 +174,82 @@ impl ShardState {
         events: &[VscsiEvent],
         idxs: &[(u32, u32)],
     ) {
-        if enabled
-            && !self.targets.contains_key(&target)
-            && idxs
-                .iter()
-                .any(|&(_, i)| matches!(events[i as usize], VscsiEvent::Issue(_)))
-        {
+        self.apply_target_stream(
+            enabled,
+            config,
+            target,
+            idxs.iter().map(|&(_, i)| &events[i as usize]),
+        );
+    }
+
+    /// The run body behind [`ShardState::apply_target_run`], generic over
+    /// how the run is addressed so the single-target batch fast path can
+    /// feed a plain slice without building an index table.
+    fn apply_target_stream<'a, I>(
+        &mut self,
+        enabled: bool,
+        config: &CollectorConfig,
+        target: TargetId,
+        run: I,
+    ) where
+        I: Iterator<Item = &'a VscsiEvent> + Clone,
+    {
+        let has_issue = run.clone().any(|e| matches!(e, VscsiEvent::Issue(_)));
+        if enabled && has_issue && !self.targets.contains_key(&target) {
             self.targets.entry(target).or_default();
         }
         let Some(state) = self.targets.get_mut(&target) else {
             return;
         };
-        for &(_, i) in idxs {
-            match &events[i as usize] {
-                VscsiEvent::Issue(req) => {
-                    if enabled {
-                        state
-                            .collector
-                            .get_or_insert_with(|| IoStatsCollector::new(config.clone()))
-                            .on_issue(req);
-                    }
-                    if let Some(tracer) = &mut state.tracer {
-                        tracer.on_issue(req);
-                    }
-                }
-                VscsiEvent::Complete(c) => {
-                    if let Some(collector) = &mut state.collector {
-                        collector.on_complete(c);
-                    }
-                    if let Some(tracer) = &mut state.tracer {
-                        tracer.on_complete(c);
-                    }
+        // Tracer pass, per event in run order (tracer state is
+        // independent of the collector's, so the two passes commute).
+        if let Some(tracer) = &mut state.tracer {
+            for event in run.clone() {
+                match event {
+                    VscsiEvent::Issue(req) => tracer.on_issue(req),
+                    VscsiEvent::Complete(c) => tracer.on_complete(c),
                 }
             }
         }
+        // Collector pass, through the batched SIMD-friendly ingest.
+        // `live` reproduces the per-event path's lazy-creation semantics
+        // exactly: a completion only reaches the collector if it existed
+        // at that point in the run (pre-existing, or created by an
+        // earlier enabled issue); a disabled issue never reaches it.
+        let mut live = state.collector.is_some();
+        if !live && !(enabled && has_issue) {
+            return;
+        }
+        let Some(first) = run.clone().next() else {
+            return;
+        };
+        let collector = state
+            .collector
+            .get_or_insert_with(|| IoStatsCollector::new(config.clone()));
+        let mut buf = [*first; INGEST_CHUNK];
+        let mut n = 0;
+        for event in run {
+            match event {
+                VscsiEvent::Issue(_) => {
+                    if !enabled {
+                        continue;
+                    }
+                    live = true;
+                }
+                VscsiEvent::Complete(_) => {
+                    if !live {
+                        continue;
+                    }
+                }
+            }
+            buf[n] = *event;
+            n += 1;
+            if n == INGEST_CHUNK {
+                collector.ingest_events(&buf);
+                n = 0;
+            }
+        }
+        collector.ingest_events(&buf[..n]);
     }
 }
 
@@ -356,6 +398,13 @@ impl StatsService {
     /// Number of shards in the table (a power of two).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Shard index a target routes to. The thread-per-core pipeline uses
+    /// this to assign each target's events to the aggregator that owns the
+    /// shard, so no two aggregators ever contend on one shard lock.
+    pub fn shard_index_of(&self, target: TargetId) -> usize {
+        self.shard_index(target)
     }
 
     fn shard_index(&self, target: TargetId) -> usize {
@@ -509,18 +558,56 @@ impl StatsService {
             return;
         }
         let enabled = self.enabled.load(Ordering::Acquire);
-        let mut order: Vec<(u32, u32)> = events
-            .iter()
-            .enumerate()
-            .map(|(idx, ev)| (self.shard_index(ev.target()) as u32, idx as u32))
-            .collect();
-        // Stable sort by (shard, target): events for one target stay in
+        // Fast path: the whole batch belongs to one target — the common
+        // shape, since a virtual disk's completion queue drains as a
+        // contiguous run. One shard lock, no index table, no sort.
+        let first_target = events[0].target();
+        if events.iter().all(|ev| ev.target() == first_target) {
+            let shard = self.shard(first_target);
+            let must_lock = enabled
+                || shard.tracers.load(Ordering::Acquire) > 0
+                || shard.occupied.load(Ordering::Acquire);
+            if must_lock {
+                shard.state.lock().apply_target_stream(
+                    enabled,
+                    &self.config,
+                    first_target,
+                    events.iter(),
+                );
+                if enabled {
+                    shard.occupied.store(true, Ordering::Release);
+                }
+            }
+            return;
+        }
+        // Mixed-target batch: order events by (shard, target). Small
+        // batches — the SPSC aggregator drains ≤ a few dozen events per
+        // lane visit — sort in a stack buffer; only oversized batches
+        // pay an allocation.
+        let mut stack_buf = [(0u32, 0u32); 64];
+        let mut heap_buf;
+        let order: &mut [(u32, u32)] = if events.len() <= stack_buf.len() {
+            let order = &mut stack_buf[..events.len()];
+            for (idx, ev) in events.iter().enumerate() {
+                order[idx] = (self.shard_index(ev.target()) as u32, idx as u32);
+            }
+            order
+        } else {
+            heap_buf = events
+                .iter()
+                .enumerate()
+                .map(|(idx, ev)| (self.shard_index(ev.target()) as u32, idx as u32))
+                .collect::<Vec<_>>();
+            &mut heap_buf
+        };
+        // Order by (shard, target, idx): events for one target stay in
         // slice order (per-stream metrics — seek distance, interarrival —
-        // depend on it), while grouping by target lets each run resolve its
-        // target state once and walk the collector's counter slab while it
-        // is cache-hot. Cross-target reordering within a shard is safe:
+        // depend on it; the idx tiebreaker makes the unstable sort
+        // order-preserving), while grouping by target lets each run resolve
+        // its target state once and walk the collector's counter slab while
+        // it is cache-hot. Cross-target reordering within a shard is safe:
         // collector and tracer state is per-target.
-        order.sort_by_key(|&(shard, idx)| (shard, events[idx as usize].target()));
+        order.sort_unstable_by_key(|&(shard, idx)| (shard, events[idx as usize].target(), idx));
 
         let mut run_start = 0;
         while run_start < order.len() {
@@ -582,6 +669,21 @@ impl StatsService {
     /// Whether the sentinel supervision layer is armed.
     pub fn sentinel_enabled(&self) -> bool {
         self.sentinel_on.load(Ordering::Acquire)
+    }
+
+    /// Folds per-shard ring-full drop counts from the thread-per-core
+    /// pipeline into the sentinel ledger, preserving the conservation
+    /// identity `ingested + sampled_out + shed == offered`: an event
+    /// dropped at a full SPSC ring was offered to the stats path and shed
+    /// by backpressure, just at an earlier stage than the governor. No-op
+    /// for shards with a zero count or when the sentinel is disabled.
+    pub fn absorb_ring_sheds(&self, sheds_by_shard: &[u64]) {
+        debug_assert!(sheds_by_shard.len() <= self.shards.len());
+        for (shard, &n) in self.shards.iter().zip(sheds_by_shard) {
+            if n > 0 {
+                shard.state.lock().sentinel.note_ring_shed(n);
+            }
+        }
     }
 
     /// Supervised issue path: watchdog heartbeat, governor admission,

@@ -1,0 +1,255 @@
+//! Thread-per-core pipeline properties: however target streams are
+//! partitioned across SPSC producers and drained by concurrent
+//! aggregators, the resulting statistics are bit-identical to serial
+//! mutex-path ingestion — and when rings overflow, every dropped event is
+//! accounted in the sentinel's conservation ledger.
+
+use proptest::prelude::*;
+use simkit::SimTime;
+use std::sync::Arc;
+use std::thread;
+use vscsi::{IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId, VDiskId, VmId};
+use vscsi_stats::{
+    IngestPipeline, Lens, Metric, PipelineConfig, SentinelConfig, StatsService, VscsiEvent,
+};
+
+/// One target's scripted command sequence.
+#[derive(Debug, Clone)]
+struct TargetScript {
+    /// Which producer publishes this target (mod producer count).
+    producer: usize,
+    /// Publish chunk size for this target's events.
+    chunk: usize,
+    /// Per-command parameters: (write?, lba, gap to previous issue in µs,
+    /// device latency in µs).
+    ops: Vec<(bool, u64, u64, u64)>,
+}
+
+fn target_script() -> impl Strategy<Value = TargetScript> {
+    (
+        0..4usize,
+        1..8usize,
+        prop::collection::vec(
+            (any::<bool>(), 0..1_000_000u64, 1..500u64, 1..20_000u64),
+            1..40,
+        ),
+    )
+        .prop_map(|(producer, chunk, ops)| TargetScript {
+            producer,
+            chunk,
+            ops,
+        })
+}
+
+/// Builds the exact event sequence for one target: issues spaced by the
+/// scripted gaps, each completing after its scripted latency.
+fn events_for(vm: u32, script: &TargetScript) -> Vec<VscsiEvent> {
+    let target = TargetId::new(VmId(vm), VDiskId(0));
+    let mut events = Vec::with_capacity(script.ops.len() * 2);
+    let mut now_us = 0u64;
+    for (i, &(write, lba, gap_us, lat_us)) in script.ops.iter().enumerate() {
+        now_us += gap_us;
+        let req = IoRequest::new(
+            RequestId(u64::from(vm) << 32 | i as u64),
+            target,
+            if write {
+                IoDirection::Write
+            } else {
+                IoDirection::Read
+            },
+            Lba::new(lba),
+            8,
+            SimTime::from_micros(now_us),
+        );
+        events.push(VscsiEvent::Issue(req));
+        events.push(VscsiEvent::Complete(IoCompletion::new(
+            req,
+            SimTime::from_micros(now_us + lat_us),
+        )));
+    }
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The tentpole equivalence: a concurrent thread-per-core run — lock-free
+    /// SPSC lanes, batched publishes, parallel aggregator drains — produces
+    /// per-target histograms bit-identical to serial per-event ingestion of
+    /// the same seeded workload through the mutex path.
+    #[test]
+    fn thread_per_core_matches_serial_mutex_path(
+        scripts in prop::collection::vec(target_script(), 1..7),
+        producers in 1..4usize,
+        aggregators in 1..4usize,
+    ) {
+        let per_target: Vec<Vec<VscsiEvent>> = scripts
+            .iter()
+            .enumerate()
+            .map(|(vm, s)| events_for(vm as u32, s))
+            .collect();
+
+        // Reference: one thread, per-event ingestion through the shard
+        // mutexes, target by target.
+        let serial = StatsService::default();
+        serial.enable_all();
+        for events in &per_target {
+            for ev in events {
+                match ev {
+                    VscsiEvent::Issue(r) => serial.handle_issue(r),
+                    VscsiEvent::Complete(c) => serial.handle_complete(c),
+                }
+            }
+        }
+
+        // Thread-per-core: each target's ordered stream is published
+        // wholly by one producer (per-target order is the pipeline's
+        // ordering contract), in scripted chunk sizes, with blocking
+        // (lossless) offers through a deliberately small ring.
+        let service = Arc::new(StatsService::default());
+        service.enable_all();
+        let config = PipelineConfig {
+            producers,
+            aggregators,
+            ring_capacity: 64,
+            drain_batch: 8,
+        };
+        let (pipeline, handles) = IngestPipeline::start(Arc::clone(&service), config);
+        thread::scope(|scope| {
+            for (worker, mut producer) in handles.into_iter().enumerate() {
+                let work: Vec<&Vec<VscsiEvent>> = scripts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.producer % producers == worker)
+                    .map(|(vm, _)| &per_target[vm])
+                    .collect();
+                let chunks: Vec<usize> = scripts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.producer % producers == worker)
+                    .map(|(_, s)| s.chunk)
+                    .collect();
+                scope.spawn(move || {
+                    for (events, chunk) in work.iter().zip(chunks) {
+                        for batch in events.chunks(chunk) {
+                            producer.offer_batch_blocking(batch);
+                        }
+                    }
+                    producer
+                });
+            }
+        });
+        let report = pipeline.finish(Vec::new());
+        let total: u64 = per_target.iter().map(|e| e.len() as u64).sum();
+        prop_assert_eq!(report.shed, 0, "blocking offers never shed");
+        prop_assert_eq!(report.ingested, total);
+
+        prop_assert_eq!(service.targets(), serial.targets());
+        for vm in 0..scripts.len() {
+            let target = TargetId::new(VmId(vm as u32), VDiskId(0));
+            let cs = serial.collector(target).expect("serial collector");
+            let cc = service.collector(target).expect("pipeline collector");
+            prop_assert_eq!(cs.issued_commands(), cc.issued_commands());
+            prop_assert_eq!(cs.completed_commands(), cc.completed_commands());
+            prop_assert_eq!(cs.outstanding_now(), cc.outstanding_now());
+            for metric in Metric::ALL {
+                for lens in [Lens::All, Lens::Reads, Lens::Writes] {
+                    prop_assert_eq!(
+                        cs.histogram(metric, lens).counts(),
+                        cc.histogram(metric, lens).counts(),
+                        "{} {} {:?}", target, metric, lens
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Events for one target, all at distinct timestamps.
+fn burst(vm: u32, commands: u64) -> Vec<VscsiEvent> {
+    let target = TargetId::new(VmId(vm), VDiskId(0));
+    let mut events = Vec::with_capacity(commands as usize * 2);
+    for i in 0..commands {
+        let req = IoRequest::new(
+            RequestId(u64::from(vm) << 32 | i),
+            target,
+            IoDirection::Read,
+            Lba::new(i * 64),
+            8,
+            SimTime::from_micros(i * 3),
+        );
+        events.push(VscsiEvent::Issue(req));
+        events.push(VscsiEvent::Complete(IoCompletion::new(
+            req,
+            SimTime::from_micros(i * 3 + 2),
+        )));
+    }
+    events
+}
+
+/// Regression: ring-full drops from the lossy offer path land in the
+/// sentinel's conservation ledger, so `ingested + sampled_out + shed ==
+/// offered` holds end-to-end even when backpressure sheds at the SPSC
+/// ring — an earlier stage than the governor ever sees.
+#[test]
+fn ring_full_sheds_conserve_in_the_ledger() {
+    let service = Arc::new(StatsService::default());
+    service.enable_all();
+    // A sentinel that never degrades on its own: every shed in this test
+    // is a ring-full shed.
+    let mut sentinel = SentinelConfig::new(7);
+    sentinel.full_max_rate = u64::MAX;
+    sentinel.sampled_max_rate = u64::MAX;
+    sentinel.counters_max_rate = u64::MAX;
+    service.enable_sentinel(sentinel);
+
+    let config = PipelineConfig {
+        producers: 1,
+        aggregators: 1,
+        ring_capacity: 16,
+        drain_batch: 8,
+    };
+    let (pipeline, mut producers) = IngestPipeline::start(Arc::clone(&service), config);
+    let mut producer = producers.pop().expect("one producer");
+
+    // Freeze the aggregators so the ring must overflow, then pour a burst
+    // through the lossy offer path.
+    pipeline.pause();
+    let events = burst(0, 256);
+    let mut accepted = 0u64;
+    for ev in &events {
+        if producer.offer(*ev) {
+            accepted += 1;
+        }
+    }
+    let dropped = events.len() as u64 - accepted;
+    assert!(dropped > 0, "a 16-slot ring cannot hold a 512-event burst");
+    assert_eq!(pipeline.shed_so_far(), dropped);
+
+    pipeline.resume();
+    let report = pipeline.finish(vec![producer]);
+    assert_eq!(report.offered, events.len() as u64);
+    assert_eq!(report.shed, dropped);
+    assert_eq!(report.ingested, accepted);
+
+    // The ledger absorbed the ring drops: conservation holds end-to-end,
+    // and the shed column includes every ring-full drop.
+    let health = service.health_snapshot();
+    assert!(
+        health.conserves(),
+        "ledger must conserve: {:?}",
+        health.totals()
+    );
+    let totals = health.totals();
+    assert_eq!(
+        totals.offered,
+        totals.ingested + totals.sampled_out + totals.shed
+    );
+    assert!(
+        totals.shed >= dropped,
+        "ring drops {dropped} missing from ledger shed {}",
+        totals.shed
+    );
+    // Everything the rings accepted was drained into the service.
+    assert_eq!(totals.ingested, accepted);
+}

@@ -236,3 +236,49 @@ fn fast_binner_matches_on_extremes_and_exact_edges() {
         }
     }
 }
+
+proptest! {
+    /// Batched binning is the scalar binner, elementwise — over arbitrary
+    /// layouts the binner accepts and arbitrary values, covering both the
+    /// full 8-lane blocks and the ragged tail of `bin_slice`.
+    #[test]
+    fn bin_batch_equals_scalar(edges in arb_edges(), values in vec(any::<i64>(), 1..64)) {
+        let e = BinEdges::new(edges).unwrap();
+        let Some(fast) = histo::FastBinner::try_new(&e) else {
+            // Layout too dense for the class tables — no batch path either.
+            return Ok(());
+        };
+        let mut out = vec![0u16; values.len()];
+        fast.bin_slice(&values, &mut out);
+        for (v, got) in values.iter().zip(&out) {
+            prop_assert_eq!(usize::from(*got), fast.bin_index(*v));
+            prop_assert_eq!(usize::from(*got), e.bin_index(*v));
+        }
+        // The fixed-size form agrees wherever a full block exists.
+        if values.len() >= 8 {
+            let block: &[i64; 8] = values[..8].try_into().unwrap();
+            prop_assert_eq!(&fast.bin_batch(block)[..], &out[..8]);
+        }
+    }
+}
+
+/// Deterministic batch-binning companion: every registered layout, probing
+/// each exact edge and its neighbours *through the batched path*, so the
+/// bin-boundary compares are pinned lane-for-lane against the scalar
+/// binner (the ISSUE-6 cross-check).
+#[test]
+fn bin_batch_matches_scalar_on_registered_layouts() {
+    for id in LayoutId::ALL {
+        let edges = id.edges();
+        let fast = id.binner();
+        let mut probes = vec![i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX];
+        for &e in edges.edges() {
+            probes.extend([e.saturating_sub(1), e, e.saturating_add(1)]);
+        }
+        let mut out = vec![0u16; probes.len()];
+        fast.bin_slice(&probes, &mut out);
+        for (v, got) in probes.iter().zip(&out) {
+            assert_eq!(usize::from(*got), edges.bin_index(*v), "{id:?} v={v}");
+        }
+    }
+}
