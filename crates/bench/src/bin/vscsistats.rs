@@ -57,6 +57,7 @@ struct Args {
     bench_out: Option<PathBuf>,
     bench_commands: usize,
     health: bool,
+    fetch_all: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -74,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         bench_out: Some(PathBuf::from("BENCH_percommand.json")),
         bench_commands: 100_000,
         health: false,
+        fetch_all: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -116,6 +118,7 @@ fn parse_args() -> Result<Args, String> {
                 args.bench_out = (v != "-").then(|| PathBuf::from(v));
             }
             "--health" => args.health = true,
+            "--fetch-all" => args.fetch_all = true,
             "--csv" => args.csv = true,
             "--fingerprint" | "-f" => args.fingerprint = true,
             "--report" | "-r" => args.report = true,
@@ -146,6 +149,7 @@ fn print_help() {
     println!("  --fingerprint  environment-independent fingerprint + classification + advice");
     println!("  --trace-out D  also capture a binary trace into directory D (tracestore segments)");
     println!("  --health       supervise the run with the sentinel and print its health snapshot");
+    println!("  --fetch-all    print the FetchAllHistograms dump (every target's full slot set)");
     println!("  --replay P     rebuild histograms from a trace file/directory instead of running");
     println!("  --bench-overhead  measure ns/command per collection config (Table 2) and write");
     println!("                    BENCH_percommand.json (override with --bench-out, '-' = stdout)");
@@ -336,6 +340,9 @@ fn main() {
             .enable_sentinel(vscsi_stats::SentinelConfig::new(args.seed));
         std::sync::Arc::clone(prepared.service())
     });
+    let fetch_service = args
+        .fetch_all
+        .then(|| std::sync::Arc::clone(prepared.service()));
     let store = match args.trace_out.as_deref() {
         Some(dir) => match TraceStore::create(TraceStoreConfig::new(dir)) {
             Ok(store) => {
@@ -403,6 +410,12 @@ fn main() {
         match service.command("health") {
             Ok(snapshot) => print!("{snapshot}"),
             Err(e) => eprintln!("error: health: {e}"),
+        }
+    }
+    if let Some(service) = fetch_service {
+        match service.command("fetchallhistograms") {
+            Ok(dump) => print!("{dump}"),
+            Err(e) => eprintln!("error: fetchallhistograms: {e}"),
         }
     }
 }

@@ -1005,10 +1005,40 @@ impl StatsService {
         out
     }
 
+    /// The `FetchAllHistograms` dump: every target's full metric × lens
+    /// histogram set as text, in target order — the same surface vCenter's
+    /// ServiceManager exposes as `ExecuteSimpleCommand FetchAllHistograms`.
+    /// Slots with no samples are listed on one line so the dump stays an
+    /// exhaustive inventory without drowning in empty tables. Locks one
+    /// shard at a time (via [`StatsService::collectors`]).
+    pub fn fetch_all_histograms(&self) -> String {
+        let collectors = self.collectors();
+        let mut out = format!("FetchAllHistograms: {} target(s)\n", collectors.len());
+        for (target, collector) in &collectors {
+            out.push_str(&format!("== {target} ==\n"));
+            for metric in Metric::ALL {
+                for lens in Lens::ALL {
+                    let h = collector.histogram(metric, lens);
+                    if h.is_empty() {
+                        out.push_str(&format!("Histogram: {metric} ({lens}): no samples\n"));
+                    } else {
+                        // `Histogram`'s Display ends on its summary line
+                        // without a trailing newline; add one so the next
+                        // header starts a fresh line.
+                        out.push_str(&format!("Histogram: {metric} ({lens})\n{h}\n"));
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Executes a `vscsiStats`-style textual command and returns its output.
     ///
     /// Supported commands: `start`, `stop`, `reset`, `status`, `list`,
-    /// `health` (the sentinel's [`HealthSnapshot`] rendering).
+    /// `health` (the sentinel's [`HealthSnapshot`] rendering), and
+    /// `fetchallhistograms` (every target's full histogram set, the
+    /// command the fleet plane's wire format snapshots in binary form).
     ///
     /// # Errors
     ///
@@ -1032,6 +1062,8 @@ impl StatsService {
                 if self.is_enabled() { "ON" } else { "OFF" }
             )),
             "health" => Ok(self.health_snapshot().render()),
+            // vCenter spells it FetchAllHistograms; accept any casing.
+            c if c.eq_ignore_ascii_case("fetchallhistograms") => Ok(self.fetch_all_histograms()),
             "list" => {
                 let mut out = String::new();
                 for s in self.summaries() {
@@ -1214,6 +1246,38 @@ mod tests {
         assert_eq!(
             StatsService::default().command("list").unwrap(),
             "no targets\n"
+        );
+    }
+
+    #[test]
+    fn fetch_all_histograms_dumps_every_slot() {
+        let s = StatsService::default();
+        s.enable_all();
+        let t = TargetId::default();
+        let r = req(t, 0, 0);
+        s.handle_issue(&r);
+        s.handle_complete(&IoCompletion::new(r, SimTime::from_micros(100)));
+        let dump = s.fetch_all_histograms();
+        assert!(dump.starts_with("FetchAllHistograms: 1 target(s)"));
+        assert!(dump.contains(&format!("== {t} ==")));
+        // Every metric × lens slot is inventoried, populated or not.
+        for metric in Metric::ALL {
+            for lens in Lens::ALL {
+                assert!(
+                    dump.contains(&format!("Histogram: {metric} ({lens})")),
+                    "missing slot {metric} ({lens})"
+                );
+            }
+        }
+        assert!(dump.contains("no samples"), "idle slots listed as empty");
+        // The command surface accepts vCenter's casing and ours.
+        assert_eq!(s.command("FetchAllHistograms").unwrap(), dump);
+        assert_eq!(s.command("fetchallhistograms").unwrap(), dump);
+        assert_eq!(
+            StatsService::default()
+                .command("fetchallhistograms")
+                .unwrap(),
+            "FetchAllHistograms: 0 target(s)\n"
         );
     }
 

@@ -40,6 +40,7 @@ pub struct EsxTop {
     interval: SimDuration,
     samples: Vec<TopSample>,
     health: HealthSnapshot,
+    fetch_all: String,
 }
 
 impl EsxTop {
@@ -103,10 +104,15 @@ impl EsxTop {
             }
         }
         let health = sim.health_snapshot();
+        let fetch_all = sim
+            .service()
+            .command("fetchallhistograms")
+            .unwrap_or_default();
         EsxTop {
             interval,
             samples,
             health,
+            fetch_all,
         }
     }
 
@@ -122,6 +128,14 @@ impl EsxTop {
     /// full fidelity or under load shedding.
     pub fn health(&self) -> &HealthSnapshot {
         &self.health
+    }
+
+    /// The `FetchAllHistograms` dump captured at the end of the
+    /// measurement window — every target's full metric × lens histogram
+    /// inventory, the textual twin of the fleet plane's binary frame.
+    /// Empty when stats collection was never enabled (no targets).
+    pub fn fetch_all_histograms(&self) -> &str {
+        &self.fetch_all
     }
 
     /// All samples, in (interval, attachment) order.
@@ -221,6 +235,32 @@ mod tests {
         let x = top.samples()[0];
         assert!((x.mbps - x.iops * 4096.0 / 1e6).abs() < 0.5);
         assert_eq!(top.interval(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn fetch_all_dump_rides_along() {
+        let mut s = sim();
+        s.service().enable_all();
+        let top = EsxTop::run(
+            &mut s,
+            SimDuration::ZERO,
+            SimDuration::from_millis(200),
+            SimDuration::from_millis(200),
+        );
+        let dump = top.fetch_all_histograms();
+        assert!(dump.starts_with("FetchAllHistograms: 1 target(s)"));
+        assert!(dump.contains("Histogram: I/O Length (All)"));
+        // Collection off → no targets, but the command still answers.
+        let mut idle = sim();
+        let top = EsxTop::run(
+            &mut idle,
+            SimDuration::ZERO,
+            SimDuration::from_millis(200),
+            SimDuration::from_millis(200),
+        );
+        assert!(top
+            .fetch_all_histograms()
+            .starts_with("FetchAllHistograms: 0 target(s)"));
     }
 
     #[test]

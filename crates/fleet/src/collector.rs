@@ -1,0 +1,624 @@
+//! The collector tier: virtual-clock host polling with staleness and
+//! failure accounting.
+//!
+//! A [`FleetCollector`] owns a set of [`HostEndpoint`]s and polls each on
+//! a fixed [`PollConfig::interval`], time-aligning snapshots to poll
+//! *windows* (window `k` covers virtual time `[k·interval, (k+1)·interval)`).
+//! Every fetch ends in exactly one of three ledger buckets:
+//!
+//! * **ok** — the frame decoded and merged; it replaces the host's
+//!   snapshot (host counters are cumulative, so replacement — not
+//!   addition — is the lossless operation).
+//! * **fetch failure** — the host was unreachable; the previous snapshot
+//!   stays current and ages toward staleness.
+//! * **decode failure** — the host answered with a corrupt, truncated, or
+//!   layout-incompatible frame; ditto.
+//!
+//! A host that misses [`PollConfig::stale_after`] consecutive windows is
+//! *stale*: still listed in every [`FleetView`], but excluded from tenant
+//! and fleet sums so the root stays an exact sum of trusted leaves. This
+//! is the graceful-degradation contract: one wedged host (or one flaky
+//! wire) costs the fleet view that host's slice, never the rollup's
+//! integrity and never a panic.
+
+use crate::rollup::{AggSet, FleetView, HostId, HostView, TenantId};
+use crate::wire::{decode_frame, encode_frame, HostFrame, WireError};
+use simkit::{SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use vscsi_stats::StatsService;
+
+/// A fetch-side failure: the host could not be reached at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchError {
+    /// Why the fetch failed.
+    pub msg: &'static str,
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fleet fetch: {}", self.msg)
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// One pollable host: an address (host + tenant) and a way to fetch its
+/// `FetchAllHistograms` frame at a virtual instant.
+pub trait HostEndpoint {
+    /// The host's fleet-wide id.
+    fn host_id(&self) -> HostId;
+    /// The tenant the host belongs to.
+    fn tenant_id(&self) -> TenantId;
+    /// Fetches one encoded frame at virtual time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError`] when the host is unreachable.
+    fn fetch(&mut self, now: SimTime) -> Result<Vec<u8>, FetchError>;
+}
+
+/// The in-simulation endpoint: snapshots a live [`StatsService`] and
+/// encodes the frame, exactly what a real host would ship.
+#[derive(Debug, Clone)]
+pub struct ServiceEndpoint {
+    host: HostId,
+    tenant: TenantId,
+    service: Arc<StatsService>,
+}
+
+impl ServiceEndpoint {
+    /// Wraps a host's stats service.
+    pub fn new(host: HostId, tenant: TenantId, service: Arc<StatsService>) -> Self {
+        ServiceEndpoint {
+            host,
+            tenant,
+            service,
+        }
+    }
+
+    /// The wrapped service.
+    pub fn service(&self) -> &Arc<StatsService> {
+        &self.service
+    }
+}
+
+impl HostEndpoint for ServiceEndpoint {
+    fn host_id(&self) -> HostId {
+        self.host
+    }
+
+    fn tenant_id(&self) -> TenantId {
+        self.tenant
+    }
+
+    fn fetch(&mut self, now: SimTime) -> Result<Vec<u8>, FetchError> {
+        let frame = HostFrame::snapshot(self.host, now.as_micros(), &self.service);
+        encode_frame(&frame).map_err(|_| FetchError {
+            msg: "snapshot failed to encode",
+        })
+    }
+}
+
+/// A scripted endpoint for tests: hands out a fixed sequence of responses
+/// and becomes unreachable when the script runs dry.
+#[derive(Debug, Clone)]
+pub struct FrameEndpoint {
+    host: HostId,
+    tenant: TenantId,
+    script: VecDeque<Result<Vec<u8>, FetchError>>,
+}
+
+impl FrameEndpoint {
+    /// Builds a scripted endpoint.
+    pub fn new(
+        host: HostId,
+        tenant: TenantId,
+        script: impl IntoIterator<Item = Result<Vec<u8>, FetchError>>,
+    ) -> Self {
+        FrameEndpoint {
+            host,
+            tenant,
+            script: script.into_iter().collect(),
+        }
+    }
+}
+
+impl HostEndpoint for FrameEndpoint {
+    fn host_id(&self) -> HostId {
+        self.host
+    }
+
+    fn tenant_id(&self) -> TenantId {
+        self.tenant
+    }
+
+    fn fetch(&mut self, _now: SimTime) -> Result<Vec<u8>, FetchError> {
+        self.script.pop_front().unwrap_or(Err(FetchError {
+            msg: "script exhausted",
+        }))
+    }
+}
+
+/// splitmix64 — the workspace's standard seeded mixer, here deciding
+/// chaos outcomes purely in `(seed, host, poll index)`.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Exact ledger of what a [`ChaosEndpoint`] injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosLedger {
+    /// Polls answered with a fetch error.
+    pub unreachable: u64,
+    /// Polls answered with a bit-flipped frame.
+    pub corrupted: u64,
+    /// Polls answered with a truncated frame.
+    pub truncated: u64,
+}
+
+impl ChaosLedger {
+    /// Total injected faults.
+    pub fn total(&self) -> u64 {
+        self.unreachable + self.corrupted + self.truncated
+    }
+}
+
+/// Wraps any endpoint with deterministic, seeded fault injection:
+/// per poll it either passes the inner frame through, drops the fetch,
+/// flips one payload bit, or truncates the frame. Decisions are pure in
+/// `(seed, host id, poll index)`, so same-seed runs inject identically —
+/// and the ledger lets tests demand *exact* failure accounting.
+#[derive(Debug, Clone)]
+pub struct ChaosEndpoint<E> {
+    inner: E,
+    seed: u64,
+    polls: u64,
+    unreachable_pct: u64,
+    corrupt_pct: u64,
+    truncate_pct: u64,
+    ledger: ChaosLedger,
+}
+
+impl<E: HostEndpoint> ChaosEndpoint<E> {
+    /// Wraps `inner`; the three percentages (each 0–100, summing to at
+    /// most 100) set the per-poll fault mix.
+    pub fn new(
+        inner: E,
+        seed: u64,
+        unreachable_pct: u64,
+        corrupt_pct: u64,
+        truncate_pct: u64,
+    ) -> Self {
+        assert!(
+            unreachable_pct + corrupt_pct + truncate_pct <= 100,
+            "fault percentages exceed 100"
+        );
+        ChaosEndpoint {
+            inner,
+            seed,
+            polls: 0,
+            unreachable_pct,
+            corrupt_pct,
+            truncate_pct,
+            ledger: ChaosLedger::default(),
+        }
+    }
+
+    /// What was injected so far.
+    pub fn ledger(&self) -> ChaosLedger {
+        self.ledger
+    }
+}
+
+impl<E: HostEndpoint> HostEndpoint for ChaosEndpoint<E> {
+    fn host_id(&self) -> HostId {
+        self.inner.host_id()
+    }
+
+    fn tenant_id(&self) -> TenantId {
+        self.inner.tenant_id()
+    }
+
+    fn fetch(&mut self, now: SimTime) -> Result<Vec<u8>, FetchError> {
+        let roll = splitmix64(
+            self.seed ^ self.inner.host_id().wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.polls,
+        );
+        self.polls += 1;
+        let pick = roll % 100;
+        if pick < self.unreachable_pct {
+            self.ledger.unreachable += 1;
+            return Err(FetchError {
+                msg: "injected: host unreachable",
+            });
+        }
+        let mut bytes = self.inner.fetch(now)?;
+        if pick < self.unreachable_pct + self.corrupt_pct {
+            self.ledger.corrupted += 1;
+            if !bytes.is_empty() {
+                let at = (splitmix64(roll) as usize) % bytes.len();
+                bytes[at] ^= 1 << (roll % 8);
+            }
+        } else if pick < self.unreachable_pct + self.corrupt_pct + self.truncate_pct {
+            self.ledger.truncated += 1;
+            let keep = (splitmix64(roll) as usize) % bytes.len().max(1);
+            bytes.truncate(keep);
+        }
+        Ok(bytes)
+    }
+}
+
+/// Polling schedule and staleness policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollConfig {
+    /// Poll every host once per this interval (one *window*).
+    pub interval: SimDuration,
+    /// Consecutive windows without a good frame before the host's
+    /// snapshot is considered stale and leaves the rollup.
+    pub stale_after: u64,
+}
+
+impl Default for PollConfig {
+    /// 6-second windows (the paper's esxtop cadence), stale after 2
+    /// missed windows.
+    fn default() -> Self {
+        PollConfig {
+            interval: SimDuration::from_secs(6),
+            stale_after: 2,
+        }
+    }
+}
+
+/// Per-host poll accounting: the three-bucket ledger plus the latest good
+/// snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostStatus {
+    /// The host.
+    pub host: HostId,
+    /// Its tenant.
+    pub tenant: TenantId,
+    /// Frames fetched, decoded, and merged.
+    pub frames_ok: u64,
+    /// Fetches that failed outright (unreachable host).
+    pub fetch_failures: u64,
+    /// Frames that arrived but failed to decode or merge.
+    pub decode_failures: u64,
+    /// Failures since the last good frame.
+    pub consecutive_failures: u64,
+    /// When the last good frame arrived.
+    pub last_success: Option<SimTime>,
+    /// The most recent failure's description.
+    pub last_error: Option<&'static str>,
+    /// Targets in the latest good snapshot.
+    pub targets: usize,
+    /// Capture timestamp of the latest good snapshot, microseconds.
+    pub captured_at_us: u64,
+    agg: AggSet,
+}
+
+impl HostStatus {
+    fn new(host: HostId, tenant: TenantId) -> Self {
+        HostStatus {
+            host,
+            tenant,
+            frames_ok: 0,
+            fetch_failures: 0,
+            decode_failures: 0,
+            consecutive_failures: 0,
+            last_success: None,
+            last_error: None,
+            targets: 0,
+            captured_at_us: 0,
+            agg: AggSet::new(),
+        }
+    }
+
+    /// The latest good snapshot (empty until the first good frame).
+    pub fn agg(&self) -> &AggSet {
+        &self.agg
+    }
+
+    /// Total polls attempted against this host.
+    pub fn polls(&self) -> u64 {
+        self.frames_ok + self.fetch_failures + self.decode_failures
+    }
+}
+
+fn aggregate(frame: &HostFrame) -> Result<(AggSet, usize), WireError> {
+    let mut agg = AggSet::new();
+    for t in &frame.targets {
+        agg.merge_target(t).map_err(|_| WireError {
+            msg: "frame slot layout mismatch",
+        })?;
+    }
+    Ok((agg, frame.targets.len()))
+}
+
+/// The collector: polls every endpoint on the shared schedule, keeps the
+/// per-host ledgers, and assembles [`FleetView`]s on demand.
+#[derive(Debug)]
+pub struct FleetCollector<E> {
+    config: PollConfig,
+    endpoints: Vec<E>,
+    next_poll: Vec<SimTime>,
+    status: Vec<HostStatus>,
+}
+
+impl<E: HostEndpoint> FleetCollector<E> {
+    /// Builds a collector; every host's first poll is due at time zero.
+    pub fn new(config: PollConfig, endpoints: Vec<E>) -> Self {
+        assert!(!config.interval.is_zero(), "poll interval must be positive");
+        let status = endpoints
+            .iter()
+            .map(|e| HostStatus::new(e.host_id(), e.tenant_id()))
+            .collect();
+        let next_poll = vec![SimTime::ZERO; endpoints.len()];
+        FleetCollector {
+            config,
+            endpoints,
+            next_poll,
+            status,
+        }
+    }
+
+    /// The poll-window index containing virtual time `t`.
+    pub fn window_of(&self, t: SimTime) -> u64 {
+        t.as_nanos() / self.config.interval.as_nanos()
+    }
+
+    /// Polls every endpoint whose next poll is due at or before `now`,
+    /// then reschedules it one interval later. Returns how many polls ran.
+    pub fn poll_due(&mut self, now: SimTime) -> usize {
+        let mut ran = 0;
+        for idx in 0..self.endpoints.len() {
+            if self.next_poll[idx] > now {
+                continue;
+            }
+            self.poll_one(idx, now);
+            self.next_poll[idx] = self.next_poll[idx].saturating_add(self.config.interval);
+            ran += 1;
+        }
+        ran
+    }
+
+    /// Advances the poll schedule through every instant up to and
+    /// including `until`, firing due polls in time order.
+    pub fn run_until(&mut self, until: SimTime) {
+        loop {
+            let Some(next) = self.next_poll.iter().copied().min() else {
+                return;
+            };
+            if next > until {
+                return;
+            }
+            self.poll_due(next);
+        }
+    }
+
+    fn poll_one(&mut self, idx: usize, now: SimTime) {
+        let status = &mut self.status[idx];
+        match self.endpoints[idx].fetch(now) {
+            Err(e) => {
+                status.fetch_failures += 1;
+                status.consecutive_failures += 1;
+                status.last_error = Some(e.msg);
+            }
+            Ok(bytes) => {
+                let outcome = decode_frame(&bytes).and_then(|frame| {
+                    if frame.host_id != status.host {
+                        return Err(WireError {
+                            msg: "frame names a different host",
+                        });
+                    }
+                    aggregate(&frame).map(|(agg, targets)| (frame, agg, targets))
+                });
+                match outcome {
+                    Err(e) => {
+                        status.decode_failures += 1;
+                        status.consecutive_failures += 1;
+                        status.last_error = Some(e.msg);
+                    }
+                    Ok((frame, agg, targets)) => {
+                        status.frames_ok += 1;
+                        status.consecutive_failures = 0;
+                        status.last_success = Some(now);
+                        status.last_error = None;
+                        status.targets = targets;
+                        status.captured_at_us = frame.captured_at_us;
+                        status.agg = agg;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-host ledgers, in endpoint order.
+    pub fn status(&self) -> &[HostStatus] {
+        &self.status
+    }
+
+    /// The endpoints (e.g. to read a [`ChaosEndpoint`] ledger back).
+    pub fn endpoints(&self) -> &[E] {
+        &self.endpoints
+    }
+
+    /// Whether `status` counts as stale at `now`: no good frame yet, or
+    /// the last one is at least [`PollConfig::stale_after`] windows old.
+    pub fn is_stale(&self, status: &HostStatus, now: SimTime) -> bool {
+        match status.last_success {
+            None => true,
+            Some(t) => self.window_of(now) - self.window_of(t) >= self.config.stale_after,
+        }
+    }
+
+    /// Assembles the rollup tree from every host's latest good snapshot,
+    /// marking (and excluding) stale hosts.
+    pub fn view(&self, now: SimTime) -> FleetView {
+        let hosts = self
+            .status
+            .iter()
+            .map(|s| HostView {
+                host: s.host,
+                tenant: s.tenant,
+                stale: self.is_stale(s, now),
+                targets: s.targets,
+                agg: s.agg.clone(),
+                captured_at_us: s.captured_at_us,
+            })
+            .collect();
+        FleetView::assemble(self.window_of(now), hosts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{layout_of, slots, TargetHistograms, SLOTS_PER_TARGET};
+    use histo::Histogram;
+    use vscsi::{TargetId, VDiskId, VmId};
+
+    fn frame_bytes(host: HostId, records: &[i64]) -> Vec<u8> {
+        let histograms = slots()
+            .map(|(metric, _)| {
+                let mut h = Histogram::new(layout_of(metric).edges());
+                for &v in records {
+                    h.record(v);
+                }
+                h
+            })
+            .collect();
+        encode_frame(&HostFrame {
+            host_id: host,
+            captured_at_us: 1,
+            targets: vec![TargetHistograms {
+                target: TargetId::new(VmId(0), VDiskId(0)),
+                histograms,
+            }],
+        })
+        .unwrap()
+    }
+
+    fn cfg() -> PollConfig {
+        PollConfig {
+            interval: SimDuration::from_secs(1),
+            stale_after: 2,
+        }
+    }
+
+    #[test]
+    fn polls_on_schedule_and_rolls_up() {
+        let eps = vec![
+            FrameEndpoint::new(
+                0,
+                0,
+                vec![Ok(frame_bytes(0, &[5])), Ok(frame_bytes(0, &[5, 6]))],
+            ),
+            FrameEndpoint::new(
+                1,
+                1,
+                vec![Ok(frame_bytes(1, &[7])), Ok(frame_bytes(1, &[7, 8]))],
+            ),
+        ];
+        let mut c = FleetCollector::new(cfg(), eps);
+        c.run_until(SimTime::ZERO);
+        let v0 = c.view(SimTime::ZERO);
+        assert_eq!(v0.fleet.hosts, 2);
+        assert_eq!(v0.fleet.agg.total_events(), 2 * SLOTS_PER_TARGET as u64);
+        assert!(v0.conserves());
+        // Second window: cumulative snapshots replace, never double-count.
+        c.run_until(SimTime::from_secs(1));
+        let v1 = c.view(SimTime::from_secs(1));
+        assert_eq!(v1.fleet.agg.total_events(), 4 * SLOTS_PER_TARGET as u64);
+        assert!(v1.conserves());
+        assert_eq!(c.status()[0].frames_ok, 2);
+        assert_eq!(c.status()[0].polls(), 2);
+    }
+
+    #[test]
+    fn failures_age_into_staleness_and_recover() {
+        let eps = vec![FrameEndpoint::new(
+            0,
+            0,
+            vec![
+                Ok(frame_bytes(0, &[5])),
+                Err(FetchError { msg: "down" }),
+                Err(FetchError { msg: "down" }),
+                Ok(frame_bytes(0, &[5, 6, 7])),
+            ],
+        )];
+        let mut c = FleetCollector::new(cfg(), eps);
+        c.run_until(SimTime::ZERO);
+        assert!(!c.is_stale(&c.status()[0], SimTime::ZERO));
+        // Two failed windows age the window-0 snapshot to stale.
+        c.run_until(SimTime::from_secs(2));
+        let s = &c.status()[0];
+        assert_eq!(s.fetch_failures, 2);
+        assert_eq!(s.consecutive_failures, 2);
+        assert_eq!(s.last_error, Some("down"));
+        assert!(c.is_stale(s, SimTime::from_secs(2)));
+        let v = c.view(SimTime::from_secs(2));
+        assert_eq!(v.fleet.hosts, 0);
+        assert_eq!(v.stale_hosts(), 1);
+        assert!(v.conserves());
+        // A good frame brings the host straight back.
+        c.run_until(SimTime::from_secs(3));
+        assert!(!c.is_stale(&c.status()[0], SimTime::from_secs(3)));
+        let v = c.view(SimTime::from_secs(3));
+        assert_eq!(v.fleet.hosts, 1);
+        assert_eq!(v.fleet.agg.total_events(), 3 * SLOTS_PER_TARGET as u64);
+    }
+
+    #[test]
+    fn corrupt_frames_count_as_decode_failures() {
+        let mut bad = frame_bytes(0, &[5]);
+        let flip = bad.len() / 2;
+        bad[flip] ^= 0xff;
+        let eps = vec![FrameEndpoint::new(
+            0,
+            0,
+            vec![Ok(bad), Ok(frame_bytes(99, &[5])), Ok(frame_bytes(0, &[5]))],
+        )];
+        let mut c = FleetCollector::new(cfg(), eps);
+        c.run_until(SimTime::from_secs(2));
+        let s = &c.status()[0];
+        assert_eq!(s.decode_failures, 2, "corrupt + misaddressed");
+        assert_eq!(s.frames_ok, 1);
+        assert_eq!(s.fetch_failures, 0);
+    }
+
+    #[test]
+    fn chaos_endpoint_is_deterministic_and_accounted() {
+        let mk = || {
+            ChaosEndpoint::new(
+                FrameEndpoint::new(3, 0, (0..50).map(|i| Ok(frame_bytes(3, &[i])))),
+                99,
+                20,
+                20,
+                20,
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let mut outcomes_a = Vec::new();
+        let mut outcomes_b = Vec::new();
+        for i in 0..50 {
+            outcomes_a.push(a.fetch(SimTime::from_secs(i)));
+            outcomes_b.push(b.fetch(SimTime::from_secs(i)));
+        }
+        assert_eq!(outcomes_a, outcomes_b, "same seed, same chaos");
+        assert_eq!(a.ledger(), b.ledger());
+        assert!(a.ledger().total() > 0);
+        // Every injected fault surfaces as a collector failure, exactly.
+        let mut c = FleetCollector::new(cfg(), vec![mk()]);
+        c.run_until(SimTime::from_secs(49));
+        let s = &c.status()[0];
+        let ledger = c.endpoints()[0].ledger();
+        assert_eq!(s.fetch_failures, ledger.unreachable);
+        assert_eq!(s.decode_failures, ledger.corrupted + ledger.truncated);
+        assert_eq!(s.frames_ok, 50 - ledger.total());
+    }
+}

@@ -1,0 +1,328 @@
+//! Hierarchical rollup: host → tenant → fleet.
+//!
+//! The paper's histograms are pure counter vectors, so they merge
+//! losslessly ([`Histogram::merge`] is commutative and associative, and
+//! merge-of-parts equals ingest-of-union — property-tested in the histo
+//! crate). That makes fleet aggregation *exact*: the root of the rollup
+//! tree carries precisely the sum of its leaves, bin for bin, and
+//! [`FleetView::conserves`] re-derives the tree from the leaves to prove
+//! it. No sketches, no sampling error — the same numbers vCenter would
+//! show for one host, summed across thousands.
+
+use crate::wire::{layout_of, slot_index, slots, TargetHistograms, SLOTS_PER_TARGET};
+use histo::{Histogram, MergeError};
+use std::collections::BTreeMap;
+use vscsi_stats::{Lens, Metric};
+
+/// Identifies a simulated host within the fleet.
+pub type HostId = u64;
+
+/// Identifies a tenant (a group of hosts rolled up together).
+pub type TenantId = u64;
+
+/// A full metric × lens histogram set, mergeable with any other — the
+/// aggregation state of one rollup node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSet {
+    histograms: Vec<Histogram>,
+}
+
+impl Default for AggSet {
+    fn default() -> Self {
+        AggSet::new()
+    }
+}
+
+impl AggSet {
+    /// An empty set: one zeroed histogram per slot, in [`slots`] order.
+    pub fn new() -> Self {
+        AggSet {
+            histograms: slots()
+                .map(|(metric, _)| Histogram::new(layout_of(metric).edges()))
+                .collect(),
+        }
+    }
+
+    /// The histogram for one (metric, lens) slot.
+    pub fn histogram(&self, metric: Metric, lens: Lens) -> &Histogram {
+        &self.histograms[slot_index(metric, lens)]
+    }
+
+    /// All slots, in [`slots`] order.
+    pub fn iter(&self) -> impl Iterator<Item = &Histogram> {
+        self.histograms.iter()
+    }
+
+    /// Merges one target's decoded histogram set into this node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError::LayoutMismatch`] if the set carries the wrong
+    /// slot count or a slot whose layout disagrees — nothing is merged in
+    /// that case (the caller treats the whole frame as bad).
+    pub fn merge_target(&mut self, target: &TargetHistograms) -> Result<(), MergeError> {
+        if target.histograms.len() != SLOTS_PER_TARGET {
+            return Err(MergeError::LayoutMismatch);
+        }
+        for (mine, theirs) in self.histograms.iter().zip(&target.histograms) {
+            if mine.edges() != theirs.edges() {
+                return Err(MergeError::LayoutMismatch);
+            }
+        }
+        for (mine, theirs) in self.histograms.iter_mut().zip(&target.histograms) {
+            mine.merge(theirs).expect("layouts verified above");
+        }
+        Ok(())
+    }
+
+    /// Merges another node's whole set into this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError::LayoutMismatch`] on any slot disagreement;
+    /// nothing is merged in that case.
+    pub fn merge(&mut self, other: &AggSet) -> Result<(), MergeError> {
+        if self.histograms.len() != other.histograms.len() {
+            return Err(MergeError::LayoutMismatch);
+        }
+        for (mine, theirs) in self.histograms.iter().zip(&other.histograms) {
+            if mine.edges() != theirs.edges() {
+                return Err(MergeError::LayoutMismatch);
+            }
+        }
+        for (mine, theirs) in self.histograms.iter_mut().zip(&other.histograms) {
+            mine.merge(theirs).expect("layouts verified above");
+        }
+        Ok(())
+    }
+
+    /// Total observations across every slot.
+    pub fn total_events(&self) -> u64 {
+        self.histograms.iter().map(Histogram::total).sum()
+    }
+
+    /// `true` when every slot's counters, totals, sums, and min/max match.
+    pub fn same_counters(&self, other: &AggSet) -> bool {
+        self == other
+    }
+}
+
+/// One rollup node: an aggregated histogram set plus how much it covers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RollupNode {
+    /// The merged histograms.
+    pub agg: AggSet,
+    /// Distinct (VM, disk) targets under this node.
+    pub targets: usize,
+    /// Hosts contributing to this node.
+    pub hosts: usize,
+}
+
+/// One host's contribution to a view: its latest good snapshot plus
+/// liveness metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostView {
+    /// The host.
+    pub host: HostId,
+    /// Its tenant.
+    pub tenant: TenantId,
+    /// `true` if the host missed enough polls that its snapshot is no
+    /// longer trusted — stale hosts are excluded from fleet/tenant sums.
+    pub stale: bool,
+    /// Targets in the host's latest good snapshot.
+    pub targets: usize,
+    /// Latest good snapshot (empty if the host never answered).
+    pub agg: AggSet,
+    /// Virtual-clock capture time of that snapshot, microseconds.
+    pub captured_at_us: u64,
+}
+
+/// A consistent fleet picture assembled from the latest good snapshot of
+/// every live host: the fleet root, per-tenant nodes, and per-host leaves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetView {
+    /// Poll-window index (virtual time / poll interval) the view was
+    /// assembled in.
+    pub window: u64,
+    /// The root: every live host merged.
+    pub fleet: RollupNode,
+    /// Tenant-level nodes, keyed by tenant.
+    pub tenants: BTreeMap<TenantId, RollupNode>,
+    /// Per-host leaves, including stale ones (marked, not merged).
+    pub hosts: Vec<HostView>,
+}
+
+impl FleetView {
+    /// Assembles the tree from per-host leaves. Stale hosts are carried in
+    /// [`FleetView::hosts`] but contribute nothing to tenant or fleet
+    /// nodes.
+    pub fn assemble(window: u64, hosts: Vec<HostView>) -> FleetView {
+        let mut fleet = RollupNode::default();
+        let mut tenants: BTreeMap<TenantId, RollupNode> = BTreeMap::new();
+        for h in hosts.iter().filter(|h| !h.stale) {
+            let tenant = tenants.entry(h.tenant).or_default();
+            for node in [&mut fleet, tenant] {
+                node.agg
+                    .merge(&h.agg)
+                    .expect("hosts share the slot layouts");
+                node.targets += h.targets;
+                node.hosts += 1;
+            }
+        }
+        FleetView {
+            window,
+            fleet,
+            tenants,
+            hosts,
+        }
+    }
+
+    /// Exact conservation: re-derives every tenant node and the fleet root
+    /// from the per-host leaves and compares whole histogram states
+    /// (counters, totals, sums, min/max). Also checks the tenant layer
+    /// partitions the fleet: summed tenant nodes equal the root.
+    pub fn conserves(&self) -> bool {
+        let rebuilt = FleetView::assemble(self.window, self.hosts.clone());
+        if rebuilt.fleet != self.fleet || rebuilt.tenants != self.tenants {
+            return false;
+        }
+        let mut tenant_sum = AggSet::new();
+        let mut tenant_targets = 0usize;
+        for node in self.tenants.values() {
+            if tenant_sum.merge(&node.agg).is_err() {
+                return false;
+            }
+            tenant_targets += node.targets;
+        }
+        tenant_sum == self.fleet.agg && tenant_targets == self.fleet.targets
+    }
+
+    /// Hosts currently marked stale.
+    pub fn stale_hosts(&self) -> usize {
+        self.hosts.iter().filter(|h| h.stale).count()
+    }
+
+    /// A compact human-readable summary: fleet totals, per-tenant totals,
+    /// and staleness — the "fleet view" surface the CLI dumps.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet: {} host(s) live, {} stale, {} target(s), {} event(s)",
+            self.fleet.hosts,
+            self.stale_hosts(),
+            self.fleet.targets,
+            self.fleet.agg.total_events(),
+        );
+        for (tenant, node) in &self.tenants {
+            let _ = writeln!(
+                out,
+                "  tenant {tenant}: {} host(s), {} target(s), {} event(s)",
+                node.hosts,
+                node.targets,
+                node.agg.total_events(),
+            );
+        }
+        let lat = self.fleet.agg.histogram(Metric::Latency, Lens::All);
+        if !lat.is_empty() {
+            let _ = writeln!(out, "fleet latency (all):");
+            let _ = writeln!(out, "{lat}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::slots;
+    use vscsi::{TargetId, VDiskId, VmId};
+
+    fn target_set(seed: i64) -> TargetHistograms {
+        let mut histograms = Vec::new();
+        for (metric, _) in slots() {
+            let mut h = Histogram::new(layout_of(metric).edges());
+            h.record(seed);
+            h.record(seed * 3 + 1);
+            histograms.push(h);
+        }
+        TargetHistograms {
+            target: TargetId::new(VmId(0), VDiskId(0)),
+            histograms,
+        }
+    }
+
+    fn host(id: HostId, tenant: TenantId, seeds: &[i64], stale: bool) -> HostView {
+        let mut agg = AggSet::new();
+        for &s in seeds {
+            agg.merge_target(&target_set(s)).unwrap();
+        }
+        HostView {
+            host: id,
+            tenant,
+            stale,
+            targets: seeds.len(),
+            agg,
+            captured_at_us: 0,
+        }
+    }
+
+    #[test]
+    fn assemble_sums_exactly_and_conserves() {
+        let hosts = vec![
+            host(0, 0, &[5, 9], false),
+            host(1, 0, &[100], false),
+            host(2, 1, &[7, 8, 2000], false),
+        ];
+        let view = FleetView::assemble(3, hosts);
+        assert_eq!(view.fleet.hosts, 3);
+        assert_eq!(view.fleet.targets, 6);
+        assert_eq!(view.tenants.len(), 2);
+        // 6 target sets × SLOTS_PER_TARGET slots × 2 records each.
+        assert_eq!(
+            view.fleet.agg.total_events(),
+            6 * SLOTS_PER_TARGET as u64 * 2
+        );
+        assert!(view.conserves());
+    }
+
+    #[test]
+    fn stale_hosts_are_reported_but_not_merged() {
+        let hosts = vec![host(0, 0, &[5], false), host(1, 0, &[9], true)];
+        let view = FleetView::assemble(0, hosts);
+        assert_eq!(view.fleet.hosts, 1);
+        assert_eq!(view.stale_hosts(), 1);
+        assert_eq!(view.fleet.agg.total_events(), SLOTS_PER_TARGET as u64 * 2);
+        assert!(view.conserves());
+    }
+
+    #[test]
+    fn merge_target_rejects_short_sets_atomically() {
+        let mut agg = AggSet::new();
+        let mut bad = target_set(5);
+        bad.histograms.pop();
+        assert_eq!(agg.merge_target(&bad), Err(MergeError::LayoutMismatch));
+        assert_eq!(agg.total_events(), 0, "nothing was merged");
+    }
+
+    #[test]
+    fn merge_rejects_layout_mismatch_atomically() {
+        let mut agg = AggSet::new();
+        agg.merge_target(&target_set(1)).unwrap();
+        let before = agg.clone();
+        let mut other = AggSet::new();
+        other.histograms[0] = Histogram::with_edges(vec![1]).unwrap();
+        assert_eq!(agg.merge(&other), Err(MergeError::LayoutMismatch));
+        assert_eq!(agg, before);
+    }
+
+    #[test]
+    fn render_mentions_tenants_and_staleness() {
+        let view = FleetView::assemble(0, vec![host(0, 7, &[64], false), host(1, 8, &[9], true)]);
+        let text = view.render();
+        assert!(text.contains("tenant 7"));
+        assert!(text.contains("1 stale"));
+        assert!(text.contains("fleet latency"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Property tests for the fleet plane: the wire format round-trips
+//! bit-exactly for arbitrary histogram states, and the collector survives
+//! arbitrary corruption with exact per-host failure accounting.
+
+use fleet::{
+    decode_frame, encode_frame, layout_of, slots, FetchError, FleetCollector, FrameEndpoint,
+    HostFrame, PollConfig, TargetHistograms, SLOTS_PER_TARGET,
+};
+use histo::Histogram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use simkit::{SimDuration, SimTime};
+use vscsi::{TargetId, VDiskId, VmId};
+
+/// An arbitrary but *valid* full slot set for one target: per-slot counts
+/// are free, the exact sum is free, and min/max are present (ordered) iff
+/// occupied — exactly the states a live collector slab can reach. All 21
+/// slots are carved from one flat counter vector so each slot gets its own
+/// layout's bin count.
+fn arb_target() -> impl Strategy<Value = TargetHistograms> {
+    let total_bins: usize = slots()
+        .map(|(metric, _)| layout_of(metric).edges().bin_count())
+        .sum();
+    (
+        any::<u32>(),
+        any::<u32>(),
+        vec(0u64..1_000_000u64, total_bins),
+        vec(any::<(i64, i64, i64)>(), SLOTS_PER_TARGET),
+    )
+        .prop_map(|(vm, disk, all_counts, seeds)| {
+            let mut offset = 0;
+            let histograms = slots()
+                .zip(seeds)
+                .map(|((metric, _), (sum, m1, m2))| {
+                    let edges = layout_of(metric).edges();
+                    let bins = edges.bin_count();
+                    let counts = all_counts[offset..offset + bins].to_vec();
+                    offset += bins;
+                    let occupied = counts.iter().any(|&c| c > 0);
+                    let min_max = occupied.then(|| (m1.min(m2), m1.max(m2)));
+                    let sum = if occupied { i128::from(sum) } else { 0 };
+                    Histogram::from_parts(edges.clone(), counts, sum, min_max)
+                })
+                .collect();
+            TargetHistograms {
+                target: TargetId::new(VmId(vm), VDiskId(disk)),
+                histograms,
+            }
+        })
+}
+
+fn arb_frame() -> impl Strategy<Value = HostFrame> {
+    (any::<u64>(), any::<u64>(), vec(arb_target(), 0..4)).prop_map(
+        |(host_id, captured_at_us, targets)| HostFrame {
+            host_id,
+            captured_at_us,
+            targets,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode → encode is the identity on both the frame and
+    /// the bytes, for arbitrary histogram states.
+    #[test]
+    fn encode_decode_is_bit_exact(frame in arb_frame()) {
+        let bytes = encode_frame(&frame).unwrap();
+        let back = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(&back, &frame);
+        prop_assert_eq!(encode_frame(&back).unwrap(), bytes);
+    }
+
+    /// Any truncation of a valid frame is rejected, never mis-decoded.
+    #[test]
+    fn truncations_never_decode(frame in arb_frame(), cut in any::<prop::sample::Index>()) {
+        let bytes = encode_frame(&frame).unwrap();
+        let cut = cut.index(bytes.len());
+        prop_assert!(decode_frame(&bytes[..cut]).is_err());
+    }
+
+    /// Any single-byte corruption of a valid frame is rejected — the CRC
+    /// (payload) or header checks (magic/length) catch it, without panics.
+    #[test]
+    fn byte_flips_never_decode(
+        frame in arb_frame(),
+        at in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = encode_frame(&frame).unwrap();
+        let at = at.index(bytes.len());
+        bytes[at] ^= flip;
+        prop_assert!(decode_frame(&bytes).is_err());
+    }
+
+    /// Arbitrary garbage never decodes into a frame by accident (the
+    /// magic alone rejects virtually everything) and never panics.
+    #[test]
+    fn random_bytes_never_panic(bytes in vec(any::<u8>(), 0..512)) {
+        let _ = decode_frame(&bytes);
+    }
+
+    /// A fleet poll schedule over a mixed script of good, corrupt,
+    /// truncated, and unreachable responses: every poll lands in exactly
+    /// one ledger bucket, the rollup only ever reflects good frames, and
+    /// conservation holds at every window.
+    #[test]
+    fn collector_accounts_every_fault_exactly(
+        polls in vec(0u8..4, 1..20),
+        flip in 1u8..=255,
+        at in any::<prop::sample::Index>(),
+    ) {
+        let good = {
+            let histograms = slots()
+                .map(|(metric, _)| {
+                    let mut h = Histogram::new(layout_of(metric).edges());
+                    h.record(4096);
+                    h
+                })
+                .collect();
+            encode_frame(&HostFrame {
+                host_id: 1,
+                captured_at_us: 0,
+                targets: vec![TargetHistograms {
+                    target: TargetId::new(VmId(0), VDiskId(0)),
+                    histograms,
+                }],
+            })
+            .unwrap()
+        };
+        let mut expect_ok = 0u64;
+        let mut expect_fetch = 0u64;
+        let mut expect_decode = 0u64;
+        let script: Vec<Result<Vec<u8>, FetchError>> = polls
+            .iter()
+            .map(|&kind| match kind {
+                0 => {
+                    expect_ok += 1;
+                    Ok(good.clone())
+                }
+                1 => {
+                    expect_fetch += 1;
+                    Err(FetchError { msg: "down" })
+                }
+                2 => {
+                    expect_decode += 1;
+                    let mut bad = good.clone();
+                    let i = at.index(bad.len());
+                    bad[i] ^= flip;
+                    Ok(bad)
+                }
+                _ => {
+                    expect_decode += 1;
+                    Ok(good[..at.index(good.len())].to_vec())
+                }
+            })
+            .collect();
+        let windows = script.len() as u64;
+        let config = PollConfig {
+            interval: SimDuration::from_secs(1),
+            stale_after: 2,
+        };
+        let mut collector = FleetCollector::new(config, vec![FrameEndpoint::new(1, 0, script)]);
+        for w in 0..windows {
+            let now = SimTime::from_secs(w);
+            collector.run_until(now);
+            let view = collector.view(now);
+            prop_assert!(view.conserves());
+            prop_assert!(view.fleet.hosts + view.stale_hosts() == 1);
+        }
+        let status = &collector.status()[0];
+        prop_assert_eq!(status.frames_ok, expect_ok);
+        prop_assert_eq!(status.fetch_failures, expect_fetch);
+        prop_assert_eq!(status.decode_failures, expect_decode);
+        prop_assert_eq!(status.polls(), windows);
+        // The rollup reflects good frames only: if the host ever answered,
+        // its snapshot is the good frame's aggregate, untouched by faults.
+        if expect_ok > 0 {
+            prop_assert_eq!(
+                status.agg().total_events(),
+                SLOTS_PER_TARGET as u64
+            );
+        } else {
+            prop_assert_eq!(status.agg().total_events(), 0);
+        }
+    }
+}

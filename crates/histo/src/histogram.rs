@@ -170,6 +170,15 @@ impl Histogram {
         self.total == 0
     }
 
+    /// Exact running sum of all recorded values. This is the numerator of
+    /// [`Histogram::mean`], exposed exactly so external serializers (the
+    /// fleet wire format) and [`Histogram::from_parts`] can round-trip a
+    /// histogram bit-for-bit.
+    #[inline]
+    pub fn sum(&self) -> i128 {
+        self.sum
+    }
+
     /// Exact mean of all recorded values (`None` when empty).
     pub fn mean(&self) -> Option<f64> {
         (self.total > 0).then(|| self.sum as f64 / self.total as f64)

@@ -7,7 +7,7 @@
 //! fixed-width interval.
 
 use crate::bins::BinEdges;
-use crate::histogram::Histogram;
+use crate::histogram::{Histogram, MergeError};
 use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimTime};
 use std::fmt;
@@ -89,12 +89,20 @@ impl HistogramSeries {
     }
 
     /// Collapses the whole series into a single histogram.
-    pub fn flatten(&self) -> Histogram {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError::LayoutMismatch`] if any interval's layout
+    /// differs from the series layout. [`HistogramSeries::record`] only
+    /// ever creates intervals with the shared layout, but a series built
+    /// from untrusted serialized state can carry mismatched intervals —
+    /// flattening one must surface the error, not panic.
+    pub fn flatten(&self) -> Result<Histogram, MergeError> {
         let mut out = Histogram::new(self.edges.clone());
         for h in &self.intervals {
-            out.merge(h).expect("series intervals share one layout");
+            out.merge(h)?;
         }
-        out
+        Ok(out)
     }
 
     /// Index of the most populated bin per interval — the "ridge line" of
@@ -167,9 +175,19 @@ mod tests {
         for sec in 0..30 {
             s.record(SimTime::from_secs(sec), (sec as i64) * 7);
         }
-        let flat = s.flatten();
+        let flat = s.flatten().unwrap();
         assert_eq!(flat.total(), 30);
         assert_eq!(flat.total(), s.total());
+    }
+
+    #[test]
+    fn flatten_surfaces_layout_mismatch() {
+        // A series whose intervals disagree with the series layout can only
+        // arise from untrusted serialized state; simulate one via serde.
+        let mut s = series();
+        s.record(SimTime::from_secs(1), 5);
+        s.intervals[0] = Histogram::with_edges(vec![1, 2, 3]).unwrap();
+        assert_eq!(s.flatten(), Err(MergeError::LayoutMismatch));
     }
 
     #[test]

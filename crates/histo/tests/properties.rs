@@ -262,6 +262,117 @@ proptest! {
     }
 }
 
+/// Arbitrary registered layout.
+fn arb_layout() -> impl Strategy<Value = LayoutId> {
+    prop::sample::select(&LayoutId::ALL[..])
+}
+
+/// Arbitrary histogram over `id`'s layout, built from raw parts exactly the
+/// way an external deserializer (the fleet wire format) reassembles one:
+/// counts, exact sum, and a min/max pair present iff any count is nonzero.
+fn arb_histogram(id: LayoutId) -> impl Strategy<Value = Histogram> {
+    let edges = id.edges();
+    let bins = edges.bin_count();
+    (
+        vec(0u64..1_000_000u64, bins),
+        any::<i64>(),
+        any::<i64>(),
+        any::<i64>(),
+    )
+        .prop_map(move |(counts, sum, m1, m2)| {
+            let occupied = counts.iter().any(|&c| c > 0);
+            let min_max = occupied.then(|| (m1.min(m2), m1.max(m2)));
+            let sum = if occupied { i128::from(sum) } else { 0 };
+            Histogram::from_parts(id.edges(), counts, sum, min_max)
+        })
+}
+
+proptest! {
+    /// Merge is commutative: a ⊕ b == b ⊕ a, for the *whole* state —
+    /// counts, total, exact sum, and min/max — not just the counters.
+    #[test]
+    fn merge_commutes(
+        (a, b) in arb_layout().prop_flat_map(|id| (arb_histogram(id), arb_histogram(id))),
+    ) {
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn merge_associates(
+        (a, b, c) in arb_layout().prop_flat_map(|id| {
+            (arb_histogram(id), arb_histogram(id), arb_histogram(id))
+        }),
+    ) {
+        let mut left = a.clone();
+        left.merge(&b).unwrap();
+        left.merge(&c).unwrap();
+        let mut bc = b.clone();
+        bc.merge(&c).unwrap();
+        let mut right = a.clone();
+        right.merge(&bc).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    /// The empty histogram is a two-sided identity, and in particular never
+    /// clobbers the other side's min/max or sum.
+    #[test]
+    fn empty_is_merge_identity(a in arb_layout().prop_flat_map(arb_histogram)) {
+        let empty = Histogram::new(a.edges().clone());
+        let mut l = a.clone();
+        l.merge(&empty).unwrap();
+        prop_assert_eq!(&l, &a);
+        let mut r = empty.clone();
+        r.merge(&a).unwrap();
+        prop_assert_eq!(&r, &a);
+    }
+
+    /// Merging separately ingested parts equals ingesting the union — for
+    /// any number of parts, including empty ones, and for the exact sum,
+    /// min, and max, not only the counters. This is the invariant the
+    /// fleet rollup tree (host → tenant → fleet) rests on.
+    #[test]
+    fn merge_of_parts_equals_ingest_of_union(
+        parts in vec(vec(-1_000_000i64..1_000_000, 0..80), 1..6),
+    ) {
+        let edges = layouts::seek_distance_sectors();
+        let mut union = Histogram::new(edges.clone());
+        let mut merged = Histogram::new(edges.clone());
+        for part in &parts {
+            let mut h = Histogram::new(edges.clone());
+            for &v in part {
+                h.record(v);
+                union.record(v);
+            }
+            merged.merge(&h).unwrap();
+        }
+        prop_assert_eq!(&merged, &union);
+        prop_assert_eq!(merged.sum(), union.sum());
+        prop_assert_eq!(merged.min(), union.min());
+        prop_assert_eq!(merged.max(), union.max());
+    }
+
+    /// Merging across different layouts is always rejected and leaves the
+    /// receiver untouched.
+    #[test]
+    fn merge_layout_mismatch_rejected(
+        (a_id, b_id) in (arb_layout(), arb_layout()),
+        values in vec(0i64..100_000, 0..40),
+    ) {
+        prop_assume!(a_id.edges() != b_id.edges());
+        let mut a = Histogram::new(a_id.edges());
+        for &v in &values { a.record(v); }
+        let before = a.clone();
+        let b = Histogram::new(b_id.edges());
+        prop_assert_eq!(a.merge(&b), Err(histo::MergeError::LayoutMismatch));
+        prop_assert_eq!(a, before);
+    }
+}
+
 /// Deterministic batch-binning companion: every registered layout, probing
 /// each exact edge and its neighbours *through the batched path*, so the
 /// bin-boundary compares are pinned lane-for-lane against the scalar

@@ -29,8 +29,19 @@
 //! the crate never produces — import/replay enforce both-or-neither)
 //! decodes as `complete_seq: Some(serial)`.
 
-use crate::varint::{apply_delta, decode_u64, delta, encode_u64};
 use std::fmt;
+
+/// The codec's integer primitives, re-exported as a public, stable API.
+///
+/// These are the building blocks of every multi-byte field in the trace
+/// format — LEB128 varints ([`encode_u64`]/[`decode_u64`], which reject
+/// truncated and non-canonical overlong encodings), the zigzag mapping
+/// ([`zigzag`]/[`unzigzag`]) that keeps small negative values small on the
+/// wire, and wrapping zigzagged deltas ([`delta`]/[`apply_delta`]) that
+/// round-trip *any* `u64` pair. Other wire formats in the workspace — the
+/// fleet aggregation plane's `FetchAllHistograms` frames in particular —
+/// reuse them instead of duplicating the bit-twiddling.
+pub use crate::varint::{apply_delta, decode_u64, delta, encode_u64, unzigzag, zigzag};
 use vscsi::{IoDirection, Lba, TargetId, VDiskId, VmId};
 use vscsi_stats::TraceRecord;
 
@@ -50,23 +61,12 @@ pub const MAX_RECORD_BYTES: usize = 72;
 
 /// Per-block delta baseline. Every block starts from this fixed state so
 /// blocks decode independently of each other.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct DeltaState {
     serial: u64,
     lba: u64,
     issue_ns: u64,
     target: TargetId,
-}
-
-impl Default for DeltaState {
-    fn default() -> Self {
-        DeltaState {
-            serial: 0,
-            lba: 0,
-            issue_ns: 0,
-            target: TargetId::default(),
-        }
-    }
 }
 
 fn encode_record(out: &mut Vec<u8>, state: &mut DeltaState, r: &TraceRecord) {

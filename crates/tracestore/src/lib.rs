@@ -11,7 +11,9 @@
 //! Three layers:
 //!
 //! * [`codec`] — varint + delta record encoding; blocks decode
-//!   independently of each other.
+//!   independently of each other. Its integer primitives (LEB128
+//!   varints, zigzag, wrapping deltas) are public via
+//!   [`codec::encode_u64`] and friends for other wire formats to reuse.
 //! * [`segment`] — the versioned on-disk format: CRC32-checksummed blocks
 //!   behind a magic-tagged header, with a reader that skips corrupt
 //!   blocks and recovers a truncated tail instead of panicking.

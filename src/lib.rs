@@ -17,7 +17,10 @@
 //! * [`vscsi_stats`] — **the paper's contribution**: the online
 //!   characterization service and tracing framework;
 //! * [`tracestore`] — durable, bounded-memory binary trace capture &
-//!   replay (streaming backend for the tracing framework).
+//!   replay (streaming backend for the tracing framework);
+//! * [`fleet`] — the aggregation plane above the hosts: the
+//!   `FetchAllHistograms` wire format plus hierarchical
+//!   host → tenant → fleet histogram rollup with exact conservation.
 //!
 //! # Examples
 //!
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub use esx;
+pub use fleet;
 pub use guests;
 pub use histo;
 pub use simkit;
@@ -49,6 +53,10 @@ pub use vscsi_stats;
 /// Commonly used items from every layer.
 pub mod prelude {
     pub use esx::{EsxTop, Simulation, Testbed, TopSample, Vm, VmBuilder};
+    pub use fleet::{
+        decode_frame, encode_frame, FleetCollector, FleetView, HostFrame, PollConfig,
+        ServiceEndpoint,
+    };
     pub use guests::{
         AccessSpec, BlockIo, Dbt2Params, Dbt2Workload, Delayed, FileCopyParams, FileCopyWorkload,
         FilebenchWorkload, IometerWorkload, Poll, ReplayWorkload, ScheduledIo, Workload,
