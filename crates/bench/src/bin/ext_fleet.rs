@@ -187,7 +187,9 @@ fn run_chaos(services: &[Arc<StatsService>], seed: u64) -> ChaosSummary {
         .into_iter()
         .map(|ep| ChaosEndpoint::new(ep, seed, 10, 10, 10))
         .collect();
-    let config = PollConfig::default();
+    // The minimal discipline (one attempt per window, no breaker) keeps
+    // the poll ↔ ledger mapping 1:1, which exact accounting needs.
+    let config = PollConfig::basic();
     let mut collector = FleetCollector::new(config, chaos_eps);
     let last = SimTime::ZERO + config.interval * (CHAOS_POLLS - 1);
     collector.run_until(last);
@@ -290,7 +292,7 @@ fn main() {
     let mut resident_bytes = 0u64;
     let mut decode_spot_ok = true;
     for (h, service) in services.iter().enumerate() {
-        let frame = HostFrame::snapshot(h as u64, 0, service);
+        let frame = HostFrame::snapshot(h as u64, 0, 1, service);
         direct_total += frame.total_events();
         let bytes = encode_frame(&frame).expect("live snapshots always encode");
         if h == 0 {

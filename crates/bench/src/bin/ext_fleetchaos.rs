@@ -1,0 +1,639 @@
+//! Extension experiment: the hardened fleet plane under chaos.
+//!
+//! Where `ext_fleet` proves the happy path conserves at scale, this bench
+//! proves the *discipline*: retry/backoff, quarantine, eviction, and
+//! restart-safe windowed rollup, with every injected fault accounted for
+//! exactly. A small fleet (24 hosts, 4 tenants) runs 16 poll windows with
+//! skewed tenants (tenant 0 carries ~half the targets) and a bursty
+//! tenant (tenant 1 ingests 6× on every fourth window), while four
+//! scripted miscreants exercise each hardening layer:
+//!
+//! * **flapper** — unreachable on odd windows: fails whole windows
+//!   (retries can't save a host that is down for the window) but never
+//!   trips the breaker, because the streak resets every even window.
+//! * **glitchy** — drops exactly the first attempt of every window: the
+//!   retry discipline rescues every single window.
+//! * **dead** — goes silent at window 4 and never returns: the breaker
+//!   opens after 3 failed windows, probes on its cadence, and the host is
+//!   evicted once it is 8 windows past its last good frame.
+//! * **restarter** — rebooted at window 8: a fresh service with a bumped
+//!   epoch (`VFLHIST2` carries it) and a reset frame sequence. The
+//!   collector re-bases, books exactly one lost window, and the restart
+//!   must merge into the windowed running total with *zero*
+//!   double-counting, bit for bit.
+//!
+//! Accounting is reconciled exactly, not approximately: every fetch
+//! failure equals an injected outage, attempts = windows attempted +
+//! retries, scheduled windows = ok + failed + suppressed, and
+//! `FleetView::conserves` holds for the cumulative, per-window, and
+//! windowed-total views at every window.
+//!
+//! Everything on **stdout** and every non-`wall_` JSON field is
+//! deterministic in the seed — CI runs the binary twice and diffs both.
+//! Wall-clock timings go to stderr and `wall_`-prefixed JSON keys only.
+//!
+//! Usage: `ext_fleetchaos [seed] [--smoke] [--json PATH | --no-json]`
+//! (seed defaults to 23, JSON to `BENCH_fleetchaos.json`).
+
+use fleet::{
+    BreakerPolicy, BreakerState, FetchError, FleetCollector, HostEndpoint, PollConfig, RetryPolicy,
+    ServiceEndpoint,
+};
+use simkit::{SimDuration, SimTime};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use vscsi::{IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId, VDiskId, VmId};
+use vscsi_stats::{CollectorConfig, StatsService, VscsiEvent};
+
+const HOSTS: u64 = 24;
+const TENANTS: u64 = 4;
+const WINDOWS: u64 = 16;
+const BURST_TENANT: u64 = 1;
+const BURST_EVERY: u64 = 4;
+const BURST_MULT: u64 = 6;
+const FLAPPER: usize = 1;
+const GLITCHY: usize = 2;
+const DEAD: usize = 3;
+const DEAD_FROM: u64 = 4;
+const RESTARTER: usize = 4;
+const RESTART_WINDOW: u64 = 8;
+const EVICT_AFTER: u64 = 8;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn tenant_of(host: u64) -> u64 {
+    host % TENANTS
+}
+
+/// Skewed target distribution: tenant 0 hosts carry 5× the targets.
+fn targets_of(host: u64, smoke: bool) -> usize {
+    let (fat, thin) = if smoke { (10, 4) } else { (40, 8) };
+    if tenant_of(host) == 0 {
+        fat
+    } else {
+        thin
+    }
+}
+
+fn fresh_service() -> Arc<StatsService> {
+    let service = Arc::new(StatsService::with_shards(CollectorConfig::default(), 4));
+    service.enable_all();
+    service
+}
+
+/// Feeds one host's service its window-`w` workload: a deterministic
+/// trickle per target, multiplied on the bursty tenant's burst windows.
+fn feed_host(service: &StatsService, seed: u64, host: u64, w: u64, smoke: bool) {
+    let burst = if tenant_of(host) == BURST_TENANT && w.is_multiple_of(BURST_EVERY) {
+        BURST_MULT
+    } else {
+        1
+    };
+    let mut events = Vec::new();
+    let mut request_id = (host << 40) | (w << 20);
+    for t in 0..targets_of(host, smoke) as u64 {
+        let target = TargetId::new(VmId(t as u32), VDiskId(0));
+        let mix0 = splitmix64(
+            seed ^ host.wrapping_mul(0x517C_C1B7_2722_0A95)
+                ^ w.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                ^ t,
+        );
+        let commands = burst * (1 + mix0 % 3);
+        let mut t_us = w * 1_000_000 + mix0 % 1_000;
+        for r in 0..commands {
+            let mix = splitmix64(mix0 ^ r);
+            let direction = if mix.is_multiple_of(3) {
+                IoDirection::Write
+            } else {
+                IoDirection::Read
+            };
+            let sectors = 8u32 << (mix % 6);
+            let lba = Lba::new((mix >> 8) % (1 << 30));
+            let latency_us = 50 + (mix >> 40) % 20_000;
+            let req = IoRequest::new(
+                RequestId(request_id),
+                target,
+                direction,
+                lba,
+                sectors,
+                SimTime::from_micros(t_us),
+            );
+            request_id += 1;
+            events.push(VscsiEvent::Issue(req));
+            events.push(VscsiEvent::Complete(IoCompletion::new(
+                req,
+                SimTime::from_micros(t_us + latency_us),
+            )));
+            t_us += 100 + mix % 5_000;
+        }
+    }
+    service.handle_batch(&events);
+}
+
+/// What kind of miscreant (if any) an endpoint is.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    None,
+    /// Unreachable on odd windows.
+    Flapper,
+    /// Drops exactly the first attempt of every window.
+    Glitchy,
+    /// Unreachable from this window on, forever.
+    DeadFrom(u64),
+}
+
+/// A bench endpoint: a live [`ServiceEndpoint`] behind a deterministic
+/// outage script, with its own exact injected-fault ledger.
+struct ChaosHost {
+    inner: ServiceEndpoint,
+    fault: Fault,
+    interval: SimDuration,
+    last_window: Option<u64>,
+    injected: u64,
+}
+
+impl ChaosHost {
+    fn new(inner: ServiceEndpoint, fault: Fault, interval: SimDuration) -> Self {
+        ChaosHost {
+            inner,
+            fault,
+            interval,
+            last_window: None,
+            injected: 0,
+        }
+    }
+
+    /// Host reboot: fresh service, fresh frame sequence.
+    fn restart(&mut self, service: Arc<StatsService>) {
+        self.inner.restart_with(service);
+    }
+}
+
+impl HostEndpoint for ChaosHost {
+    fn host_id(&self) -> u64 {
+        self.inner.host_id()
+    }
+
+    fn tenant_id(&self) -> u64 {
+        self.inner.tenant_id()
+    }
+
+    fn fetch(&mut self, now: SimTime) -> Result<Vec<u8>, FetchError> {
+        let w = now.as_nanos() / self.interval.as_nanos();
+        let first_attempt = self.last_window != Some(w);
+        self.last_window = Some(w);
+        let down = match self.fault {
+            Fault::None => false,
+            Fault::Flapper => w % 2 == 1,
+            Fault::Glitchy => first_attempt,
+            Fault::DeadFrom(from) => w >= from,
+        };
+        if down {
+            self.injected += 1;
+            return Err(FetchError::new("injected: host unreachable"));
+        }
+        self.inner.fetch(now)
+    }
+}
+
+fn check(pass: &mut bool, ok: bool, what: &str) -> bool {
+    if !ok {
+        *pass = false;
+        println!("CHECK FAILED: {what}");
+    }
+    ok
+}
+
+fn main() {
+    let mut seed: u64 = 23;
+    let mut smoke = false;
+    let mut json_path = Some(String::from("BENCH_fleetchaos.json"));
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json_path = it.next(),
+            "--no-json" => json_path = None,
+            "--smoke" => smoke = true,
+            other => seed = other.parse().unwrap_or(seed),
+        }
+    }
+    let targets_total: u64 = (0..HOSTS).map(|h| targets_of(h, smoke) as u64).sum();
+    println!(
+        "ext_fleetchaos: seed {seed}, {HOSTS} host(s) / {TENANTS} tenant(s), \
+         {targets_total} target(s), {WINDOWS} window(s)"
+    );
+    println!(
+        "scenario: flapper host {FLAPPER} (odd windows), glitchy host {GLITCHY} \
+         (first attempt each window), dead host {DEAD} (from window {DEAD_FROM}), \
+         restarter host {RESTARTER} (at window {RESTART_WINDOW})"
+    );
+
+    let interval = SimDuration::from_secs(1);
+    let config = PollConfig {
+        interval,
+        stale_after: 2,
+        evict_after: EVICT_AFTER,
+        retry: RetryPolicy {
+            attempts: 3,
+            backoff_base: SimDuration::from_millis(50),
+            backoff_max: SimDuration::from_millis(200),
+            seed,
+        },
+        breaker: BreakerPolicy {
+            open_after: 3,
+            probe_every: 2,
+        },
+    };
+
+    let mut services: Vec<Arc<StatsService>> = (0..HOSTS).map(|_| fresh_service()).collect();
+    let endpoints: Vec<ChaosHost> = (0..HOSTS)
+        .map(|h| {
+            let fault = match h as usize {
+                FLAPPER => Fault::Flapper,
+                GLITCHY => Fault::Glitchy,
+                DEAD => Fault::DeadFrom(DEAD_FROM),
+                _ => Fault::None,
+            };
+            let ep = ServiceEndpoint::new(h, tenant_of(h), Arc::clone(&services[h as usize]));
+            ChaosHost::new(ep, fault, interval)
+        })
+        .collect();
+    let mut collector = FleetCollector::new(config, endpoints);
+
+    let mut pass = true;
+    let mut pre_restart = None;
+    let t0 = Instant::now();
+    for w in 0..WINDOWS {
+        if w == RESTART_WINDOW {
+            // Reboot the restarter: its pre-restart snapshot is frozen
+            // here to prove the merge double-counts nothing.
+            pre_restart = Some(collector.status()[RESTARTER].agg().clone());
+            let fresh = fresh_service();
+            fresh.set_epoch(collector.status()[RESTARTER].epoch + 1);
+            services[RESTARTER] = Arc::clone(&fresh);
+            collector.endpoints_mut()[RESTARTER].restart(fresh);
+        }
+        for h in 0..HOSTS {
+            feed_host(&services[h as usize], seed, h, w, smoke);
+        }
+        let now = SimTime::from_secs(w);
+        collector.run_until(now);
+        let wv = collector.window_view(now);
+        check(&mut pass, wv.conserves(), "window view conserves");
+        let cv = collector.view(now);
+        check(&mut pass, cv.conserves(), "cumulative view conserves");
+        let tv = collector.windowed_total_view(now);
+        check(&mut pass, tv.conserves(), "windowed-total view conserves");
+    }
+    let wall_run_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let last = SimTime::from_secs(WINDOWS - 1);
+
+    verify_and_report(
+        &collector,
+        pre_restart.expect("restart window ran"),
+        seed,
+        targets_total,
+        smoke,
+        pass,
+        wall_run_ms,
+        last,
+        json_path.as_deref(),
+    );
+}
+
+/// Fleet-wide counter totals, summed from per-host ledgers.
+#[derive(Default)]
+struct Totals {
+    offered_windows: u64,
+    ok_windows: u64,
+    failed_windows: u64,
+    suppressed_windows: u64,
+    attempts: u64,
+    frames_ok: u64,
+    fetch_failures: u64,
+    decode_failures: u64,
+    retries: u64,
+    retry_successes: u64,
+    quarantine_entries: u64,
+    quarantine_exits: u64,
+    probe_attempts: u64,
+    probe_successes: u64,
+    probe_failures: u64,
+    epoch_bumps: u64,
+    regressions: u64,
+    lost_windows: u64,
+    bridged_windows: u64,
+    seq_rejects: u64,
+    injected: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn verify_and_report(
+    collector: &FleetCollector<ChaosHost>,
+    pre_restart: fleet::AggSet,
+    seed: u64,
+    targets_total: u64,
+    smoke: bool,
+    mut pass: bool,
+    wall_run_ms: f64,
+    last: SimTime,
+    json_path: Option<&str>,
+) {
+    let mut t = Totals::default();
+    for (s, ep) in collector.status().iter().zip(collector.endpoints()) {
+        t.offered_windows += s.windows_scheduled;
+        t.ok_windows += s.ok_windows;
+        t.failed_windows += s.failed_windows;
+        t.suppressed_windows += s.suppressed_windows;
+        t.attempts += s.polls();
+        t.frames_ok += s.frames_ok;
+        t.fetch_failures += s.fetch_failures;
+        t.decode_failures += s.decode_failures;
+        t.retries += s.retries;
+        t.retry_successes += s.retry_successes;
+        t.quarantine_entries += s.quarantine_entries;
+        t.quarantine_exits += s.quarantine_exits;
+        t.probe_attempts += s.probe_attempts;
+        t.probe_successes += s.probe_successes;
+        t.probe_failures += s.probe_failures;
+        t.epoch_bumps += s.epoch_bumps;
+        t.regressions += s.regressions;
+        t.lost_windows += s.lost_windows;
+        t.bridged_windows += s.bridged_windows;
+        t.seq_rejects += s.seq_rejects;
+        t.injected += ep.injected;
+
+        // The two per-host conservation laws, every host.
+        check(
+            &mut pass,
+            s.windows_scheduled == s.ok_windows + s.failed_windows + s.suppressed_windows,
+            "windows scheduled = ok + failed + suppressed",
+        );
+        let attempted_windows = s.windows_scheduled - s.suppressed_windows;
+        check(
+            &mut pass,
+            s.polls() == attempted_windows + s.retries,
+            "attempts = attempted windows + retries",
+        );
+        // Every fetch failure is an injected outage, exactly; the wire
+        // itself never failed.
+        check(
+            &mut pass,
+            s.fetch_failures == ep.injected,
+            "fetch failures = injected",
+        );
+        check(&mut pass, s.decode_failures == 0, "no decode failures");
+        // Restart safety, every host: the running total is exactly the
+        // banked epochs plus the live epoch, bit for bit.
+        let mut rebuilt = s.epoch_base().clone();
+        rebuilt.merge(s.agg()).expect("one layout per fleet");
+        check(
+            &mut pass,
+            rebuilt.same_counters(s.windowed_total()),
+            "windowed total = epoch base + live epoch",
+        );
+    }
+
+    // The four miscreants played their exact parts.
+    let flapper = &collector.status()[FLAPPER];
+    check(
+        &mut pass,
+        flapper.failed_windows == WINDOWS / 2,
+        "flapper fails odd windows",
+    );
+    check(
+        &mut pass,
+        flapper.retry_successes == 0,
+        "flapper windows are not rescuable",
+    );
+    check(
+        &mut pass,
+        flapper.breaker() == BreakerState::Closed,
+        "flapper never trips breaker",
+    );
+    check(
+        &mut pass,
+        flapper.bridged_windows == 7,
+        "flapper gaps bridged by even windows",
+    );
+    let glitchy = &collector.status()[GLITCHY];
+    check(
+        &mut pass,
+        glitchy.ok_windows == WINDOWS,
+        "glitchy loses no window",
+    );
+    check(
+        &mut pass,
+        glitchy.retry_successes == WINDOWS,
+        "every glitchy window rescued",
+    );
+    check(
+        &mut pass,
+        glitchy.retries == WINDOWS,
+        "one retry per glitchy window",
+    );
+    let dead = &collector.status()[DEAD];
+    check(&mut pass, dead.evicted, "dead host evicted");
+    check(
+        &mut pass,
+        dead.quarantine_entries == 1 && dead.quarantine_exits == 0,
+        "dead host quarantined once, never exits",
+    );
+    check(
+        &mut pass,
+        dead.probe_attempts == 2 && dead.probe_failures == 2,
+        "dead host probed twice, both fail",
+    );
+    check(
+        &mut pass,
+        dead.suppressed_windows == 3,
+        "dead host suppressed windows",
+    );
+    check(
+        &mut pass,
+        dead.windows_scheduled == 12,
+        "dead host polling stops at eviction",
+    );
+    let restarter = &collector.status()[RESTARTER];
+    check(
+        &mut pass,
+        restarter.epoch_bumps == 1 && restarter.regressions == 0,
+        "restart detected by wire epoch, not regression",
+    );
+    check(
+        &mut pass,
+        restarter.lost_windows == 1,
+        "restart loses exactly the death window",
+    );
+    check(&mut pass, restarter.epoch == 1, "restarter epoch advanced");
+    check(
+        &mut pass,
+        restarter.seq_rejects == 0,
+        "seq restart is not a replay",
+    );
+    check(
+        &mut pass,
+        restarter.epoch_base().same_counters(&pre_restart),
+        "banked epoch is the pre-restart snapshot, bit for bit",
+    );
+    let mut merged = pre_restart.clone();
+    merged.merge(restarter.agg()).expect("one layout per fleet");
+    check(
+        &mut pass,
+        merged.same_counters(restarter.windowed_total()),
+        "post-restart deltas merge without double-counting",
+    );
+
+    // Final views.
+    let cv = collector.view(last);
+    let tv = collector.windowed_total_view(last);
+    check(
+        &mut pass,
+        cv.conserves() && tv.conserves(),
+        "final views conserve",
+    );
+    check(&mut pass, cv.evicted == 1, "eviction booked in the view");
+    check(
+        &mut pass,
+        cv.hosts.len() == HOSTS as usize - 1,
+        "evicted host has no leaf",
+    );
+
+    println!(
+        "windows: offered {} = ok {} + failed {} + suppressed {}",
+        t.offered_windows, t.ok_windows, t.failed_windows, t.suppressed_windows
+    );
+    println!(
+        "attempts: {} = attempted windows {} + retries {} (rescued {})",
+        t.attempts,
+        t.offered_windows - t.suppressed_windows,
+        t.retries,
+        t.retry_successes
+    );
+    println!(
+        "faults: injected {} = fetch failures {} (decode failures {})",
+        t.injected, t.fetch_failures, t.decode_failures
+    );
+    println!(
+        "quarantine: {} entered / {} exited, probes {} (ok {} / fail {}), evicted {}",
+        t.quarantine_entries,
+        t.quarantine_exits,
+        t.probe_attempts,
+        t.probe_successes,
+        t.probe_failures,
+        collector.evicted_hosts(),
+    );
+    println!(
+        "epochs: {} bump(s) ({} by regression), lost {} window(s), bridged {}, seq rejects {}",
+        t.epoch_bumps, t.regressions, t.lost_windows, t.bridged_windows, t.seq_rejects
+    );
+    println!(
+        "fleet events: cumulative {} / windowed total {}",
+        cv.fleet.agg.total_events(),
+        tv.fleet.agg.total_events()
+    );
+    print!("{}", collector.render_status(last));
+    println!("{}", if pass { "PASS" } else { "FAIL" });
+    eprintln!("wall: run {wall_run_ms:.1} ms");
+
+    if let Some(path) = json_path {
+        let json = bench_json(
+            seed,
+            targets_total,
+            smoke,
+            &t,
+            collector,
+            &cv,
+            &tv,
+            pass,
+            wall_run_ms,
+        );
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: writing {path}: {e}");
+        } else {
+            eprintln!("wrote {path}");
+        }
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bench_json(
+    seed: u64,
+    targets_total: u64,
+    smoke: bool,
+    t: &Totals,
+    collector: &FleetCollector<ChaosHost>,
+    cv: &fleet::FleetView,
+    tv: &fleet::FleetView,
+    pass: bool,
+    wall_run_ms: f64,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"fleet_chaos\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"hosts\": {HOSTS},");
+    let _ = writeln!(out, "  \"tenants\": {TENANTS},");
+    let _ = writeln!(out, "  \"targets\": {targets_total},");
+    let _ = writeln!(out, "  \"windows\": {WINDOWS},");
+    let _ = writeln!(
+        out,
+        "  \"windows_ledger\": {{\"offered\": {}, \"ok\": {}, \"failed\": {}, \"suppressed\": {}}},",
+        t.offered_windows, t.ok_windows, t.failed_windows, t.suppressed_windows
+    );
+    let _ = writeln!(
+        out,
+        "  \"attempts_ledger\": {{\"attempts\": {}, \"frames_ok\": {}, \"fetch_failures\": {}, \
+         \"decode_failures\": {}, \"retries\": {}, \"retry_successes\": {}, \"injected\": {}}},",
+        t.attempts,
+        t.frames_ok,
+        t.fetch_failures,
+        t.decode_failures,
+        t.retries,
+        t.retry_successes,
+        t.injected
+    );
+    let _ = writeln!(
+        out,
+        "  \"breaker\": {{\"entries\": {}, \"exits\": {}, \"probes\": {}, \"probe_ok\": {}, \
+         \"probe_fail\": {}, \"evicted\": {}}},",
+        t.quarantine_entries,
+        t.quarantine_exits,
+        t.probe_attempts,
+        t.probe_successes,
+        t.probe_failures,
+        collector.evicted_hosts()
+    );
+    let _ = writeln!(
+        out,
+        "  \"epochs\": {{\"bumps\": {}, \"regressions\": {}, \"lost_windows\": {}, \
+         \"bridged_windows\": {}, \"seq_rejects\": {}}},",
+        t.epoch_bumps, t.regressions, t.lost_windows, t.bridged_windows, t.seq_rejects
+    );
+    let _ = writeln!(
+        out,
+        "  \"events\": {{\"cumulative\": {}, \"windowed_total\": {}}},",
+        cv.fleet.agg.total_events(),
+        tv.fleet.agg.total_events()
+    );
+    let _ = writeln!(
+        out,
+        "  \"conserved\": {},",
+        cv.conserves() && tv.conserves()
+    );
+    let _ = writeln!(out, "  \"pass\": {pass},");
+    let _ = writeln!(out, "  \"wall_run_ms\": {wall_run_ms:.3}");
+    let _ = writeln!(out, "}}");
+    out
+}

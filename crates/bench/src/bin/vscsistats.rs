@@ -413,9 +413,52 @@ fn main() {
         }
     }
     if let Some(service) = fetch_service {
+        // Round-trip the dump through the fleet wire format before
+        // printing: what this prints is exactly what a fleet collector
+        // would decode. Any wire fault is a hard error, not a silent
+        // drop — the frame detail goes to stderr and the exit is nonzero.
+        let frame = fleet::HostFrame::snapshot(0, 0, 1, &service);
+        let bytes = match fleet::encode_frame(&frame) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                eprintln!("error: fetchallhistograms: encode: {e}");
+                std::process::exit(1);
+            }
+        };
+        match fleet::decode_frame(&bytes) {
+            Ok(back) if back == frame => {}
+            Ok(_) => {
+                eprintln!(
+                    "error: fetchallhistograms: frame round-trip mismatch \
+                     ({} bytes, {} target(s))",
+                    bytes.len(),
+                    frame.targets.len()
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!(
+                    "error: fetchallhistograms: decode: {e} ({} bytes, {} target(s))",
+                    bytes.len(),
+                    frame.targets.len()
+                );
+                std::process::exit(1);
+            }
+        }
         match service.command("fetchallhistograms") {
-            Ok(dump) => print!("{dump}"),
-            Err(e) => eprintln!("error: fetchallhistograms: {e}"),
+            Ok(dump) => {
+                print!("{dump}");
+                println!(
+                    "wire: VFLHIST2 frame ok ({} bytes, epoch {}, {} target(s))",
+                    bytes.len(),
+                    frame.epoch,
+                    frame.targets.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("error: fetchallhistograms: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -356,6 +356,13 @@ pub struct StatsService {
     /// Watchdog trips against shards: stuck supervised ingests spotted by
     /// [`Self::watchdog_check`] plus readers that gave up on a shard lock.
     shard_watchdog_trips: AtomicU64,
+    /// Restart epoch: bumped whenever the service's cumulative counters
+    /// regress on purpose (a [`Self::reset_all`], or a simulated host
+    /// restart installing a fresh service via [`Self::set_epoch`]). The
+    /// fleet plane ships this in every `VFLHIST2` frame so collectors can
+    /// re-base per-window deltas instead of mistaking the regression for
+    /// corruption.
+    epoch: AtomicU64,
     /// Power-of-two shard table; `shards.len() - 1` is the index mask.
     shards: Box<[Shard]>,
 }
@@ -391,6 +398,7 @@ impl StatsService {
             salvages: Mutex::new(Vec::new()),
             salvages_total: AtomicU64::new(0),
             shard_watchdog_trips: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
             shards: shards.into_boxed_slice(),
         }
     }
@@ -434,6 +442,22 @@ impl StatsService {
     /// Whether collection is currently on.
     pub fn is_enabled(&self) -> bool {
         self.enabled.load(Ordering::Acquire)
+    }
+
+    /// The service's restart epoch. Starts at 0; every counter regression
+    /// the service performs on purpose ([`Self::reset_all`]) bumps it, and
+    /// a simulated host restart carries it forward via [`Self::set_epoch`].
+    /// Fleet frames embed it so downstream windowed rollups re-base
+    /// exactly once per restart.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Sets the restart epoch — used when a fresh service instance stands
+    /// in for a restarted host and must advertise a later epoch than its
+    /// predecessor.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Release);
     }
 
     /// Starts command tracing for one target with the given capacity.
@@ -923,7 +947,12 @@ impl StatsService {
     /// Resets histograms for every target, one shard at a time. With the
     /// sentinel armed, a shard held by a stuck writer is skipped (and
     /// counted as a watchdog trip) rather than wedging the reset.
+    ///
+    /// A reset is a deliberate cumulative-counter regression, so it bumps
+    /// the service [`epoch`](Self::epoch): fleet collectors re-base their
+    /// windowed deltas instead of booking the drop as corruption.
     pub fn reset_all(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
         for shard in self.shards.iter() {
             let Some(mut state) = self.read_state(shard) else {
                 continue;
@@ -1058,8 +1087,9 @@ impl StatsService {
                 Ok("vscsiStats: histograms reset".to_owned())
             }
             "status" => Ok(format!(
-                "vscsiStats: collection {}",
-                if self.is_enabled() { "ON" } else { "OFF" }
+                "vscsiStats: collection {} (epoch {})",
+                if self.is_enabled() { "ON" } else { "OFF" },
+                self.epoch(),
             )),
             "health" => Ok(self.health_snapshot().render()),
             // vCenter spells it FetchAllHistograms; accept any casing.
@@ -1239,7 +1269,9 @@ mod tests {
         assert!(s.command("status").unwrap().contains("ON"));
         s.handle_issue(&req(TargetId::default(), 0, 0));
         assert!(s.command("list").unwrap().contains("vm0"));
+        assert!(s.command("status").unwrap().contains("epoch 0"));
         s.command("reset").unwrap();
+        assert!(s.command("status").unwrap().contains("epoch 1"));
         s.command("stop").unwrap();
         assert!(!s.is_enabled());
         assert!(s.command("bogus").is_err());
@@ -1247,6 +1279,17 @@ mod tests {
             StatsService::default().command("list").unwrap(),
             "no targets\n"
         );
+    }
+
+    #[test]
+    fn reset_bumps_epoch_and_set_epoch_overrides() {
+        let s = StatsService::default();
+        assert_eq!(s.epoch(), 0);
+        s.reset_all();
+        s.reset_all();
+        assert_eq!(s.epoch(), 2, "every reset is one announced regression");
+        s.set_epoch(9);
+        assert_eq!(s.epoch(), 9);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub struct EsxTop {
     samples: Vec<TopSample>,
     health: HealthSnapshot,
     fetch_all: String,
+    epoch: u64,
 }
 
 impl EsxTop {
@@ -76,15 +77,15 @@ impl EsxTop {
         let intervals = (measure.as_nanos() / interval.as_nanos()).max(1);
         for k in 0..intervals {
             sim.run_until(measure_start + interval * (k + 1));
-            for i in 0..sim.attachment_count() {
+            for (i, prev) in last.iter_mut().enumerate() {
                 let s = sim.attachment_stats(i);
-                let (c0, b0, l0, e0, r0) = last[i];
+                let (c0, b0, l0, e0, r0) = *prev;
                 let dc = s.completed - c0;
                 let db = s.bytes - b0;
                 let dl = s.latency_sum_us - l0;
                 let de = s.failed + s.aborted - e0;
                 let dr = s.retries - r0;
-                last[i] = (
+                *prev = (
                     s.completed,
                     s.bytes,
                     s.latency_sum_us,
@@ -108,11 +109,13 @@ impl EsxTop {
             .service()
             .command("fetchallhistograms")
             .unwrap_or_default();
+        let epoch = sim.service().epoch();
         EsxTop {
             interval,
             samples,
             health,
             fetch_all,
+            epoch,
         }
     }
 
@@ -128,6 +131,16 @@ impl EsxTop {
     /// full fidelity or under load shedding.
     pub fn health(&self) -> &HealthSnapshot {
         &self.health
+    }
+
+    /// The stats-service counter epoch at the end of the measurement
+    /// window. A nonzero epoch means counters were deliberately reset
+    /// mid-run (each `reset_all` bumps it); fleet consumers use it to
+    /// re-base windowed deltas instead of mistaking the reset for
+    /// regression. Shown so operators can tell "counters restarted"
+    /// apart from "host went quiet".
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The `FetchAllHistograms` dump captured at the end of the
@@ -261,6 +274,27 @@ mod tests {
         assert!(top
             .fetch_all_histograms()
             .starts_with("FetchAllHistograms: 0 target(s)"));
+    }
+
+    #[test]
+    fn epoch_rides_along_and_tracks_resets() {
+        let mut s = sim();
+        s.service().enable_all();
+        let top = EsxTop::run(
+            &mut s,
+            SimDuration::ZERO,
+            SimDuration::from_millis(200),
+            SimDuration::from_millis(200),
+        );
+        assert_eq!(top.epoch(), 0, "no resets, epoch 0");
+        s.service().reset_all();
+        let top = EsxTop::run(
+            &mut s,
+            SimDuration::ZERO,
+            SimDuration::from_millis(200),
+            SimDuration::from_millis(200),
+        );
+        assert_eq!(top.epoch(), 1, "one reset bumps the epoch");
     }
 
     #[test]

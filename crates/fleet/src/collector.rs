@@ -20,6 +20,29 @@
 //! is the graceful-degradation contract: one wedged host (or one flaky
 //! wire) costs the fleet view that host's slice, never the rollup's
 //! integrity and never a panic.
+//!
+//! On top of that sits the hardened fetch discipline:
+//!
+//! * **retry/backoff** ([`RetryPolicy`]) — each window gets a bounded
+//!   attempt budget with exponential backoff and deterministic
+//!   splitmix64 jitter, pure in `(seed, host, window, attempt)`; backoff
+//!   never crosses the window edge.
+//! * **quarantine** ([`BreakerPolicy`]) — after N consecutive failed
+//!   windows a host's breaker opens: its windows are *suppressed* (no
+//!   fetch) except for periodic half-open probes. Entries, exits, probe
+//!   outcomes, and suppressed windows are ledgered exactly; dead hosts
+//!   past [`PollConfig::evict_after`] are evicted from the live view
+//!   with the eviction booked in [`FleetView::evicted`].
+//! * **restart-safe windowed rollup** — every good frame yields a
+//!   per-window *delta* against the previous snapshot. A wire-epoch
+//!   change ([`crate::wire::HostFrame::epoch`]) or a bin-count
+//!   regression re-bases the chain: the dead epoch's last snapshot is
+//!   banked, unrecoverable windows are booked `lost_windows`, and the
+//!   running total ([`HostStatus::windowed_total`]) stays exact across
+//!   restarts — no double-counting, no silent regression. Per-window
+//!   delta views ([`FleetCollector::window_view`]) and the running-total
+//!   view ([`FleetCollector::windowed_total_view`]) sit alongside the
+//!   cumulative tree.
 
 use crate::rollup::{AggSet, FleetView, HostId, HostView, TenantId};
 use crate::wire::{decode_frame, encode_frame, HostFrame, WireError};
@@ -29,15 +52,40 @@ use std::sync::Arc;
 use vscsi_stats::StatsService;
 
 /// A fetch-side failure: the host could not be reached at all.
+///
+/// Endpoints raise it without a window (`FetchError::new`); the
+/// collector stamps the poll window it observed the failure in
+/// (`at_window`), so `last_error` diagnostics in bench/CLI output are
+/// greppable by window index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FetchError {
     /// Why the fetch failed.
     pub msg: &'static str,
+    /// The poll window the collector observed the failure in, if known.
+    pub window: Option<u64>,
+}
+
+impl FetchError {
+    /// An unstamped failure, as endpoints raise them.
+    pub fn new(msg: &'static str) -> Self {
+        FetchError { msg, window: None }
+    }
+
+    /// The same failure stamped with the poll window it landed in.
+    pub fn at_window(self, window: u64) -> Self {
+        FetchError {
+            msg: self.msg,
+            window: Some(window),
+        }
+    }
 }
 
 impl std::fmt::Display for FetchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "fleet fetch: {}", self.msg)
+        match self.window {
+            Some(w) => write!(f, "fleet fetch [window {w}]: {}", self.msg),
+            None => write!(f, "fleet fetch: {}", self.msg),
+        }
     }
 }
 
@@ -58,6 +106,20 @@ pub trait HostEndpoint {
     fn fetch(&mut self, now: SimTime) -> Result<Vec<u8>, FetchError>;
 }
 
+impl<E: HostEndpoint + ?Sized> HostEndpoint for Box<E> {
+    fn host_id(&self) -> HostId {
+        (**self).host_id()
+    }
+
+    fn tenant_id(&self) -> TenantId {
+        (**self).tenant_id()
+    }
+
+    fn fetch(&mut self, now: SimTime) -> Result<Vec<u8>, FetchError> {
+        (**self).fetch(now)
+    }
+}
+
 /// The in-simulation endpoint: snapshots a live [`StatsService`] and
 /// encodes the frame, exactly what a real host would ship.
 #[derive(Debug, Clone)]
@@ -65,21 +127,31 @@ pub struct ServiceEndpoint {
     host: HostId,
     tenant: TenantId,
     service: Arc<StatsService>,
+    seq: u64,
 }
 
 impl ServiceEndpoint {
-    /// Wraps a host's stats service.
+    /// Wraps a host's stats service. Frames it emits are sequenced from
+    /// 1 (0 on the wire means "unsequenced").
     pub fn new(host: HostId, tenant: TenantId, service: Arc<StatsService>) -> Self {
         ServiceEndpoint {
             host,
             tenant,
             service,
+            seq: 0,
         }
     }
 
     /// The wrapped service.
     pub fn service(&self) -> &Arc<StatsService> {
         &self.service
+    }
+
+    /// Swaps in a fresh service — a host restart. The frame sequence
+    /// restarts from 1, exactly as a rebooted emitter would.
+    pub fn restart_with(&mut self, service: Arc<StatsService>) {
+        self.service = service;
+        self.seq = 0;
     }
 }
 
@@ -93,10 +165,9 @@ impl HostEndpoint for ServiceEndpoint {
     }
 
     fn fetch(&mut self, now: SimTime) -> Result<Vec<u8>, FetchError> {
-        let frame = HostFrame::snapshot(self.host, now.as_micros(), &self.service);
-        encode_frame(&frame).map_err(|_| FetchError {
-            msg: "snapshot failed to encode",
-        })
+        self.seq += 1;
+        let frame = HostFrame::snapshot(self.host, now.as_micros(), self.seq, &self.service);
+        encode_frame(&frame).map_err(|_| FetchError::new("snapshot failed to encode"))
     }
 }
 
@@ -134,9 +205,9 @@ impl HostEndpoint for FrameEndpoint {
     }
 
     fn fetch(&mut self, _now: SimTime) -> Result<Vec<u8>, FetchError> {
-        self.script.pop_front().unwrap_or(Err(FetchError {
-            msg: "script exhausted",
-        }))
+        self.script
+            .pop_front()
+            .unwrap_or(Err(FetchError::new("script exhausted")))
     }
 }
 
@@ -165,6 +236,19 @@ impl ChaosLedger {
     /// Total injected faults.
     pub fn total(&self) -> u64 {
         self.unreachable + self.corrupted + self.truncated
+    }
+}
+
+impl std::fmt::Display for ChaosLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "chaos ledger: {} fault(s) ({} unreachable, {} corrupted, {} truncated)",
+            self.total(),
+            self.unreachable,
+            self.corrupted,
+            self.truncated,
+        )
     }
 }
 
@@ -232,9 +316,7 @@ impl<E: HostEndpoint> HostEndpoint for ChaosEndpoint<E> {
         let pick = roll % 100;
         if pick < self.unreachable_pct {
             self.ledger.unreachable += 1;
-            return Err(FetchError {
-                msg: "injected: host unreachable",
-            });
+            return Err(FetchError::new("injected: host unreachable"));
         }
         let mut bytes = self.inner.fetch(now)?;
         if pick < self.unreachable_pct + self.corrupt_pct {
@@ -252,7 +334,102 @@ impl<E: HostEndpoint> HostEndpoint for ChaosEndpoint<E> {
     }
 }
 
-/// Polling schedule and staleness policy.
+/// Per-window fetch retry discipline: bounded attempts with exponential
+/// backoff and deterministic splitmix64 jitter, pure in
+/// `(seed, host, window, attempt)` — same-seed runs back off identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Fetch attempts allowed per window (≥ 1; 1 disables retries).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per further retry.
+    pub backoff_base: SimDuration,
+    /// Backoff ceiling (before jitter).
+    pub backoff_max: SimDuration,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 250 ms base doubling to a 2 s cap — comfortably
+    /// inside a 6 s poll window.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            backoff_base: SimDuration::from_millis(250),
+            backoff_max: SimDuration::from_secs(2),
+            seed: 0x000F_1EE7,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry `attempt` (1-based) of `window` against
+    /// `host`: `min(base · 2^(attempt−1), max)` plus a deterministic
+    /// jitter in `[0, capped/4]`.
+    pub fn backoff(&self, host: HostId, window: u64, attempt: u32) -> SimDuration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let base_ns = self.backoff_base.as_nanos().saturating_mul(1u64 << exp);
+        let capped = base_ns.min(self.backoff_max.as_nanos());
+        let key = splitmix64(
+            self.seed
+                ^ host.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ window.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                ^ u64::from(attempt).wrapping_mul(0x1656_67B1_9E37_79F9),
+        );
+        let jitter = if capped == 0 {
+            0
+        } else {
+            key % (capped / 4 + 1)
+        };
+        SimDuration::from_nanos(capped.saturating_add(jitter))
+    }
+}
+
+/// Circuit-breaker policy: quarantine a host after consecutive failed
+/// windows, then probe it on a fixed cadence until it answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive *failed windows* (not attempts) before the breaker
+    /// opens; 0 disables the breaker entirely.
+    pub open_after: u64,
+    /// Open-state windows between half-open probes (≥ 1).
+    pub probe_every: u64,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            open_after: 3,
+            probe_every: 2,
+        }
+    }
+}
+
+/// Where a host's circuit breaker stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakerState {
+    /// Normal polling.
+    #[default]
+    Closed,
+    /// Quarantined: windows are suppressed (no fetch at all) until
+    /// `next_probe`, when a single half-open probe attempt runs. A probe
+    /// success closes the breaker; a failure re-arms the cadence.
+    Open {
+        /// First window a half-open probe will run in.
+        next_probe: u64,
+    },
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open { next_probe } => write!(f, "open(next probe w{next_probe})"),
+        }
+    }
+}
+
+/// Polling schedule, staleness, retry, quarantine, and eviction policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PollConfig {
     /// Poll every host once per this interval (one *window*).
@@ -260,21 +437,60 @@ pub struct PollConfig {
     /// Consecutive windows without a good frame before the host's
     /// snapshot is considered stale and leaves the rollup.
     pub stale_after: u64,
+    /// Windows without a good frame before the host is *evicted*: its
+    /// leaf leaves the live view entirely (booked in
+    /// [`FleetView::evicted`]) and polling stops. 0 = never evict.
+    pub evict_after: u64,
+    /// Per-window fetch retry discipline.
+    pub retry: RetryPolicy,
+    /// Quarantine policy.
+    pub breaker: BreakerPolicy,
 }
 
 impl Default for PollConfig {
     /// 6-second windows (the paper's esxtop cadence), stale after 2
-    /// missed windows.
+    /// missed windows, hardened fetch discipline, no eviction.
     fn default() -> Self {
         PollConfig {
             interval: SimDuration::from_secs(6),
             stale_after: 2,
+            evict_after: 0,
+            retry: RetryPolicy::default(),
+            breaker: BreakerPolicy::default(),
         }
     }
 }
 
-/// Per-host poll accounting: the three-bucket ledger plus the latest good
-/// snapshot.
+impl PollConfig {
+    /// The minimal discipline: exactly one fetch attempt per window, no
+    /// breaker, no eviction — every scheduled window maps 1:1 to one
+    /// endpoint fetch, which is what script-driven tests and exact
+    /// chaos-ledger accounting want.
+    pub fn basic() -> Self {
+        PollConfig {
+            retry: RetryPolicy {
+                attempts: 1,
+                ..RetryPolicy::default()
+            },
+            breaker: BreakerPolicy {
+                open_after: 0,
+                ..BreakerPolicy::default()
+            },
+            ..PollConfig::default()
+        }
+    }
+}
+
+/// Per-host poll accounting: the attempt-level three-bucket ledger, the
+/// window-level outcome ledger, breaker and epoch state, and the latest
+/// good snapshot plus its windowed-delta companions.
+///
+/// Two conservation laws hold at all times and are what bench/test
+/// accounting leans on:
+///
+/// * attempts: `polls() == frames_ok + fetch_failures + decode_failures`;
+/// * windows: `windows_scheduled == ok_windows + failed_windows +
+///   suppressed_windows`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HostStatus {
     /// The host.
@@ -285,19 +501,76 @@ pub struct HostStatus {
     pub frames_ok: u64,
     /// Fetches that failed outright (unreachable host).
     pub fetch_failures: u64,
-    /// Frames that arrived but failed to decode or merge.
+    /// Frames that arrived but failed to decode, merge, or sequence.
     pub decode_failures: u64,
-    /// Failures since the last good frame.
+    /// Extra attempts beyond each window's first (retry discipline).
+    pub retries: u64,
+    /// Windows rescued by a retry after a failed first attempt.
+    pub retry_successes: u64,
+    /// Windows the scheduler fired for this host.
+    pub windows_scheduled: u64,
+    /// Windows that ended with a good frame.
+    pub ok_windows: u64,
+    /// Windows where every allowed attempt failed.
+    pub failed_windows: u64,
+    /// Windows suppressed by an open breaker (no fetch at all).
+    pub suppressed_windows: u64,
+    /// Closed→Open transitions.
+    pub quarantine_entries: u64,
+    /// Open→Closed transitions (successful probes).
+    pub quarantine_exits: u64,
+    /// Half-open probe windows run.
+    pub probe_attempts: u64,
+    /// Probes that answered with a good frame.
+    pub probe_successes: u64,
+    /// Probes that failed and re-armed the quarantine.
+    pub probe_failures: u64,
+    /// The host's current epoch label: the wire epoch of the latest
+    /// frame, or a local bump past it when a restart was detected by
+    /// counter regression alone (legacy v1 emitters).
+    pub epoch: u64,
+    /// Epoch carried by the last accepted frame.
+    pub wire_epoch: u64,
+    /// Sequence number of the last accepted frame (0 = unsequenced).
+    pub last_seq: u64,
+    /// Rebases performed (explicit wire-epoch changes + implicit
+    /// counter-regression detections).
+    pub epoch_bumps: u64,
+    /// Rebases detected by counter regression alone.
+    pub regressions: u64,
+    /// Frames rejected as replays (sequence not advancing in-epoch).
+    pub seq_rejects: u64,
+    /// Windows whose delta was unrecoverable because a restart landed
+    /// between good frames: on each rebase, every window since the last
+    /// good one is booked lost.
+    pub lost_windows: u64,
+    /// Failed windows later recovered by a cumulative frame (a gap with
+    /// no restart: the next delta covers them, nothing is lost).
+    pub bridged_windows: u64,
+    /// Attempt-level failures since the last good frame.
     pub consecutive_failures: u64,
+    /// Consecutive failed windows (feeds the breaker; suppressed windows
+    /// don't count — nothing was observed).
+    pub failed_window_streak: u64,
     /// When the last good frame arrived.
     pub last_success: Option<SimTime>,
-    /// The most recent failure's description.
-    pub last_error: Option<&'static str>,
+    /// Window of the last good frame.
+    pub last_good_window: Option<u64>,
+    /// The most recent failure, stamped with its window.
+    pub last_error: Option<FetchError>,
+    /// `true` once the host was evicted: its leaf left the live view and
+    /// polling stopped.
+    pub evicted: bool,
     /// Targets in the latest good snapshot.
     pub targets: usize,
     /// Capture timestamp of the latest good snapshot, microseconds.
     pub captured_at_us: u64,
+    breaker: BreakerState,
     agg: AggSet,
+    epoch_base: AggSet,
+    delta: AggSet,
+    delta_window: Option<u64>,
+    delta_sum: AggSet,
 }
 
 impl HostStatus {
@@ -308,21 +581,75 @@ impl HostStatus {
             frames_ok: 0,
             fetch_failures: 0,
             decode_failures: 0,
+            retries: 0,
+            retry_successes: 0,
+            windows_scheduled: 0,
+            ok_windows: 0,
+            failed_windows: 0,
+            suppressed_windows: 0,
+            quarantine_entries: 0,
+            quarantine_exits: 0,
+            probe_attempts: 0,
+            probe_successes: 0,
+            probe_failures: 0,
+            epoch: 0,
+            wire_epoch: 0,
+            last_seq: 0,
+            epoch_bumps: 0,
+            regressions: 0,
+            seq_rejects: 0,
+            lost_windows: 0,
+            bridged_windows: 0,
             consecutive_failures: 0,
+            failed_window_streak: 0,
             last_success: None,
+            last_good_window: None,
             last_error: None,
+            evicted: false,
             targets: 0,
             captured_at_us: 0,
+            breaker: BreakerState::Closed,
             agg: AggSet::new(),
+            epoch_base: AggSet::new(),
+            delta: AggSet::new(),
+            delta_window: None,
+            delta_sum: AggSet::new(),
         }
     }
 
-    /// The latest good snapshot (empty until the first good frame).
+    /// The latest good cumulative snapshot (empty until the first good
+    /// frame; covers only the current epoch).
     pub fn agg(&self) -> &AggSet {
         &self.agg
     }
 
-    /// Total polls attempted against this host.
+    /// The delta the latest good frame contributed, and the window it
+    /// landed in. After a rebase this is the fresh epoch's full snapshot.
+    pub fn delta(&self) -> (&AggSet, Option<u64>) {
+        (&self.delta, self.delta_window)
+    }
+
+    /// Closed epochs banked at rebase time: the last good snapshot of
+    /// every epoch before the current one, merged.
+    pub fn epoch_base(&self) -> &AggSet {
+        &self.epoch_base
+    }
+
+    /// The restart-safe running total: every windowed delta ever
+    /// absorbed, merged. Bit-for-bit equal to
+    /// `epoch_base + agg` — that identity is the no-double-counting
+    /// proof across restarts.
+    pub fn windowed_total(&self) -> &AggSet {
+        &self.delta_sum
+    }
+
+    /// Where this host's circuit breaker stands.
+    pub fn breaker(&self) -> BreakerState {
+        self.breaker
+    }
+
+    /// Total fetch attempts against this host (including retries and
+    /// probes; excluding suppressed windows, which never fetch).
     pub fn polls(&self) -> u64 {
         self.frames_ok + self.fetch_failures + self.decode_failures
     }
@@ -399,17 +726,117 @@ impl<E: HostEndpoint> FleetCollector<E> {
         }
     }
 
+    /// One scheduled window for one host: breaker gate, then the bounded
+    /// retry loop, then window-outcome and eviction bookkeeping.
     fn poll_one(&mut self, idx: usize, now: SimTime) {
-        let status = &mut self.status[idx];
-        match self.endpoints[idx].fetch(now) {
+        let w = self.window_of(now);
+        let host = self.status[idx].host;
+        self.status[idx].windows_scheduled += 1;
+
+        let mut probe = false;
+        match self.status[idx].breaker {
+            BreakerState::Open { next_probe } if w < next_probe => {
+                self.status[idx].suppressed_windows += 1;
+                self.maybe_evict(idx, w);
+                return;
+            }
+            BreakerState::Open { .. } => probe = true,
+            BreakerState::Closed => {}
+        }
+        if probe {
+            self.status[idx].probe_attempts += 1;
+        }
+
+        // A probe is a single attempt; a normal window gets the retry
+        // budget, truncated where backoff would cross the window edge.
+        let budget = if probe {
+            1
+        } else {
+            self.config.retry.attempts.max(1)
+        };
+        let mut attempt: u32 = 0;
+        let mut t = now;
+        let mut good = None;
+        while attempt < budget {
+            if attempt > 0 {
+                let wait = self.config.retry.backoff(host, w, attempt);
+                let shifted = t.saturating_add(wait);
+                if self.window_of(shifted) != w {
+                    break;
+                }
+                t = shifted;
+                self.status[idx].retries += 1;
+            }
+            match self.attempt_fetch(idx, t, w) {
+                Some(hit) => {
+                    if attempt > 0 {
+                        self.status[idx].retry_successes += 1;
+                    }
+                    good = Some(hit);
+                    break;
+                }
+                None => attempt += 1,
+            }
+        }
+
+        match good {
+            Some((frame, agg, targets)) => {
+                self.absorb_good(idx, frame, agg, targets, t, w);
+                let s = &mut self.status[idx];
+                s.ok_windows += 1;
+                s.failed_window_streak = 0;
+                if probe {
+                    s.probe_successes += 1;
+                    s.quarantine_exits += 1;
+                    s.breaker = BreakerState::Closed;
+                }
+            }
+            None => {
+                let open_after = self.config.breaker.open_after;
+                let probe_every = self.config.breaker.probe_every.max(1);
+                let s = &mut self.status[idx];
+                s.failed_windows += 1;
+                s.failed_window_streak += 1;
+                if probe {
+                    s.probe_failures += 1;
+                    s.breaker = BreakerState::Open {
+                        next_probe: w + probe_every,
+                    };
+                } else if open_after > 0
+                    && s.breaker == BreakerState::Closed
+                    && s.failed_window_streak >= open_after
+                {
+                    s.quarantine_entries += 1;
+                    s.breaker = BreakerState::Open {
+                        next_probe: w + probe_every,
+                    };
+                }
+            }
+        }
+        self.maybe_evict(idx, w);
+    }
+
+    /// One fetch attempt at `t`: books failures into the attempt-level
+    /// ledger; returns the decoded, host-checked, sequence-checked frame
+    /// on success (booking happens in `absorb_good`).
+    fn attempt_fetch(
+        &mut self,
+        idx: usize,
+        t: SimTime,
+        window: u64,
+    ) -> Option<(HostFrame, AggSet, usize)> {
+        match self.endpoints[idx].fetch(t) {
             Err(e) => {
-                status.fetch_failures += 1;
-                status.consecutive_failures += 1;
-                status.last_error = Some(e.msg);
+                let s = &mut self.status[idx];
+                s.fetch_failures += 1;
+                s.consecutive_failures += 1;
+                s.last_error = Some(e.at_window(window));
+                None
             }
             Ok(bytes) => {
+                let s = &mut self.status[idx];
                 let outcome = decode_frame(&bytes).and_then(|frame| {
-                    if frame.host_id != status.host {
+                    if frame.host_id != s.host {
                         return Err(WireError {
                             msg: "frame names a different host",
                         });
@@ -418,21 +845,121 @@ impl<E: HostEndpoint> FleetCollector<E> {
                 });
                 match outcome {
                     Err(e) => {
-                        status.decode_failures += 1;
-                        status.consecutive_failures += 1;
-                        status.last_error = Some(e.msg);
+                        s.decode_failures += 1;
+                        s.consecutive_failures += 1;
+                        s.last_error = Some(FetchError::new(e.msg).at_window(window));
+                        None
                     }
                     Ok((frame, agg, targets)) => {
-                        status.frames_ok += 1;
-                        status.consecutive_failures = 0;
-                        status.last_success = Some(now);
-                        status.last_error = None;
-                        status.targets = targets;
-                        status.captured_at_us = frame.captured_at_us;
-                        status.agg = agg;
+                        // Replay rejection: a sequenced frame must advance
+                        // within its epoch. seq 0 (legacy v1) is exempt.
+                        if frame.seq != 0
+                            && frame.epoch == s.wire_epoch
+                            && s.last_seq != 0
+                            && frame.seq <= s.last_seq
+                        {
+                            s.decode_failures += 1;
+                            s.seq_rejects += 1;
+                            s.consecutive_failures += 1;
+                            s.last_error =
+                                Some(FetchError::new("stale frame sequence").at_window(window));
+                            None
+                        } else {
+                            Some((frame, agg, targets))
+                        }
                     }
                 }
             }
+        }
+    }
+
+    /// Absorbs a good frame into window `w`: detects restarts (explicit
+    /// wire-epoch change, or implicit counter regression), rebases the
+    /// delta chain, and keeps the windowed running total exact.
+    fn absorb_good(
+        &mut self,
+        idx: usize,
+        frame: HostFrame,
+        agg: AggSet,
+        targets: usize,
+        t: SimTime,
+        w: u64,
+    ) {
+        let s = &mut self.status[idx];
+        let delta = match s.last_good_window {
+            None => {
+                // First frame ever: the whole snapshot is the delta.
+                s.epoch = frame.epoch;
+                agg.clone()
+            }
+            Some(prev_w) => {
+                let explicit = frame.epoch != s.wire_epoch;
+                let stepwise = if explicit {
+                    None
+                } else {
+                    agg.try_delta(&s.agg)
+                };
+                match stepwise {
+                    Some(d) => {
+                        // Plain window (possibly after a failure gap —
+                        // the cumulative frame recovers those windows).
+                        s.bridged_windows += w - prev_w - 1;
+                        d
+                    }
+                    None => {
+                        // Restart: bank the dead epoch's last snapshot,
+                        // book the unrecoverable windows, re-base on the
+                        // fresh snapshot.
+                        s.epoch_bumps += 1;
+                        s.lost_windows += w - prev_w;
+                        s.epoch_base
+                            .merge(&s.agg)
+                            .expect("one host keeps one slot layout");
+                        s.epoch = if explicit {
+                            frame.epoch
+                        } else {
+                            s.regressions += 1;
+                            s.epoch + 1
+                        };
+                        agg.clone()
+                    }
+                }
+            }
+        };
+        s.wire_epoch = frame.epoch;
+        s.last_seq = frame.seq;
+        s.delta_sum
+            .merge(&delta)
+            .expect("one host keeps one slot layout");
+        s.delta = delta;
+        s.delta_window = Some(w);
+        s.agg = agg;
+        s.targets = targets;
+        s.captured_at_us = frame.captured_at_us;
+        s.frames_ok += 1;
+        s.consecutive_failures = 0;
+        s.last_success = Some(t);
+        s.last_good_window = Some(w);
+        s.last_error = None;
+    }
+
+    /// Evicts the host if it has gone `evict_after` windows without a
+    /// good frame: polling stops and its leaf leaves the live view.
+    fn maybe_evict(&mut self, idx: usize, w: u64) {
+        if self.config.evict_after == 0 {
+            return;
+        }
+        let s = &mut self.status[idx];
+        if s.evicted {
+            return;
+        }
+        let missed = match s.last_good_window {
+            Some(g) => w.saturating_sub(g),
+            None => w + 1,
+        };
+        if missed >= self.config.evict_after {
+            s.evicted = true;
+            self.next_poll[idx] = SimTime::MAX;
         }
     }
 
@@ -446,6 +973,13 @@ impl<E: HostEndpoint> FleetCollector<E> {
         &self.endpoints
     }
 
+    /// Mutable endpoint access — e.g. to restart a
+    /// [`ServiceEndpoint`]'s backing service mid-run, simulating a host
+    /// reboot.
+    pub fn endpoints_mut(&mut self) -> &mut [E] {
+        &mut self.endpoints
+    }
+
     /// Whether `status` counts as stale at `now`: no good frame yet, or
     /// the last one is at least [`PollConfig::stale_after`] windows old.
     pub fn is_stale(&self, status: &HostStatus, now: SimTime) -> bool {
@@ -455,12 +989,19 @@ impl<E: HostEndpoint> FleetCollector<E> {
         }
     }
 
-    /// Assembles the rollup tree from every host's latest good snapshot,
-    /// marking (and excluding) stale hosts.
+    /// Hosts evicted so far.
+    pub fn evicted_hosts(&self) -> usize {
+        self.status.iter().filter(|s| s.evicted).count()
+    }
+
+    /// Assembles the rollup tree from every live host's latest good
+    /// cumulative snapshot, marking (and excluding) stale hosts; evicted
+    /// hosts have no leaf and are booked in [`FleetView::evicted`].
     pub fn view(&self, now: SimTime) -> FleetView {
         let hosts = self
             .status
             .iter()
+            .filter(|s| !s.evicted)
             .map(|s| HostView {
                 host: s.host,
                 tenant: s.tenant,
@@ -470,7 +1011,128 @@ impl<E: HostEndpoint> FleetCollector<E> {
                 captured_at_us: s.captured_at_us,
             })
             .collect();
-        FleetView::assemble(self.window_of(now), hosts)
+        FleetView::assemble_with_evicted(self.window_of(now), hosts, self.evicted_hosts())
+    }
+
+    /// The per-window delta view at `now`: each live host contributes
+    /// only what its good frame in *this* window added. Hosts with no
+    /// good frame this window are carried stale (excluded from sums).
+    pub fn window_view(&self, now: SimTime) -> FleetView {
+        let w = self.window_of(now);
+        let hosts = self
+            .status
+            .iter()
+            .filter(|s| !s.evicted)
+            .map(|s| {
+                let fresh = s.delta_window == Some(w);
+                HostView {
+                    host: s.host,
+                    tenant: s.tenant,
+                    stale: !fresh,
+                    targets: if fresh { s.targets } else { 0 },
+                    agg: if fresh {
+                        s.delta.clone()
+                    } else {
+                        AggSet::new()
+                    },
+                    captured_at_us: s.captured_at_us,
+                }
+            })
+            .collect();
+        FleetView::assemble_with_evicted(w, hosts, self.evicted_hosts())
+    }
+
+    /// The restart-safe running total view at `now`: each live host
+    /// contributes every windowed delta it ever produced, merged across
+    /// epochs — immune to counter regression, no double-counting.
+    pub fn windowed_total_view(&self, now: SimTime) -> FleetView {
+        let hosts = self
+            .status
+            .iter()
+            .filter(|s| !s.evicted)
+            .map(|s| HostView {
+                host: s.host,
+                tenant: s.tenant,
+                stale: self.is_stale(s, now),
+                targets: s.targets,
+                agg: s.delta_sum.clone(),
+                captured_at_us: s.captured_at_us,
+            })
+            .collect();
+        FleetView::assemble_with_evicted(self.window_of(now), hosts, self.evicted_hosts())
+    }
+
+    /// The fleet status pane: fleet-wide discipline counters plus one
+    /// line per unhealthy (quarantined, evicted, or stale) host — the
+    /// `command("health")`-style surface for the collector tier.
+    pub fn render_status(&self, now: SimTime) -> String {
+        use std::fmt::Write as _;
+        let w = self.window_of(now);
+        let mut quarantined = 0usize;
+        let mut stale = 0usize;
+        let (mut retries, mut rescued, mut suppressed) = (0u64, 0u64, 0u64);
+        let (mut probes, mut probe_ok, mut probe_fail) = (0u64, 0u64, 0u64);
+        let (mut bumps, mut regress, mut lost, mut rejects) = (0u64, 0u64, 0u64, 0u64);
+        for s in &self.status {
+            if !s.evicted && matches!(s.breaker, BreakerState::Open { .. }) {
+                quarantined += 1;
+            }
+            if !s.evicted && self.is_stale(s, now) {
+                stale += 1;
+            }
+            retries += s.retries;
+            rescued += s.retry_successes;
+            suppressed += s.suppressed_windows;
+            probes += s.probe_attempts;
+            probe_ok += s.probe_successes;
+            probe_fail += s.probe_failures;
+            bumps += s.epoch_bumps;
+            regress += s.regressions;
+            lost += s.lost_windows;
+            rejects += s.seq_rejects;
+        }
+        let evicted = self.evicted_hosts();
+        let live = self.status.len() - evicted;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet status (window {w}): {live} host(s) live, {quarantined} quarantined, {stale} stale, {evicted} evicted",
+        );
+        let _ = writeln!(
+            out,
+            "  retries {retries} (rescued {rescued}), suppressed windows {suppressed}, probes {probes} (ok {probe_ok} / fail {probe_fail})",
+        );
+        let _ = writeln!(
+            out,
+            "  epoch bumps {bumps} ({regress} by regression), lost windows {lost}, seq rejects {rejects}",
+        );
+        for s in &self.status {
+            let unhealthy = s.evicted
+                || matches!(s.breaker, BreakerState::Open { .. })
+                || self.is_stale(s, now);
+            if !unhealthy {
+                continue;
+            }
+            let state = if s.evicted {
+                "EVICTED".to_string()
+            } else {
+                s.breaker.to_string()
+            };
+            let _ = write!(
+                out,
+                "  host {} [tenant {}] {state} epoch {} ok {}/{} window(s)",
+                s.host, s.tenant, s.epoch, s.ok_windows, s.windows_scheduled,
+            );
+            match s.last_error {
+                Some(e) => {
+                    let _ = writeln!(out, ", last error: {e}");
+                }
+                None => {
+                    let _ = writeln!(out);
+                }
+            }
+        }
+        out
     }
 }
 
@@ -481,7 +1143,7 @@ mod tests {
     use histo::Histogram;
     use vscsi::{TargetId, VDiskId, VmId};
 
-    fn frame_bytes(host: HostId, records: &[i64]) -> Vec<u8> {
+    fn frame_bytes_with(host: HostId, records: &[i64], epoch: u64, seq: u64) -> Vec<u8> {
         let histograms = slots()
             .map(|(metric, _)| {
                 let mut h = Histogram::new(layout_of(metric).edges());
@@ -494,6 +1156,8 @@ mod tests {
         encode_frame(&HostFrame {
             host_id: host,
             captured_at_us: 1,
+            epoch,
+            seq,
             targets: vec![TargetHistograms {
                 target: TargetId::new(VmId(0), VDiskId(0)),
                 histograms,
@@ -502,10 +1166,14 @@ mod tests {
         .unwrap()
     }
 
+    fn frame_bytes(host: HostId, records: &[i64]) -> Vec<u8> {
+        frame_bytes_with(host, records, 0, 0)
+    }
+
     fn cfg() -> PollConfig {
         PollConfig {
             interval: SimDuration::from_secs(1),
-            stale_after: 2,
+            ..PollConfig::basic()
         }
     }
 
@@ -545,8 +1213,8 @@ mod tests {
             0,
             vec![
                 Ok(frame_bytes(0, &[5])),
-                Err(FetchError { msg: "down" }),
-                Err(FetchError { msg: "down" }),
+                Err(FetchError::new("down")),
+                Err(FetchError::new("down")),
                 Ok(frame_bytes(0, &[5, 6, 7])),
             ],
         )];
@@ -558,7 +1226,11 @@ mod tests {
         let s = &c.status()[0];
         assert_eq!(s.fetch_failures, 2);
         assert_eq!(s.consecutive_failures, 2);
-        assert_eq!(s.last_error, Some("down"));
+        assert_eq!(s.last_error, Some(FetchError::new("down").at_window(2)));
+        assert_eq!(
+            s.last_error.unwrap().to_string(),
+            "fleet fetch [window 2]: down"
+        );
         assert!(c.is_stale(s, SimTime::from_secs(2)));
         let v = c.view(SimTime::from_secs(2));
         assert_eq!(v.fleet.hosts, 0);
@@ -620,5 +1292,274 @@ mod tests {
         assert_eq!(s.fetch_failures, ledger.unreachable);
         assert_eq!(s.decode_failures, ledger.corrupted + ledger.truncated);
         assert_eq!(s.frames_ok, 50 - ledger.total());
+    }
+
+    fn retry_cfg(attempts: u32) -> PollConfig {
+        PollConfig {
+            interval: SimDuration::from_secs(1),
+            retry: RetryPolicy {
+                attempts,
+                backoff_base: SimDuration::from_millis(10),
+                backoff_max: SimDuration::from_millis(50),
+                seed: 7,
+            },
+            ..PollConfig::basic()
+        }
+    }
+
+    #[test]
+    fn retry_rescues_a_window_and_books_it() {
+        let eps = vec![FrameEndpoint::new(
+            0,
+            0,
+            vec![Err(FetchError::new("down")), Ok(frame_bytes(0, &[5]))],
+        )];
+        let mut c = FleetCollector::new(retry_cfg(3), eps);
+        c.run_until(SimTime::ZERO);
+        let s = &c.status()[0];
+        assert_eq!((s.frames_ok, s.fetch_failures), (1, 1));
+        assert_eq!((s.retries, s.retry_successes), (1, 1));
+        assert_eq!(
+            (s.windows_scheduled, s.ok_windows, s.failed_windows),
+            (1, 1, 0)
+        );
+        assert_eq!(s.polls(), 2);
+        assert!(
+            s.last_success.unwrap() > SimTime::ZERO,
+            "retry ran after backoff"
+        );
+        assert!(c.view(SimTime::ZERO).conserves());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            attempts: 4,
+            backoff_base: SimDuration::from_millis(100),
+            backoff_max: SimDuration::from_millis(400),
+            seed: 42,
+        };
+        assert_eq!(p.backoff(1, 2, 1), p.backoff(1, 2, 1), "pure in its key");
+        assert_ne!(p.backoff(1, 2, 1), p.backoff(1, 2, 2));
+        assert_ne!(p.backoff(1, 2, 1), p.backoff(1, 3, 1));
+        assert_ne!(p.backoff(1, 2, 1), p.backoff(9, 2, 1));
+        for attempt in 1..=6 {
+            let capped = (100u64 << (attempt - 1)).min(400) * 1_000_000;
+            let b = p.backoff(9, 3, attempt).as_nanos();
+            assert!(
+                b >= capped && b <= capped + capped / 4,
+                "attempt {attempt}: {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn breaker_opens_probes_and_recovers() {
+        let config = PollConfig {
+            interval: SimDuration::from_secs(1),
+            breaker: BreakerPolicy {
+                open_after: 2,
+                probe_every: 2,
+            },
+            ..PollConfig::basic()
+        };
+        // w0 fail, w1 fail -> open(next probe w3); w2 suppressed;
+        // w3 probe fails -> re-armed to w5; w4 suppressed; w5 probe ok.
+        let eps = vec![FrameEndpoint::new(
+            0,
+            0,
+            vec![
+                Err(FetchError::new("down")),
+                Err(FetchError::new("down")),
+                Err(FetchError::new("down")),
+                Ok(frame_bytes(0, &[5])),
+            ],
+        )];
+        let mut c = FleetCollector::new(config, eps);
+        c.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            c.status()[0].breaker(),
+            BreakerState::Open { next_probe: 3 }
+        );
+        c.run_until(SimTime::from_secs(5));
+        let s = &c.status()[0];
+        assert_eq!(s.windows_scheduled, 6);
+        assert_eq!(
+            (s.ok_windows, s.failed_windows, s.suppressed_windows),
+            (1, 3, 2)
+        );
+        assert_eq!((s.quarantine_entries, s.quarantine_exits), (1, 1));
+        assert_eq!(
+            (s.probe_attempts, s.probe_successes, s.probe_failures),
+            (2, 1, 1)
+        );
+        assert_eq!(s.breaker(), BreakerState::Closed);
+        assert_eq!(s.polls(), 4, "suppressed windows never fetched");
+        let pane = c.render_status(SimTime::from_secs(5));
+        assert!(pane.contains("suppressed windows 2"), "{pane}");
+    }
+
+    #[test]
+    fn dead_host_is_evicted_and_booked() {
+        let config = PollConfig {
+            interval: SimDuration::from_secs(1),
+            evict_after: 3,
+            ..PollConfig::basic()
+        };
+        let eps = vec![
+            FrameEndpoint::new(0, 0, (0..20).map(|_| Err(FetchError::new("down")))),
+            FrameEndpoint::new(1, 0, (0..20).map(|i| Ok(frame_bytes(1, &[i])))),
+        ];
+        let mut c = FleetCollector::new(config, eps);
+        c.run_until(SimTime::from_secs(10));
+        let s = &c.status()[0];
+        assert!(s.evicted);
+        assert_eq!(s.windows_scheduled, 3, "polling stopped at eviction");
+        assert_eq!(c.evicted_hosts(), 1);
+        let v = c.view(SimTime::from_secs(10));
+        assert_eq!(v.evicted, 1);
+        assert_eq!(v.hosts.len(), 1, "evicted host has no leaf");
+        assert_eq!(v.fleet.hosts, 1);
+        assert!(v.conserves());
+        assert!(c.render_status(SimTime::from_secs(10)).contains("EVICTED"));
+    }
+
+    #[test]
+    fn counter_regression_rebases_and_books_lost_windows() {
+        // w0: 3 records/slot; w1: a *smaller* snapshot — an implicit
+        // restart under legacy (epoch-less) frames.
+        let eps = vec![FrameEndpoint::new(
+            0,
+            0,
+            vec![Ok(frame_bytes(0, &[1, 2, 3])), Ok(frame_bytes(0, &[5]))],
+        )];
+        let mut c = FleetCollector::new(cfg(), eps);
+        c.run_until(SimTime::from_secs(1));
+        let s = &c.status()[0];
+        assert_eq!((s.epoch_bumps, s.regressions, s.lost_windows), (1, 1, 1));
+        assert_eq!(s.epoch, 1, "local epoch bump");
+        let slots = SLOTS_PER_TARGET as u64;
+        assert_eq!(s.agg().total_events(), slots, "cumulative = fresh epoch");
+        assert_eq!(
+            s.windowed_total().total_events(),
+            4 * slots,
+            "running total keeps the dead epoch's events"
+        );
+        let mut rebuilt = s.epoch_base().clone();
+        rebuilt.merge(s.agg()).unwrap();
+        assert!(
+            rebuilt.same_counters(s.windowed_total()),
+            "windowed_total == epoch_base + agg, bit for bit"
+        );
+        assert!(c.windowed_total_view(SimTime::from_secs(1)).conserves());
+    }
+
+    #[test]
+    fn explicit_epoch_change_rebases_without_regression() {
+        let eps = vec![FrameEndpoint::new(
+            0,
+            0,
+            vec![
+                Ok(frame_bytes_with(0, &[1, 2], 1, 1)),
+                Ok(frame_bytes_with(0, &[9], 2, 1)),
+            ],
+        )];
+        let mut c = FleetCollector::new(cfg(), eps);
+        c.run_until(SimTime::from_secs(1));
+        let s = &c.status()[0];
+        assert_eq!((s.epoch_bumps, s.regressions, s.lost_windows), (1, 0, 1));
+        assert_eq!((s.epoch, s.wire_epoch), (2, 2));
+        assert_eq!(s.seq_rejects, 0, "seq restarts with the epoch");
+        assert_eq!(
+            s.windowed_total().total_events(),
+            3 * SLOTS_PER_TARGET as u64
+        );
+    }
+
+    #[test]
+    fn replayed_frames_are_rejected_by_sequence() {
+        let eps = vec![FrameEndpoint::new(
+            0,
+            0,
+            vec![
+                Ok(frame_bytes_with(0, &[1], 1, 2)),
+                Ok(frame_bytes_with(0, &[1, 2], 1, 1)),
+            ],
+        )];
+        let mut c = FleetCollector::new(cfg(), eps);
+        c.run_until(SimTime::from_secs(1));
+        let s = &c.status()[0];
+        assert_eq!((s.frames_ok, s.decode_failures, s.seq_rejects), (1, 1, 1));
+        assert_eq!(s.last_error.unwrap().msg, "stale frame sequence");
+        assert_eq!(s.agg().total_events(), SLOTS_PER_TARGET as u64);
+    }
+
+    #[test]
+    fn window_deltas_resum_to_cumulative_across_gaps() {
+        let slots = SLOTS_PER_TARGET as u64;
+        // w0 ok, w1 down, w2 ok (bridges w1), w3 ok.
+        let eps = vec![FrameEndpoint::new(
+            0,
+            0,
+            vec![
+                Ok(frame_bytes(0, &[5])),
+                Err(FetchError::new("down")),
+                Ok(frame_bytes(0, &[5, 6, 7])),
+                Ok(frame_bytes(0, &[5, 6, 7, 8])),
+            ],
+        )];
+        let mut c = FleetCollector::new(cfg(), eps);
+        for (t, want_delta) in [(0u64, slots), (2, 2 * slots), (3, slots)] {
+            c.run_until(SimTime::from_secs(t));
+            let wv = c.window_view(SimTime::from_secs(t));
+            assert_eq!(wv.fleet.agg.total_events(), want_delta, "window {t}");
+            assert!(wv.conserves());
+        }
+        // A window with no good frame contributes nothing.
+        let s = &c.status()[0];
+        assert_eq!(s.bridged_windows, 1, "the w1 gap was recovered at w2");
+        assert_eq!(s.lost_windows, 0);
+        assert!(
+            s.windowed_total().same_counters(s.agg()),
+            "no restart: running total == cumulative, bit for bit"
+        );
+        let tv = c.windowed_total_view(SimTime::from_secs(3));
+        let cv = c.view(SimTime::from_secs(3));
+        assert_eq!(tv.fleet.agg, cv.fleet.agg);
+    }
+
+    #[test]
+    fn boxed_endpoints_poll_like_concrete_ones() {
+        let eps: Vec<Box<dyn HostEndpoint>> = vec![
+            Box::new(FrameEndpoint::new(0, 0, vec![Ok(frame_bytes(0, &[5]))])),
+            Box::new(ChaosEndpoint::new(
+                FrameEndpoint::new(1, 1, vec![Ok(frame_bytes(1, &[6]))]),
+                3,
+                0,
+                0,
+                0,
+            )),
+        ];
+        let mut c = FleetCollector::new(cfg(), eps);
+        c.run_until(SimTime::ZERO);
+        assert_eq!(c.view(SimTime::ZERO).fleet.hosts, 2);
+    }
+
+    #[test]
+    fn ledger_and_error_displays_are_greppable() {
+        let ledger = ChaosLedger {
+            unreachable: 2,
+            corrupted: 1,
+            truncated: 0,
+        };
+        assert_eq!(
+            ledger.to_string(),
+            "chaos ledger: 3 fault(s) (2 unreachable, 1 corrupted, 0 truncated)"
+        );
+        assert_eq!(FetchError::new("down").to_string(), "fleet fetch: down");
+        assert_eq!(
+            FetchError::new("down").at_window(7).to_string(),
+            "fleet fetch [window 7]: down"
+        );
     }
 }

@@ -29,7 +29,7 @@
 //! use simkit::SimTime;
 //!
 //! // A host with nothing recorded still frames and decodes exactly.
-//! let frame = HostFrame { host_id: 7, captured_at_us: 0, targets: Vec::new() };
+//! let frame = HostFrame { host_id: 7, captured_at_us: 0, epoch: 0, seq: 0, targets: Vec::new() };
 //! let bytes = encode_frame(&frame).unwrap();
 //! assert_eq!(decode_frame(&bytes).unwrap(), frame);
 //!
@@ -48,11 +48,11 @@ pub mod rollup;
 pub mod wire;
 
 pub use collector::{
-    ChaosEndpoint, ChaosLedger, FetchError, FleetCollector, FrameEndpoint, HostEndpoint,
-    HostStatus, PollConfig, ServiceEndpoint,
+    BreakerPolicy, BreakerState, ChaosEndpoint, ChaosLedger, FetchError, FleetCollector,
+    FrameEndpoint, HostEndpoint, HostStatus, PollConfig, RetryPolicy, ServiceEndpoint,
 };
 pub use rollup::{AggSet, FleetView, HostId, HostView, RollupNode, TenantId};
 pub use wire::{
-    decode_frame, encode_frame, layout_of, slot_index, slots, HostFrame, TargetHistograms,
-    WireError, FRAME_MAGIC, SLOTS_PER_TARGET,
+    decode_frame, encode_frame, encode_frame_v1, layout_of, slot_index, slots, HostFrame,
+    TargetHistograms, WireError, FRAME_MAGIC, FRAME_MAGIC_V1, SLOTS_PER_TARGET,
 };

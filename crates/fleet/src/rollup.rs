@@ -101,6 +101,57 @@ impl AggSet {
         self.histograms.iter().map(Histogram::total).sum()
     }
 
+    /// The cumulative difference `self − prev`, slot by slot, or `None`
+    /// when any bin count regressed or any slot disagrees on layout —
+    /// the signature of a host restart (counters are monotone within one
+    /// service lifetime; sums are not, because seek distances go
+    /// negative, so regression detection uses counts alone).
+    ///
+    /// Each delta slot that gained events carries the *cumulative*
+    /// min/max at capture time, not the window's own extrema. Cumulative
+    /// min is non-increasing and max non-decreasing, and both move only
+    /// in windows where the slot gained events, so merging every
+    /// windowed delta of an epoch reproduces the cumulative snapshot
+    /// bit for bit — counts, totals, sums, and min/max.
+    pub fn try_delta(&self, prev: &AggSet) -> Option<AggSet> {
+        if self.histograms.len() != prev.histograms.len() {
+            return None;
+        }
+        let mut histograms = Vec::with_capacity(self.histograms.len());
+        for (cur, old) in self.histograms.iter().zip(&prev.histograms) {
+            if cur.edges() != old.edges() {
+                return None;
+            }
+            let mut counts = Vec::with_capacity(cur.counts().len());
+            let mut gained = false;
+            for (&c, &o) in cur.counts().iter().zip(old.counts()) {
+                let d = c.checked_sub(o)?;
+                gained |= d > 0;
+                counts.push(d);
+            }
+            let (sum, min_max) = if gained {
+                let bounds = (
+                    cur.min().expect("gained implies occupied"),
+                    cur.max().expect("gained implies occupied"),
+                );
+                (cur.sum() - old.sum(), Some(bounds))
+            } else if cur.sum() != old.sum() {
+                // Identical counts but a moved sum: a restart that landed
+                // on the same bin pattern. Still a regression.
+                return None;
+            } else {
+                (0, None)
+            };
+            histograms.push(Histogram::from_parts(
+                cur.edges().clone(),
+                counts,
+                sum,
+                min_max,
+            ));
+        }
+        Some(AggSet { histograms })
+    }
+
     /// `true` when every slot's counters, totals, sums, and min/max match.
     pub fn same_counters(&self, other: &AggSet) -> bool {
         self == other
@@ -150,6 +201,10 @@ pub struct FleetView {
     pub tenants: BTreeMap<TenantId, RollupNode>,
     /// Per-host leaves, including stale ones (marked, not merged).
     pub hosts: Vec<HostView>,
+    /// Hosts evicted from the live fleet (dead past the eviction
+    /// horizon). They have no leaf here at all — this count books them so
+    /// view-level accounting still covers every host ever enrolled.
+    pub evicted: usize,
 }
 
 impl FleetView {
@@ -157,6 +212,12 @@ impl FleetView {
     /// [`FleetView::hosts`] but contribute nothing to tenant or fleet
     /// nodes.
     pub fn assemble(window: u64, hosts: Vec<HostView>) -> FleetView {
+        FleetView::assemble_with_evicted(window, hosts, 0)
+    }
+
+    /// [`FleetView::assemble`], booking `evicted` hosts that no longer
+    /// have a leaf.
+    pub fn assemble_with_evicted(window: u64, hosts: Vec<HostView>, evicted: usize) -> FleetView {
         let mut fleet = RollupNode::default();
         let mut tenants: BTreeMap<TenantId, RollupNode> = BTreeMap::new();
         for h in hosts.iter().filter(|h| !h.stale) {
@@ -174,6 +235,7 @@ impl FleetView {
             fleet,
             tenants,
             hosts,
+            evicted,
         }
     }
 
@@ -182,7 +244,8 @@ impl FleetView {
     /// (counters, totals, sums, min/max). Also checks the tenant layer
     /// partitions the fleet: summed tenant nodes equal the root.
     pub fn conserves(&self) -> bool {
-        let rebuilt = FleetView::assemble(self.window, self.hosts.clone());
+        let rebuilt =
+            FleetView::assemble_with_evicted(self.window, self.hosts.clone(), self.evicted);
         if rebuilt.fleet != self.fleet || rebuilt.tenants != self.tenants {
             return false;
         }
@@ -209,9 +272,10 @@ impl FleetView {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "fleet: {} host(s) live, {} stale, {} target(s), {} event(s)",
+            "fleet: {} host(s) live, {} stale, {} evicted, {} target(s), {} event(s)",
             self.fleet.hosts,
             self.stale_hosts(),
+            self.evicted,
             self.fleet.targets,
             self.fleet.agg.total_events(),
         );
@@ -295,6 +359,30 @@ mod tests {
         assert_eq!(view.stale_hosts(), 1);
         assert_eq!(view.fleet.agg.total_events(), SLOTS_PER_TARGET as u64 * 2);
         assert!(view.conserves());
+    }
+
+    #[test]
+    fn try_delta_telescopes_bit_for_bit() {
+        let base = host(0, 0, &[5, 9], false).agg;
+        let mut cum = base.clone();
+        cum.merge_target(&target_set(100)).unwrap();
+        let delta = cum.try_delta(&base).unwrap();
+        let mut resum = base.clone();
+        resum.merge(&delta).unwrap();
+        assert!(resum.same_counters(&cum));
+        // A no-change window deltas to all-empty slots.
+        assert_eq!(base.try_delta(&base).unwrap().total_events(), 0);
+    }
+
+    #[test]
+    fn try_delta_flags_regression_and_layout_mismatch() {
+        let base = host(0, 0, &[5], false).agg;
+        let mut cum = base.clone();
+        cum.merge_target(&target_set(9)).unwrap();
+        assert!(base.try_delta(&cum).is_none(), "count regression");
+        let mut other = AggSet::new();
+        other.histograms[0] = Histogram::with_edges(vec![1]).unwrap();
+        assert!(base.try_delta(&other).is_none(), "layout mismatch");
     }
 
     #[test]

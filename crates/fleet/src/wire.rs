@@ -8,9 +8,11 @@
 //! the trace segment format share one bit-level vocabulary.
 //!
 //! ```text
-//! magic[8] = "VFLHIST1"   payload_len:u32le   crc32(payload):u32le
+//! magic[8] = "VFLHIST2"   payload_len:u32le   crc32(magic ‖ payload):u32le
 //! payload:
-//!   host_id:varint  captured_at_us:varint  target_count:varint
+//!   host_id:varint  captured_at_us:varint
+//!   epoch:varint  seq:varint              -- v2 only
+//!   target_count:varint
 //!   per target:
 //!     vm:varint  disk:varint
 //!     per slot (Metric::ALL × Lens::ALL, fixed order):
@@ -19,6 +21,17 @@
 //!       if any count > 0:
 //!         sum:zz128 (lo:varint hi:varint)  min:zz  max:zz
 //! ```
+//!
+//! `VFLHIST2` adds two fields the restart-safe windowed rollup needs: the
+//! host's **epoch** (bumped by every deliberate counter regression — a
+//! stats reset or a host restart) and a **frame sequence number**
+//! (monotone per epoch, so a collector can reject replayed or reordered
+//! frames). Legacy `VFLHIST1` frames — identical except that the two
+//! fields are absent and the CRC covers the payload alone — still decode
+//! under the same reader, yielding epoch 0 and the unsequenced seq 0.
+//! Folding the magic into the v2 CRC keeps single-byte corruption of the
+//! version byte detectable in *both* directions: a v1 frame whose magic
+//! flips to `…2` fails the v2 CRC rule, and vice versa.
 //!
 //! Counts across consecutive bins of a real histogram are close in
 //! magnitude (the distributions are peaky), so the zigzagged wrapping
@@ -37,8 +50,14 @@ use tracestore::crc32::crc32;
 use vscsi::{TargetId, VDiskId, VmId};
 use vscsi_stats::{Lens, Metric, StatsService};
 
-/// Frame magic: format name + version, rejected wholesale on mismatch.
-pub const FRAME_MAGIC: [u8; 8] = *b"VFLHIST1";
+/// Current frame magic: format name + version. [`encode_frame`] always
+/// emits this; [`decode_frame`] accepts it alongside [`FRAME_MAGIC_V1`].
+pub const FRAME_MAGIC: [u8; 8] = *b"VFLHIST2";
+
+/// Legacy frame magic: the PR-7 format without epoch/seq. Still decoded
+/// (epoch and seq come back 0), never emitted except by
+/// [`encode_frame_v1`].
+pub const FRAME_MAGIC_V1: [u8; 8] = *b"VFLHIST1";
 
 /// Bytes of framing around the payload: magic + length + CRC.
 pub const FRAME_HEADER_BYTES: usize = 8 + 4 + 4;
@@ -118,15 +137,30 @@ pub struct HostFrame {
     pub host_id: u64,
     /// Virtual-clock capture time, microseconds.
     pub captured_at_us: u64,
+    /// The host's restart epoch ([`StatsService::epoch`]): bumped by every
+    /// deliberate counter regression, so collectors re-base deltas instead
+    /// of booking the drop as corruption. 0 for legacy `VFLHIST1` frames.
+    pub epoch: u64,
+    /// Frame sequence number, monotone within an epoch. 0 means
+    /// *unsequenced* (a legacy `VFLHIST1` frame); sequenced emitters start
+    /// at 1.
+    pub seq: u64,
     /// Per-target histogram sets, sorted by target.
     pub targets: Vec<TargetHistograms>,
 }
 
 impl HostFrame {
-    /// Snapshots every collector of `service` into a frame. Locks one
-    /// service shard at a time (via [`StatsService::collectors`]), so a
-    /// fetch never stalls ingestion fleet-wide.
-    pub fn snapshot(host_id: u64, captured_at_us: u64, service: &StatsService) -> HostFrame {
+    /// Snapshots every collector of `service` into a frame, stamping the
+    /// service's current [`epoch`](StatsService::epoch) and the caller's
+    /// sequence number. Locks one service shard at a time (via
+    /// [`StatsService::collectors`]), so a fetch never stalls ingestion
+    /// fleet-wide.
+    pub fn snapshot(
+        host_id: u64,
+        captured_at_us: u64,
+        seq: u64,
+        service: &StatsService,
+    ) -> HostFrame {
         let targets = service
             .collectors()
             .into_iter()
@@ -140,6 +174,8 @@ impl HostFrame {
         HostFrame {
             host_id,
             captured_at_us,
+            epoch: service.epoch(),
+            seq,
             targets,
         }
     }
@@ -221,7 +257,42 @@ fn decode_histogram(
     Ok(Histogram::from_parts(edges, counts, sum, min_max))
 }
 
-/// Serializes a frame: CRC-framed envelope around a delta-varint payload.
+fn encode_targets(frame: &HostFrame, payload: &mut Vec<u8>) -> Result<(), WireError> {
+    encode_u64(frame.targets.len() as u64, payload);
+    for t in &frame.targets {
+        if t.histograms.len() != SLOTS_PER_TARGET {
+            return Err(err("target does not carry every metric × lens slot"));
+        }
+        encode_u64(u64::from(t.target.vm.0), payload);
+        encode_u64(u64::from(t.target.disk.0), payload);
+        for ((metric, _), h) in slots().zip(&t.histograms) {
+            encode_histogram(h, layout_of(metric), payload)?;
+        }
+    }
+    Ok(())
+}
+
+fn seal(magic: [u8; 8], crc_covers_magic: bool, payload: Vec<u8>) -> Result<Vec<u8>, WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| err("payload exceeds frame size"))?;
+    let crc = if crc_covers_magic {
+        let mut covered = Vec::with_capacity(8 + payload.len());
+        covered.extend_from_slice(&magic);
+        covered.extend_from_slice(&payload);
+        crc32(&covered)
+    } else {
+        crc32(&payload)
+    };
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&magic);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Serializes a frame: a `VFLHIST2` CRC-framed envelope around a
+/// delta-varint payload. The CRC covers the magic too, so flipping the
+/// version byte of a sealed frame can never produce another valid frame.
 ///
 /// # Errors
 ///
@@ -232,31 +303,37 @@ pub fn encode_frame(frame: &HostFrame) -> Result<Vec<u8>, WireError> {
     let mut payload = Vec::with_capacity(64 + frame.targets.len() * 512);
     encode_u64(frame.host_id, &mut payload);
     encode_u64(frame.captured_at_us, &mut payload);
-    encode_u64(frame.targets.len() as u64, &mut payload);
-    for t in &frame.targets {
-        if t.histograms.len() != SLOTS_PER_TARGET {
-            return Err(err("target does not carry every metric × lens slot"));
-        }
-        encode_u64(u64::from(t.target.vm.0), &mut payload);
-        encode_u64(u64::from(t.target.disk.0), &mut payload);
-        for ((metric, _), h) in slots().zip(&t.histograms) {
-            encode_histogram(h, layout_of(metric), &mut payload)?;
-        }
-    }
-    let len = u32::try_from(payload.len()).map_err(|_| err("payload exceeds frame size"))?;
-    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
-    out.extend_from_slice(&FRAME_MAGIC);
-    out.extend_from_slice(&len.to_le_bytes());
-    out.extend_from_slice(&crc32(&payload).to_le_bytes());
-    out.extend_from_slice(&payload);
-    Ok(out)
+    encode_u64(frame.epoch, &mut payload);
+    encode_u64(frame.seq, &mut payload);
+    encode_targets(frame, &mut payload)?;
+    seal(FRAME_MAGIC, true, payload)
 }
 
-/// Decodes one frame, verifying magic, length, CRC, and every field.
+/// Serializes a frame in the legacy `VFLHIST1` layout — what a host that
+/// predates the epoch/seq fields would ship. The frame's `epoch` and
+/// `seq` do **not** travel: decoding the result yields 0 for both. Kept
+/// so compatibility is a tested property, not an assumption.
+///
+/// # Errors
+///
+/// Same conditions as [`encode_frame`].
+pub fn encode_frame_v1(frame: &HostFrame) -> Result<Vec<u8>, WireError> {
+    let mut payload = Vec::with_capacity(64 + frame.targets.len() * 512);
+    encode_u64(frame.host_id, &mut payload);
+    encode_u64(frame.captured_at_us, &mut payload);
+    encode_targets(frame, &mut payload)?;
+    seal(FRAME_MAGIC_V1, false, payload)
+}
+
+/// Decodes one frame — current `VFLHIST2` or legacy `VFLHIST1` — after
+/// verifying magic, length, CRC, and every field.
 ///
 /// Total: any malformed input — truncation anywhere, a flipped bit, an
 /// overlong varint, trailing garbage — returns a [`WireError`]. A decoded
-/// frame is bit-exact: re-encoding it reproduces the input bytes.
+/// `VFLHIST2` frame is bit-exact: re-encoding it reproduces the input
+/// bytes. A `VFLHIST1` frame decodes with `epoch == 0` and `seq == 0`
+/// (the fields don't exist on that wire), so re-encoding upgrades it to
+/// `VFLHIST2`.
 ///
 /// # Errors
 ///
@@ -265,9 +342,11 @@ pub fn decode_frame(buf: &[u8]) -> Result<HostFrame, WireError> {
     if buf.len() < FRAME_HEADER_BYTES {
         return Err(err("frame shorter than its header"));
     }
-    if buf[..8] != FRAME_MAGIC {
-        return Err(err("bad frame magic"));
-    }
+    let v2 = match &buf[..8] {
+        m if *m == FRAME_MAGIC => true,
+        m if *m == FRAME_MAGIC_V1 => false,
+        _ => return Err(err("bad frame magic")),
+    };
     let len = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")) as usize;
     let want_crc = u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes"));
     let payload = &buf[FRAME_HEADER_BYTES..];
@@ -277,12 +356,29 @@ pub fn decode_frame(buf: &[u8]) -> Result<HostFrame, WireError> {
     if payload.len() > len {
         return Err(err("trailing bytes after frame"));
     }
-    if crc32(payload) != want_crc {
+    let got_crc = if v2 {
+        // The v2 CRC covers the magic so version-byte flips are caught.
+        let mut hasher_input = Vec::with_capacity(8 + payload.len());
+        hasher_input.extend_from_slice(&buf[..8]);
+        hasher_input.extend_from_slice(payload);
+        crc32(&hasher_input)
+    } else {
+        crc32(payload)
+    };
+    if got_crc != want_crc {
         return Err(err("payload CRC mismatch"));
     }
     let mut pos = 0usize;
     let host_id = decode_u64(payload, &mut pos).ok_or(err("truncated host id"))?;
     let captured_at_us = decode_u64(payload, &mut pos).ok_or(err("truncated capture time"))?;
+    let (epoch, seq) = if v2 {
+        (
+            decode_u64(payload, &mut pos).ok_or(err("truncated epoch"))?,
+            decode_u64(payload, &mut pos).ok_or(err("truncated frame seq"))?,
+        )
+    } else {
+        (0, 0)
+    };
     let target_count = decode_u64(payload, &mut pos).ok_or(err("truncated target count"))?;
     // Each target needs at least 2 id bytes + one byte per slot, so this
     // bound rejects absurd counts before any allocation.
@@ -310,6 +406,8 @@ pub fn decode_frame(buf: &[u8]) -> Result<HostFrame, WireError> {
     Ok(HostFrame {
         host_id,
         captured_at_us,
+        epoch,
+        seq,
         targets,
     })
 }
@@ -338,6 +436,8 @@ mod tests {
         HostFrame {
             host_id: 42,
             captured_at_us: 6_000_000,
+            epoch: 3,
+            seq: 17,
             targets,
         }
     }
@@ -357,10 +457,63 @@ mod tests {
         let frame = HostFrame {
             host_id: 0,
             captured_at_us: 0,
+            epoch: 0,
+            seq: 0,
             targets: Vec::new(),
         };
         let bytes = encode_frame(&frame).unwrap();
         assert_eq!(decode_frame(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn v1_frames_decode_with_zero_epoch_and_seq() {
+        let frame = sample_frame();
+        let bytes = encode_frame_v1(&frame).unwrap();
+        assert_eq!(&bytes[..8], &FRAME_MAGIC_V1);
+        let back = decode_frame(&bytes).unwrap();
+        // Epoch and seq never traveled on the v1 wire.
+        assert_eq!(back.epoch, 0);
+        assert_eq!(back.seq, 0);
+        let mut expect = frame;
+        expect.epoch = 0;
+        expect.seq = 0;
+        assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn every_v1_truncation_and_flip_errors() {
+        let bytes = encode_frame_v1(&sample_frame()).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(decode_frame(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        for i in 0..bytes.len() {
+            for flip in [0x01u8, 0x03, 0x40] {
+                let mut bad = bytes.clone();
+                bad[i] ^= flip;
+                assert!(decode_frame(&bad).is_err(), "flip {flip:#x} at byte {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn version_byte_flips_never_cross_decode() {
+        // "VFLHIST1" and "VFLHIST2" differ by one bit in the last magic
+        // byte; the v2 CRC covers the magic so neither direction of that
+        // flip yields a valid frame of the *other* version.
+        let v2 = encode_frame(&sample_frame()).unwrap();
+        let mut as_v1 = v2.clone();
+        as_v1[7] = b'1';
+        assert_eq!(
+            decode_frame(&as_v1).unwrap_err().msg,
+            "payload CRC mismatch"
+        );
+        let v1 = encode_frame_v1(&sample_frame()).unwrap();
+        let mut as_v2 = v1.clone();
+        as_v2[7] = b'2';
+        assert_eq!(
+            decode_frame(&as_v2).unwrap_err().msg,
+            "payload CRC mismatch"
+        );
     }
 
     #[test]

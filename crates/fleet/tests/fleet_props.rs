@@ -3,8 +3,8 @@
 //! arbitrary corruption with exact per-host failure accounting.
 
 use fleet::{
-    decode_frame, encode_frame, layout_of, slots, FetchError, FleetCollector, FrameEndpoint,
-    HostFrame, PollConfig, TargetHistograms, SLOTS_PER_TARGET,
+    decode_frame, encode_frame, encode_frame_v1, layout_of, slots, AggSet, FetchError,
+    FleetCollector, FrameEndpoint, HostFrame, PollConfig, TargetHistograms, SLOTS_PER_TARGET,
 };
 use histo::Histogram;
 use proptest::collection::vec;
@@ -50,13 +50,54 @@ fn arb_target() -> impl Strategy<Value = TargetHistograms> {
 }
 
 fn arb_frame() -> impl Strategy<Value = HostFrame> {
-    (any::<u64>(), any::<u64>(), vec(arb_target(), 0..4)).prop_map(
-        |(host_id, captured_at_us, targets)| HostFrame {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        vec(arb_target(), 0..4),
+    )
+        .prop_map(|(host_id, captured_at_us, epoch, seq, targets)| HostFrame {
             host_id,
             captured_at_us,
+            epoch,
+            seq,
             targets,
-        },
-    )
+        })
+}
+
+/// A legacy frame: `VFLHIST1` has no epoch/seq fields, so they are 0.
+fn arb_frame_v1() -> impl Strategy<Value = HostFrame> {
+    arb_frame().prop_map(|mut f| {
+        f.epoch = 0;
+        f.seq = 0;
+        f
+    })
+}
+
+/// One-target frame for host 1 holding `records` in every slot, stamped
+/// with an explicit epoch and sequence.
+fn frame_with(records: &[i64], epoch: u64, seq: u64) -> Vec<u8> {
+    let histograms = slots()
+        .map(|(metric, _)| {
+            let mut h = Histogram::new(layout_of(metric).edges());
+            for &v in records {
+                h.record(v);
+            }
+            h
+        })
+        .collect();
+    encode_frame(&HostFrame {
+        host_id: 1,
+        captured_at_us: 0,
+        epoch,
+        seq,
+        targets: vec![TargetHistograms {
+            target: TargetId::new(VmId(0), VDiskId(0)),
+            histograms,
+        }],
+    })
+    .unwrap()
 }
 
 proptest! {
@@ -122,6 +163,8 @@ proptest! {
             encode_frame(&HostFrame {
                 host_id: 1,
                 captured_at_us: 0,
+                epoch: 0,
+                seq: 0,
                 targets: vec![TargetHistograms {
                     target: TargetId::new(VmId(0), VDiskId(0)),
                     histograms,
@@ -141,7 +184,7 @@ proptest! {
                 }
                 1 => {
                     expect_fetch += 1;
-                    Err(FetchError { msg: "down" })
+                    Err(FetchError::new("down"))
                 }
                 2 => {
                     expect_decode += 1;
@@ -157,9 +200,11 @@ proptest! {
             })
             .collect();
         let windows = script.len() as u64;
+        // The minimal discipline keeps the script-entry ↔ window mapping
+        // 1:1, which is what this exact-accounting property needs.
         let config = PollConfig {
             interval: SimDuration::from_secs(1),
-            stale_after: 2,
+            ..PollConfig::basic()
         };
         let mut collector = FleetCollector::new(config, vec![FrameEndpoint::new(1, 0, script)]);
         for w in 0..windows {
@@ -184,5 +229,118 @@ proptest! {
         } else {
             prop_assert_eq!(status.agg().total_events(), 0);
         }
+    }
+
+    /// For an arbitrary poll schedule (monotone host, arbitrary fetch
+    /// outages), merging every per-window delta view re-sums bit-for-bit
+    /// to the cumulative snapshot: counts, totals, sums, and min/max.
+    #[test]
+    fn window_deltas_resum_bit_for_bit(
+        plan in vec((vec(-5000i64..5000, 0..3), any::<bool>()), 1..16),
+    ) {
+        let mut records: Vec<i64> = Vec::new();
+        let mut seq = 0u64;
+        let mut script = Vec::new();
+        for (adds, reachable) in &plan {
+            if *reachable {
+                records.extend(adds.iter().copied());
+                seq += 1;
+                script.push(Ok(frame_with(&records, 1, seq)));
+            } else {
+                script.push(Err(FetchError::new("down")));
+            }
+        }
+        let windows = script.len() as u64;
+        let config = PollConfig {
+            interval: SimDuration::from_secs(1),
+            ..PollConfig::basic()
+        };
+        let mut collector = FleetCollector::new(config, vec![FrameEndpoint::new(1, 0, script)]);
+        let mut resum = AggSet::new();
+        for w in 0..windows {
+            let now = SimTime::from_secs(w);
+            collector.run_until(now);
+            let wv = collector.window_view(now);
+            prop_assert!(wv.conserves());
+            resum.merge(&wv.fleet.agg).unwrap();
+        }
+        let status = &collector.status()[0];
+        prop_assert!(resum.same_counters(status.agg()), "delta re-sum drifted");
+        prop_assert!(status.windowed_total().same_counters(status.agg()));
+        prop_assert_eq!(status.lost_windows, 0);
+    }
+
+    /// Arbitrary epoch-reset (restart) sequences never panic, and
+    /// lost-window/banked-event accounting is exact: each restart between
+    /// good windows books exactly one lost window, and the running total
+    /// carries every epoch's events exactly once.
+    #[test]
+    fn epoch_resets_account_lost_windows_exactly(
+        plan in vec((any::<bool>(), vec(1i64..4096, 1..3)), 1..12),
+    ) {
+        let mut records: Vec<i64> = Vec::new();
+        let mut epoch = 1u64;
+        let mut seq = 0u64;
+        let mut banked = 0u64;
+        let mut restarts = 0u64;
+        let mut script = Vec::new();
+        for (i, (restart, adds)) in plan.iter().enumerate() {
+            if *restart && i > 0 {
+                banked += records.len() as u64;
+                records.clear();
+                epoch += 1;
+                seq = 0;
+                restarts += 1;
+            }
+            records.extend(adds.iter().copied());
+            seq += 1;
+            script.push(Ok(frame_with(&records, epoch, seq)));
+        }
+        let windows = script.len() as u64;
+        let config = PollConfig {
+            interval: SimDuration::from_secs(1),
+            ..PollConfig::basic()
+        };
+        let mut collector = FleetCollector::new(config, vec![FrameEndpoint::new(1, 0, script)]);
+        collector.run_until(SimTime::from_secs(windows - 1));
+        let s = &collector.status()[0];
+        prop_assert_eq!(s.epoch_bumps, restarts);
+        prop_assert_eq!(s.lost_windows, restarts, "one lost window per restart");
+        prop_assert_eq!(s.seq_rejects, 0);
+        prop_assert_eq!(
+            s.windowed_total().total_events(),
+            (banked + records.len() as u64) * SLOTS_PER_TARGET as u64,
+            "every epoch's events counted exactly once"
+        );
+        let mut rebuilt = s.epoch_base().clone();
+        rebuilt.merge(s.agg()).unwrap();
+        prop_assert!(rebuilt.same_counters(s.windowed_total()));
+        let tv = collector.windowed_total_view(SimTime::from_secs(windows - 1));
+        prop_assert!(tv.conserves());
+    }
+
+    /// Legacy `VFLHIST1` frames decode bit-exactly under the `VFLHIST2`
+    /// reader (epoch/seq read back as 0), and corrupting them still
+    /// never mis-decodes.
+    #[test]
+    fn v1_frames_decode_under_v2_reader(frame in arb_frame_v1()) {
+        let bytes = encode_frame_v1(&frame).unwrap();
+        let back = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(&back, &frame);
+        prop_assert_eq!((back.epoch, back.seq), (0, 0));
+    }
+
+    /// Any single-byte corruption of a v1 frame is rejected by the v2
+    /// reader — including flips that turn the magic into `VFLHIST2`.
+    #[test]
+    fn v1_byte_flips_never_decode(
+        frame in arb_frame_v1(),
+        at in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = encode_frame_v1(&frame).unwrap();
+        let at = at.index(bytes.len());
+        bytes[at] ^= flip;
+        prop_assert!(decode_frame(&bytes).is_err());
     }
 }

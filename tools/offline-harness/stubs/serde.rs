@@ -1,0 +1,52 @@
+//! Offline stand-in for serde: just enough trait surface for the
+//! workspace's derives and the handwritten BinEdges impls to compile.
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer;
+}
+
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+    type SerializeStruct: ser::SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+}
+
+pub mod ser {
+    pub trait Error: Sized {
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+    pub trait SerializeStruct {
+        type Ok;
+        type Error;
+        fn serialize_field<T: ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+pub mod de {
+    pub trait Error: Sized {
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+}

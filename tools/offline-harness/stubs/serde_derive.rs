@@ -1,0 +1,53 @@
+//! Offline stand-in for serde_derive: emits stub Serialize/Deserialize
+//! impls (never executed; no serializer exists in the harness).
+extern crate proc_macro;
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    if let Some(TokenTree::Ident(name)) = iter.next() {
+                        return name.to_string();
+                    }
+                    panic!("serde stub derive: no ident after {s}");
+                }
+            }
+            _ => continue,
+        }
+    }
+    panic!("serde stub derive: no struct/enum found");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn serialize<S: ::serde::Serializer>(&self, _s: S)\n\
+               -> ::core::result::Result<S::Ok, S::Error> {{\n\
+               ::core::result::Result::Err(<S::Error as ::serde::ser::Error>::custom(\"serde stub\"))\n\
+           }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+           fn deserialize<D: ::serde::Deserializer<'de>>(_d: D)\n\
+               -> ::core::result::Result<Self, D::Error> {{\n\
+               ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\"serde stub\"))\n\
+           }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
