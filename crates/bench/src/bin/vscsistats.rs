@@ -8,17 +8,23 @@
 //! vscsistats --workload copy-vista --csv > hist.csv
 //! vscsistats --workload dbt2 --trace-out /tmp/dbt2-trace
 //! vscsistats --replay /tmp/dbt2-trace --report
+//! vscsistats query /tmp/dbt2-trace --from-us 1000 --to-us 2000 --kind read
 //! vscsistats --list
 //! ```
 //!
 //! `--trace-out` captures the run as a binary tracestore (bounded memory,
 //! ~16 bytes/command on disk); `--replay` rebuilds the online histograms
 //! from such a trace — bit-exactly — without re-running the simulation.
+//! `query` runs the indexed parallel analytics engine over a trace with
+//! predicate pushdown, answering time/LBA/kind/target-filtered histogram
+//! queries without decoding irrelevant blocks.
 
 use simkit::SimTime;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use tracestore::{read_trace, TraceStore, TraceStoreConfig};
+use tracestore::{
+    read_trace, CommandKind, Predicate, QueryConfig, QueryEngine, TraceStore, TraceStoreConfig,
+};
 use vscsi_stats::{
     fingerprint, replay, report, CollectorConfig, IoStatsCollector, TraceRecord,
     WorkloadFingerprint,
@@ -137,6 +143,7 @@ fn print_help() {
     println!("vscsistats — online disk I/O workload characterization (simulated host)\n");
     println!("usage: vscsistats --workload <name> [--seconds N] [--seed N] [--report] [--csv] [--fingerprint] [--trace-out DIR]");
     println!("       vscsistats --replay <path> [--report] [--csv] [--fingerprint]");
+    println!("       vscsistats query <path> [predicate flags] [--threads N] [--no-index] [--json] [--report]");
     println!("       vscsistats --bench-overhead [--bench-commands N] [--bench-out PATH|-]");
     println!("       vscsistats --list\n");
     println!("workloads:");
@@ -153,6 +160,16 @@ fn print_help() {
     println!("  --replay P     rebuild histograms from a trace file/directory instead of running");
     println!("  --bench-overhead  measure ns/command per collection config (Table 2) and write");
     println!("                    BENCH_percommand.json (override with --bench-out, '-' = stdout)");
+    println!("\nquery predicate flags (legs AND together; omit all for a full scan):");
+    println!("  --from-us N / --to-us N    issue-time window, microseconds since capture start");
+    println!("  --lba-min N / --lba-max N  first-sector LBA band, inclusive");
+    println!("  --kind K       read | write | completed | inflight");
+    println!("  --vm N / --disk N          exact (VM, virtual disk) target");
+    println!("query options:");
+    println!("  --threads N    scan/aggregate threads (0 = one per core, the default)");
+    println!("  --no-index     naive baseline: decode every block, no sidecar pushdown");
+    println!("  --json         machine-readable outcome (targets, digests, block ledger)");
+    println!("  --report       full histogram report per matching target");
 }
 
 fn prepare_workload(name: &str, duration: SimTime, seed: u64) -> Result<Prepared, String> {
@@ -233,9 +250,24 @@ fn run_replay(path: &Path, args: &Args) -> Result<(), String> {
         print_capture_meta(path);
     }
     let (records, integrity) = read_trace(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    // Per-file integrity lines plus an explicit aggregate, so corrupt
+    // archives are visible from the CLI — not just the capture-time
+    // sidecar header above.
     eprint!("{integrity}");
+    let total = integrity.aggregate();
     if !integrity.is_clean() {
-        eprintln!("warning: trace damaged; histograms rebuilt from recovered records only");
+        eprintln!(
+            "warning: trace damaged; {} corrupt block(s) skipped, >= {} record(s) lost{}; \
+             histograms rebuilt from the {} recovered record(s) only",
+            total.blocks_corrupt,
+            total.records_lost,
+            if total.truncated_tail {
+                ", truncated tail"
+            } else {
+                ""
+            },
+            total.records_recovered
+        );
     }
     let mut by_target: BTreeMap<_, Vec<TraceRecord>> = BTreeMap::new();
     for record in records {
@@ -293,7 +325,190 @@ fn run_bench_overhead(args: &Args) {
     }
 }
 
+/// `vscsistats query <path> ...`: the indexed parallel analytics engine
+/// from the CLI. Predicate legs AND together; no legs means full scan.
+fn run_query(argv: &[String]) -> Result<(), String> {
+    let mut path: Option<PathBuf> = None;
+    let mut from_us: Option<u64> = None;
+    let mut to_us: Option<u64> = None;
+    let mut lba_min: Option<u64> = None;
+    let mut lba_max: Option<u64> = None;
+    let mut kind: Option<CommandKind> = None;
+    let mut vm: Option<u32> = None;
+    let mut disk: Option<u32> = None;
+    let mut threads = 0usize;
+    let mut use_index = true;
+    let mut json = false;
+    let mut want_report = false;
+    let mut csv = false;
+
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |flag: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or(format!("{flag} needs a value"))?
+                .parse()
+                .map_err(|e| format!("{flag}: {e}"))
+        };
+        match arg.as_str() {
+            "--from-us" => from_us = Some(num("--from-us")?),
+            "--to-us" => to_us = Some(num("--to-us")?),
+            "--lba-min" => lba_min = Some(num("--lba-min")?),
+            "--lba-max" => lba_max = Some(num("--lba-max")?),
+            "--vm" => vm = Some(num("--vm")? as u32),
+            "--disk" => disk = Some(num("--disk")? as u32),
+            "--threads" => threads = num("--threads")? as usize,
+            "--kind" => {
+                kind = Some(match it.next().ok_or("--kind needs a value")?.as_str() {
+                    "read" => CommandKind::Read,
+                    "write" => CommandKind::Write,
+                    "completed" => CommandKind::Completed,
+                    "inflight" => CommandKind::Inflight,
+                    other => {
+                        return Err(format!(
+                            "--kind {other:?}: expected read|write|completed|inflight"
+                        ))
+                    }
+                });
+            }
+            "--no-index" => use_index = false,
+            "--json" => json = true,
+            "--report" | "-r" => want_report = true,
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                print_help();
+                return Ok(());
+            }
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("query: unknown argument {other:?} (try --help)")),
+        }
+    }
+    let path = path.ok_or("query needs a trace path (file or store directory)")?;
+
+    let mut legs = Vec::new();
+    if from_us.is_some() || to_us.is_some() {
+        legs.push(Predicate::TimeNs {
+            from_ns: from_us.unwrap_or(0).saturating_mul(1_000),
+            to_ns: to_us.map_or(u64::MAX, |us| us.saturating_mul(1_000)),
+        });
+    }
+    if lba_min.is_some() || lba_max.is_some() {
+        legs.push(Predicate::LbaBand {
+            min: lba_min.unwrap_or(0),
+            max: lba_max.unwrap_or(u64::MAX),
+        });
+    }
+    if let Some(kind) = kind {
+        legs.push(Predicate::Kind(kind));
+    }
+    if vm.is_some() || disk.is_some() {
+        legs.push(Predicate::Target(vscsi::TargetId::new(
+            vscsi::VmId(vm.unwrap_or(0)),
+            vscsi::VDiskId(disk.unwrap_or(0)),
+        )));
+    }
+    let predicate = if legs.is_empty() {
+        Predicate::True
+    } else {
+        Predicate::And(legs)
+    };
+
+    let engine = QueryEngine::new(QueryConfig {
+        threads,
+        use_index,
+        ..QueryConfig::default()
+    });
+    let outcome = engine
+        .run(&path, &predicate)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    if !outcome.report.conserves() {
+        return Err(format!(
+            "block accounting does not close: {}",
+            outcome.report
+        ));
+    }
+
+    if json {
+        println!("{{");
+        println!("  \"predicate\": \"{predicate:?}\",");
+        println!("  \"use_index\": {use_index},");
+        println!(
+            "  \"report\": {{ \"files\": {}, \"total_blocks\": {}, \"scanned_blocks\": {}, \
+             \"skipped_by_index\": {}, \"skipped_by_corruption\": {}, \"records_scanned\": {}, \
+             \"records_matched\": {}, \"records_lost\": {}, \"indexes_rebuilt\": {}, \
+             \"truncated_tails\": {} }},",
+            outcome.report.files.len(),
+            outcome.report.total_blocks,
+            outcome.report.scanned_blocks,
+            outcome.report.skipped_by_index,
+            outcome.report.skipped_by_corruption,
+            outcome.report.records_scanned,
+            outcome.report.records_matched,
+            outcome.report.records_lost,
+            outcome.report.indexes_rebuilt,
+            outcome.report.truncated_tails
+        );
+        println!("  \"targets\": [");
+        for (i, row) in outcome.targets.iter().enumerate() {
+            println!(
+                "    {{ \"vm\": {}, \"disk\": {}, \"records\": {}, \"completed\": {}, \
+                 \"digest\": \"{:016x}\" }}{}",
+                row.target.vm.0,
+                row.target.disk.0,
+                row.records,
+                row.collector.completed_commands(),
+                row.digest(),
+                if i + 1 < outcome.targets.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        println!("  ]");
+        println!("}}");
+        return Ok(());
+    }
+
+    eprintln!("scan: {}", outcome.report);
+    if outcome.report.records_matched == 0 {
+        println!("no records matched");
+        return Ok(());
+    }
+    let multi = outcome.targets.len() > 1;
+    for row in &outcome.targets {
+        if multi {
+            println!("===== target {} =====", row.target);
+        }
+        println!(
+            "matched {} record(s) ({} completed) for {}",
+            row.records,
+            row.collector.completed_commands(),
+            row.target
+        );
+        if want_report {
+            println!("{}", report::full_report(&row.collector));
+        }
+        if csv {
+            print!("{}", report::csv_dump(&row.collector));
+        }
+    }
+    Ok(())
+}
+
 fn main() {
+    // Subcommand-style dispatch for the analytics engine; everything else
+    // keeps the original flag-driven interface.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("query") {
+        if let Err(e) = run_query(&argv[1..]) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

@@ -21,8 +21,42 @@
 //! the outstanding-I/O layout with `{16, 20, 24, 28}` in `[16, 31]`), and
 //! the `fastbin_props` proptest pins agreement with both scan strategies
 //! over arbitrary `i64` input.
+//!
+//! ## Batched lanes
+//!
+//! [`FastBinner::bin_slice`] dispatches between two batch implementations
+//! chosen at construction time (see [`BinLane`]):
+//!
+//! * **Scalar** — the autovectorizer-shaped [`FastBinner::bin_batch`]
+//!   loop over 8-lane blocks. Always available, on every architecture.
+//! * **Sse2** — explicit `core::arch::x86_64` intrinsics. The kernel uses
+//!   the identity `bin_index(v) == |{edges e : e < v}|` (which holds over
+//!   the whole `i64` domain — it is [`BinEdges::bin_index`]'s definition):
+//!   when every edge fits strictly below `i32::MAX`, values can be
+//!   *saturated* into `i32` without changing any edge comparison, and the
+//!   count runs four lanes at a time on native `_mm_cmpgt_epi32` — SSE2
+//!   has no 64-bit signed compare, so narrowing is what makes the lane
+//!   profitable. Layouts with an edge outside that range (none of the
+//!   paper's) simply keep the scalar lane.
+//!
+//! SSE2 is part of the `x86_64` baseline, so dispatch is `cfg`-static —
+//! no runtime feature probe is needed. The two lanes are bit-identical;
+//! the `sse2_lane_equals_scalar_lane` proptest pins it over arbitrary
+//! `i64` input including values far outside the `i32` range.
 
 use crate::bins::BinEdges;
+
+/// Which batch implementation [`FastBinner::bin_slice`] runs; see the
+/// module docs. Selected automatically at construction, overridable with
+/// [`FastBinner::with_lane`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinLane {
+    /// Portable scalar blocks shaped for the autovectorizer.
+    Scalar,
+    /// Explicit SSE2 intrinsics over `i32`-narrowed edges (`x86_64` only,
+    /// and only when the layout's edges permit narrowing).
+    Sse2,
+}
 
 /// Maximum number of edges sharing one power-of-two class. Chosen to cover
 /// the densest registered layout; see the module docs.
@@ -48,6 +82,14 @@ pub struct FastBinner {
     neg_class: [[u64; CLASS_SLOTS]; CLASSES],
     /// Total number of strictly negative edges.
     neg_count: u16,
+    /// Every edge narrowed to `i32`, in layout order, for the SSE2 lane.
+    /// Empty when some edge is `>= i32::MAX` or `< i32::MIN` — saturating
+    /// values into `i32` is only comparison-preserving when all edges lie
+    /// strictly below the saturation ceiling (`i32::MIN` itself is fine:
+    /// nothing can sit strictly below a floor edge).
+    narrow_edges: Vec<i32>,
+    /// Which batch lane [`FastBinner::bin_slice`] dispatches to.
+    lane: BinLane,
 }
 
 /// Bit-width class of a non-negative magnitude: 0 for 0, otherwise
@@ -109,15 +151,27 @@ impl FastBinner {
         // has an empty span, so its base stays 0 (neg) / unused (pos).
         for w in 1..CLASSES {
             let lo = 1u64 << (w - 1);
-            pos_base[w] = edges
-                .iter()
-                .filter(|&&e| e < 0 || ((e as u64) < lo && e >= 0))
-                .count() as u16;
+            pos_base[w] = edges.iter().filter(|&&e| e < 0 || (e as u64) < lo).count() as u16;
             neg_base[w] = edges
                 .iter()
                 .filter(|&&e| e < 0 && e.unsigned_abs() < lo)
                 .count() as u16;
         }
+
+        // Narrowing gate for the SSE2 lane: saturating a value into i32
+        // preserves every `e < v` comparison iff no edge equals i32::MAX
+        // (a value above the ceiling must still count *all* edges below
+        // it) and every edge fits in i32 at all.
+        let narrow_edges: Vec<i32> = edges
+            .iter()
+            .map(|&e| i32::try_from(e).ok().filter(|&x| x < i32::MAX))
+            .collect::<Option<Vec<i32>>>()
+            .unwrap_or_default();
+        let lane = if cfg!(target_arch = "x86_64") && !narrow_edges.is_empty() {
+            BinLane::Sse2
+        } else {
+            BinLane::Scalar
+        };
 
         Some(FastBinner {
             pos_base,
@@ -125,7 +179,32 @@ impl FastBinner {
             neg_base,
             neg_class,
             neg_count,
+            narrow_edges,
+            lane,
         })
+    }
+
+    /// The batch lane [`FastBinner::bin_slice`] currently dispatches to.
+    pub fn lane(&self) -> BinLane {
+        self.lane
+    }
+
+    /// Requests a specific batch lane, returning the binner. The request
+    /// is coerced to [`BinLane::Scalar`] when the SSE2 lane is unavailable
+    /// (non-`x86_64`, or a layout whose edges do not narrow to `i32`);
+    /// check [`FastBinner::lane`] for the lane actually in effect. Both
+    /// lanes produce bit-identical indices — this exists for benchmarks
+    /// and the lane-equivalence tests.
+    pub fn with_lane(mut self, lane: BinLane) -> FastBinner {
+        self.lane = if lane == BinLane::Sse2
+            && cfg!(target_arch = "x86_64")
+            && !self.narrow_edges.is_empty()
+        {
+            BinLane::Sse2
+        } else {
+            BinLane::Scalar
+        };
+        self
     }
 
     /// Maps a small fixed-size array of values to bin indices in one
@@ -151,7 +230,8 @@ impl FastBinner {
 
     /// [`FastBinner::bin_batch`] over runtime-sized slices: bins
     /// `values[i]` into `out[i]`, processing full 8-lane blocks through
-    /// the fixed-size path and the tail elementwise.
+    /// the active [`BinLane`] and the tail elementwise. The lanes are
+    /// bit-identical; see the module docs for how each works.
     ///
     /// # Panics
     ///
@@ -161,11 +241,44 @@ impl FastBinner {
             out.len() >= values.len(),
             "bin_slice: output buffer too short"
         );
+        #[cfg(target_arch = "x86_64")]
+        if self.lane == BinLane::Sse2 {
+            return self.bin_slice_sse2(values, out);
+        }
+        self.bin_slice_scalar(values, out);
+    }
+
+    /// The autovectorizer-shaped scalar lane: full 8-lane blocks through
+    /// [`FastBinner::bin_batch`], ragged tail elementwise.
+    fn bin_slice_scalar(&self, values: &[i64], out: &mut [u16]) {
         const LANES: usize = 8;
         let mut i = 0;
         while i + LANES <= values.len() {
             let block: &[i64; LANES] = values[i..i + LANES].try_into().expect("exact block");
             out[i..i + LANES].copy_from_slice(&self.bin_batch(block));
+            i += LANES;
+        }
+        for (o, v) in out[i..values.len()].iter_mut().zip(&values[i..]) {
+            *o = self.bin_index(*v) as u16;
+        }
+    }
+
+    /// The explicit SSE2 lane: 8 values per block, each saturated into
+    /// `i32` (comparison-preserving given the narrowing gate in
+    /// [`FastBinner::try_from_edges`]) and compared against every edge
+    /// four lanes at a time. Per-lane counts accumulate by subtracting
+    /// the all-ones compare masks, exactly the branch-free idiom of the
+    /// scalar path — just four bins wide.
+    #[cfg(target_arch = "x86_64")]
+    fn bin_slice_sse2(&self, values: &[i64], out: &mut [u16]) {
+        debug_assert!(!self.narrow_edges.is_empty());
+        const LANES: usize = 8;
+        let mut i = 0;
+        while i + LANES <= values.len() {
+            let block: &[i64; LANES] = values[i..i + LANES].try_into().expect("exact block");
+            // SAFETY: SSE2 is part of the x86_64 baseline target, so the
+            // required feature is unconditionally available here.
+            unsafe { sse2_bin_block8(&self.narrow_edges, block, &mut out[i..i + LANES]) };
             i += LANES;
         }
         for (o, v) in out[i..values.len()].iter_mut().zip(&values[i..]) {
@@ -199,6 +312,56 @@ impl FastBinner {
             }
             usize::from(self.neg_count) - le
         }
+    }
+}
+
+/// SSE2 kernel for one 8-value block: `out[j] = |{edges e : e < values[j]}|`.
+///
+/// Values are clamped into `i32` first; the caller guarantees every edge
+/// is `>= i32::MIN` and `< i32::MAX`, which makes the clamp invisible to
+/// the comparisons (a value at or above the ceiling still beats every
+/// edge, a value at the floor still beats none). Counts never exceed the
+/// edge count (`<= u16::MAX` by construction), so the `i32` accumulator
+/// lanes narrow losslessly.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+fn sse2_bin_block8(edges: &[i32], values: &[i64; 8], out: &mut [u16]) {
+    use std::arch::x86_64::{
+        __m128i, _mm_cmpgt_epi32, _mm_set1_epi32, _mm_set_epi32, _mm_setzero_si128, _mm_sub_epi32,
+    };
+
+    #[inline]
+    fn clamp32(v: i64) -> i32 {
+        v.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32
+    }
+
+    let lo = _mm_set_epi32(
+        clamp32(values[3]),
+        clamp32(values[2]),
+        clamp32(values[1]),
+        clamp32(values[0]),
+    );
+    let hi = _mm_set_epi32(
+        clamp32(values[7]),
+        clamp32(values[6]),
+        clamp32(values[5]),
+        clamp32(values[4]),
+    );
+    let mut acc_lo = _mm_setzero_si128();
+    let mut acc_hi = _mm_setzero_si128();
+    for &e in edges {
+        let ev = _mm_set1_epi32(e);
+        // cmpgt yields -1 per lane where v > e, i.e. where edge e < v;
+        // subtracting the mask increments that lane's count.
+        acc_lo = _mm_sub_epi32(acc_lo, _mm_cmpgt_epi32(lo, ev));
+        acc_hi = _mm_sub_epi32(acc_hi, _mm_cmpgt_epi32(hi, ev));
+    }
+    // SAFETY: __m128i and [i32; 4] are both 16 plain bytes.
+    let a: [i32; 4] = unsafe { core::mem::transmute::<__m128i, [i32; 4]>(acc_lo) };
+    let b: [i32; 4] = unsafe { core::mem::transmute::<__m128i, [i32; 4]>(acc_hi) };
+    for j in 0..4 {
+        out[j] = a[j] as u16;
+        out[j + 4] = b[j] as u16;
     }
 }
 
@@ -280,5 +443,85 @@ mod tests {
         // Exactly CLASS_SLOTS edges in [16, 31] — the outstanding-I/O shape.
         let edges = vec![16, 20, 24, 28];
         check_all(edges.clone(), &probes_for(&edges));
+    }
+
+    /// Runs both lanes over `values` and asserts they agree with each
+    /// other and with elementwise `bin_index`.
+    fn check_lanes(fast: &FastBinner, values: &[i64]) {
+        let scalar = fast.clone().with_lane(BinLane::Scalar);
+        let simd = fast.clone().with_lane(BinLane::Sse2);
+        let mut out_scalar = vec![0u16; values.len()];
+        let mut out_simd = vec![0u16; values.len()];
+        scalar.bin_slice(values, &mut out_scalar);
+        simd.bin_slice(values, &mut out_simd);
+        assert_eq!(out_scalar, out_simd);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(usize::from(out_scalar[i]), fast.bin_index(v), "v = {v}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn sse2_lane_is_default_and_bit_identical_on_paper_layouts() {
+        use crate::layouts;
+        for be in [
+            layouts::io_length_bytes(),
+            layouts::seek_distance_sectors(),
+            layouts::latency_us(),
+            layouts::interarrival_us(),
+            layouts::outstanding_ios(),
+            layouts::scsi_outcomes(),
+        ] {
+            let fast = FastBinner::try_new(&be).unwrap();
+            assert_eq!(fast.lane(), BinLane::Sse2, "paper layouts narrow to i32");
+            let mut probes = probes_for(be.edges());
+            // Odd length exercises the ragged tail of both lanes.
+            probes.push(42);
+            check_lanes(&fast, &probes);
+        }
+    }
+
+    #[test]
+    fn wide_edges_coerce_sse2_request_to_scalar() {
+        // i32::MAX itself and anything beyond defeats the i32 narrowing,
+        // so the SSE2 lane must refuse and stay correct via scalar.
+        for edges in [
+            vec![0, i64::from(i32::MAX)],
+            vec![0, i64::from(i32::MAX) + 1],
+            vec![i64::from(i32::MIN) - 1, 0],
+            vec![i64::MIN, 0, i64::MAX],
+        ] {
+            let fast = FastBinner::try_from_edges(&edges).unwrap();
+            assert_eq!(fast.lane(), BinLane::Scalar, "edges {edges:?}");
+            assert_eq!(
+                fast.clone().with_lane(BinLane::Sse2).lane(),
+                BinLane::Scalar
+            );
+            check_all(edges.clone(), &probes_for(&edges));
+        }
+        // i32::MIN as an edge is fine: no value sits strictly below the
+        // saturation floor, so narrowing stays comparison-preserving.
+        let edges = vec![i64::from(i32::MIN), 0, 7];
+        let fast = FastBinner::try_from_edges(&edges).unwrap();
+        if cfg!(target_arch = "x86_64") {
+            assert_eq!(fast.lane(), BinLane::Sse2);
+        }
+        check_lanes(&fast, &probes_for(&edges));
+    }
+
+    #[test]
+    fn lanes_agree_across_clamp_boundaries() {
+        let edges = vec![-500_000, -64, -1, 0, 1, 64, 500_000];
+        let fast = FastBinner::try_from_edges(&edges).unwrap();
+        let mut probes = probes_for(&edges);
+        probes.extend([
+            i64::from(i32::MIN) - 1,
+            i64::from(i32::MIN),
+            i64::from(i32::MIN) + 1,
+            i64::from(i32::MAX) - 1,
+            i64::from(i32::MAX),
+            i64::from(i32::MAX) + 1,
+        ]);
+        check_lanes(&fast, &probes);
     }
 }

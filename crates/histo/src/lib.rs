@@ -55,7 +55,7 @@ mod series;
 mod window;
 
 pub use bins::{BinEdges, BinEdgesError};
-pub use fastbin::FastBinner;
+pub use fastbin::{BinLane, FastBinner};
 pub use hist2d::Histogram2d;
 pub use histogram::{Histogram, MergeError};
 pub use layouts::LayoutId;

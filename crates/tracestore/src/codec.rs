@@ -246,16 +246,46 @@ impl BlockBuilder {
 /// Fails on truncation, malformed varints, out-of-range ids, or leftover
 /// bytes after the last record.
 pub fn decode_block(payload: &[u8], count: u32) -> Result<Vec<TraceRecord>, CodecError> {
+    let mut out = Vec::with_capacity(count as usize);
+    decode_block_into(payload, count, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode_block`] into a caller-owned buffer: appends the decoded
+/// records to `out`, so a scan loop that clears and reuses one `Vec`
+/// across blocks never allocates past its high-water capacity. This is
+/// the segment reader's and the query scanner's steady-state decode path
+/// (`decode_alloc` pins the zero-allocation property).
+///
+/// On error `out` is truncated back to its original length — a corrupt
+/// block never leaves half-decoded records behind.
+///
+/// # Errors
+///
+/// Same conditions as [`decode_block`].
+pub fn decode_block_into(
+    payload: &[u8],
+    count: u32,
+    out: &mut Vec<TraceRecord>,
+) -> Result<(), CodecError> {
+    let start = out.len();
+    out.reserve(count as usize);
     let mut state = DeltaState::default();
     let mut pos = 0usize;
-    let mut out = Vec::with_capacity(count as usize);
     for _ in 0..count {
-        out.push(decode_record(payload, &mut pos, &mut state)?);
+        match decode_record(payload, &mut pos, &mut state) {
+            Ok(record) => out.push(record),
+            Err(e) => {
+                out.truncate(start);
+                return Err(e);
+            }
+        }
     }
     if pos != payload.len() {
+        out.truncate(start);
         return Err(CodecError::new("trailing bytes after last record"));
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Encodes a record slice as one standalone block payload (convenience for
@@ -355,6 +385,28 @@ mod tests {
         assert!(decode_block(&extended, count).is_err());
         // Unknown flag bits.
         assert!(decode_block(&[0xFF, 0, 0, 0, 0], 1).is_err());
+    }
+
+    #[test]
+    fn decode_into_appends_and_rolls_back_on_error() {
+        let a = vec![rec(0, 64, 1_000, None), rec(1, 72, 2_000, None)];
+        let b = vec![rec(9, 640, 9_000, Some((9_500, 10)))];
+        let (pa, ca) = encode_block(&a);
+        let (pb, cb) = encode_block(&b);
+        let mut out = Vec::new();
+        decode_block_into(&pa, ca, &mut out).unwrap();
+        decode_block_into(&pb, cb, &mut out).unwrap();
+        let mut expected = a.clone();
+        expected.extend_from_slice(&b);
+        assert_eq!(out, expected);
+        // A failing decode must leave previously decoded records intact.
+        assert!(decode_block_into(&pa[..pa.len() - 1], ca, &mut out).is_err());
+        assert_eq!(out, expected, "rollback to pre-call length");
+        // Reuse without reallocation once capacity is established.
+        out.clear();
+        let cap = out.capacity();
+        decode_block_into(&pa, ca, &mut out).unwrap();
+        assert_eq!(out.capacity(), cap);
     }
 
     #[test]

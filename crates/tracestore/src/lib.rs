@@ -21,6 +21,13 @@
 //!   backpressure policies ([`BackpressurePolicy`]) feeding a background
 //!   writer thread that seals and rolls segment files.
 //!
+//! Plus the offline analytics plane on top: [`index`] emits compact
+//! `VSTRIDX1` zone-map sidecars at segment-roll time (and backfills them
+//! for legacy captures), and [`query`] runs a parallel, predicate-pushdown
+//! [`QueryEngine`] over an archive — skipping whole blocks the zone maps
+//! prove irrelevant and conserving an exact scanned/skipped block ledger
+//! even through corruption.
+//!
 //! A [`TraceStoreHandle`] implements the core crate's
 //! [`TraceSink`](vscsi_stats::TraceSink), so it plugs straight into a
 //! streaming [`VscsiTracer`](vscsi_stats::VscsiTracer) or
@@ -46,13 +53,25 @@
 
 pub mod codec;
 pub mod crc32;
+pub mod index;
+pub mod query;
 pub mod reader;
 pub mod ring;
 pub mod segment;
 pub mod store;
 mod varint;
 
-pub use codec::{decode_block, encode_block, BlockBuilder, CodecError, MAX_RECORD_BYTES};
+pub use codec::{
+    decode_block, decode_block_into, encode_block, BlockBuilder, CodecError, MAX_RECORD_BYTES,
+};
+pub use index::{
+    build_index, decode_index, encode_index, index_path, load_or_build, BlockEntry, IndexSource,
+    SegmentIndex, ZoneStats, INDEX_EXTENSION, INDEX_VERSION,
+};
+pub use query::{
+    reference_scan, CommandKind, Predicate, QueryConfig, QueryEngine, QueryOutcome, QueryReport,
+    SegmentScan, TargetQueryResult,
+};
 pub use reader::{read_trace, IntegrityReport};
 pub use ring::{BackpressurePolicy, DropStats};
 pub use segment::{

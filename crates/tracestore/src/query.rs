@@ -1,0 +1,970 @@
+//! Parallel trace analytics: indexed segment scan with predicate
+//! pushdown.
+//!
+//! The paper's position is that *online* histograms make full tracing
+//! unnecessary for routine monitoring; the flip side is that when a
+//! trace has been captured, offline questions should not cost a
+//! single-threaded full decode of every varint block. This module is the
+//! offline half of that bargain:
+//!
+//! ```text
+//!            segments + VSTRIDX1 sidecars (index.rs)
+//!                     |
+//!      work spans  <--+-- load_or_build (backfills legacy segments)
+//!         |
+//!   [scanner 0..T)  --- zone maps prune blocks; survivors decode into
+//!         |             a reused scratch, records predicate-filtered
+//!     spsc mesh     --- matched records routed by target shard
+//!         |
+//!  [aggregator 0..T) -- shard-owned targets, records sorted back into
+//!         |             file order, replayed into histogram sets
+//!      QueryOutcome --- per-target collectors + conservation ledger
+//! ```
+//!
+//! Three properties are load-bearing and tested:
+//!
+//! * **Pushdown is only ever a skip.** A zone map can prove a block
+//!   irrelevant; it can never fabricate a match. Blocks without stats
+//!   (corrupt at index time, or hand-built empties) are always scanned.
+//! * **Parallelism is invisible in the result.** Matched records carry
+//!   their `(segment, block, position)` coordinates; each aggregator
+//!   sorts its targets' records back into file order before replaying,
+//!   so the histograms are bit-identical to a serial scan no matter the
+//!   thread count or arrival interleaving.
+//! * **The ledger closes.** For every file and in total:
+//!   `scanned + skipped_by_index + skipped_by_corruption == total
+//!   blocks`, with damaged blocks accounted (never silently dropped),
+//!   exactly as the capture side conserves appended records.
+
+use crate::codec::decode_block_into;
+use crate::crc32::crc32;
+use crate::index::{load_or_build, IndexSource, SegmentIndex, ZoneStats};
+use crate::index::{KIND_COMPLETED, KIND_INFLIGHT, KIND_READ, KIND_WRITE};
+use crate::reader::{list_segments, IntegrityReport};
+use crate::segment::{walk_frames, FrameEvent, SegmentError, BLOCK_HEADER_BYTES, BLOCK_MAGIC};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use vscsi::{IoDirection, TargetId};
+use vscsi_stats::spsc;
+use vscsi_stats::{replay, CollectorConfig, IoStatsCollector, Lens, Metric, TraceRecord};
+
+/// A command-kind predicate leg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// Reads only.
+    Read,
+    /// Writes only.
+    Write,
+    /// Commands that completed within the capture.
+    Completed,
+    /// Commands still in flight when capture stopped.
+    Inflight,
+}
+
+/// The typed predicate AST. Every variant has two evaluations: against a
+/// decoded record ([`Predicate::matches`]) and against a block's zone
+/// map ([`Predicate::may_match`]), where it must be *conservative* —
+/// `matches(r)` for any record in a block implies `may_match(stats)` for
+/// that block's stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// Matches everything (the full-scan query).
+    True,
+    /// Issue timestamp within `[from_ns, to_ns]`, inclusive.
+    TimeNs {
+        /// Window start, inclusive.
+        from_ns: u64,
+        /// Window end, inclusive.
+        to_ns: u64,
+    },
+    /// First-sector LBA within `[min, max]`, inclusive.
+    LbaBand {
+        /// Band start sector, inclusive.
+        min: u64,
+        /// Band end sector, inclusive.
+        max: u64,
+    },
+    /// Command kind.
+    Kind(CommandKind),
+    /// Exact (VM, virtual disk) target.
+    Target(TargetId),
+    /// All sub-predicates hold (empty = `True`).
+    And(Vec<Predicate>),
+    /// Any sub-predicate holds (empty = matches nothing).
+    Or(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Whether a decoded record satisfies the predicate.
+    pub fn matches(&self, r: &TraceRecord) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::TimeNs { from_ns, to_ns } => (*from_ns..=*to_ns).contains(&r.issue_ns),
+            Predicate::LbaBand { min, max } => (*min..=*max).contains(&r.lba.sector()),
+            Predicate::Kind(kind) => match kind {
+                CommandKind::Read => r.direction == IoDirection::Read,
+                CommandKind::Write => r.direction == IoDirection::Write,
+                CommandKind::Completed => r.complete_ns.is_some(),
+                CommandKind::Inflight => r.complete_ns.is_none(),
+            },
+            Predicate::Target(target) => r.target == *target,
+            Predicate::And(ps) => ps.iter().all(|p| p.matches(r)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.matches(r)),
+        }
+    }
+
+    /// Whether a block with these zone stats *may* contain a match.
+    /// `false` is a proof of absence; `true` promises nothing.
+    pub fn may_match(&self, stats: &ZoneStats) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::TimeNs { from_ns, to_ns } => {
+                stats.min_issue_ns <= *to_ns && *from_ns <= stats.max_issue_ns
+            }
+            Predicate::LbaBand { min, max } => stats.min_lba <= *max && *min <= stats.max_lba,
+            Predicate::Kind(kind) => {
+                let bit = match kind {
+                    CommandKind::Read => KIND_READ,
+                    CommandKind::Write => KIND_WRITE,
+                    CommandKind::Completed => KIND_COMPLETED,
+                    CommandKind::Inflight => KIND_INFLIGHT,
+                };
+                stats.kinds & bit != 0
+            }
+            Predicate::Target(target) => stats.may_contain_target(*target),
+            Predicate::And(ps) => ps.iter().all(|p| p.may_match(stats)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.may_match(stats)),
+        }
+    }
+
+    /// Pushdown decision for a block: blocks without stats must be
+    /// scanned (the index could not vouch for their contents).
+    fn zone_check(&self, stats: Option<&ZoneStats>) -> bool {
+        stats.is_none_or(|s| self.may_match(s))
+    }
+}
+
+/// Tuning for a [`QueryEngine`] run.
+#[derive(Debug, Clone)]
+pub struct QueryConfig {
+    /// Scanner (and aggregator) threads; `0` means one per available
+    /// core.
+    pub threads: usize,
+    /// Load/backfill `VSTRIDX1` sidecars and push predicates down to
+    /// zone maps. `false` is the naive baseline: every block decoded,
+    /// predicate applied record-by-record only.
+    pub use_index: bool,
+    /// Blocks per work item claimed from the shared cursor; small enough
+    /// to balance, large enough to amortize the claim.
+    pub span_blocks: u32,
+    /// Capacity of each scanner→aggregator ring, in records.
+    pub ring_capacity: usize,
+    /// Histogram configuration for the per-target collectors.
+    pub collector: CollectorConfig,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig {
+            threads: 0,
+            use_index: true,
+            span_blocks: 64,
+            ring_capacity: 1024,
+            collector: CollectorConfig::paper_figures(),
+        }
+    }
+}
+
+/// Per-segment-file scan ledger.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SegmentScan {
+    /// The segment file.
+    pub path: PathBuf,
+    /// Framed blocks the index describes.
+    pub total_blocks: u64,
+    /// Blocks decoded and predicate-filtered.
+    pub scanned_blocks: u64,
+    /// Blocks skipped because their zone map proved no match — payload
+    /// bytes never touched.
+    pub skipped_by_index: u64,
+    /// Blocks attempted but failing CRC/decode.
+    pub skipped_by_corruption: u64,
+    /// Records decoded from scanned blocks.
+    pub records_scanned: u64,
+    /// Records satisfying the predicate.
+    pub records_matched: u64,
+    /// Declared records inside corrupt blocks.
+    pub records_lost: u64,
+    /// Declared records inside index-skipped blocks.
+    pub records_skipped_by_index: u64,
+    /// Whether the segment ends mid-block.
+    pub truncated_tail: bool,
+    /// Whether the sidecar was missing/stale and rebuilt from segment
+    /// bytes.
+    pub index_rebuilt: bool,
+}
+
+impl SegmentScan {
+    /// Whether this file's block accounting closes exactly.
+    pub fn conserves(&self) -> bool {
+        self.scanned_blocks + self.skipped_by_index + self.skipped_by_corruption
+            == self.total_blocks
+    }
+}
+
+/// The whole run's ledger: per-file entries plus their totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryReport {
+    /// One entry per segment file, in scan (name) order.
+    pub files: Vec<SegmentScan>,
+    /// Sum of per-file `total_blocks`.
+    pub total_blocks: u64,
+    /// Sum of per-file `scanned_blocks`.
+    pub scanned_blocks: u64,
+    /// Sum of per-file `skipped_by_index`.
+    pub skipped_by_index: u64,
+    /// Sum of per-file `skipped_by_corruption`.
+    pub skipped_by_corruption: u64,
+    /// Sum of per-file `records_scanned`.
+    pub records_scanned: u64,
+    /// Sum of per-file `records_matched`.
+    pub records_matched: u64,
+    /// Sum of per-file `records_lost`.
+    pub records_lost: u64,
+    /// Sum of per-file `records_skipped_by_index`.
+    pub records_skipped_by_index: u64,
+    /// Sidecars that had to be rebuilt (missing, stale, or malformed).
+    pub indexes_rebuilt: u64,
+    /// Segments ending mid-block.
+    pub truncated_tails: u64,
+}
+
+impl QueryReport {
+    /// Whether block accounting closes exactly, in total and per file:
+    /// `scanned + skipped_by_index + skipped_by_corruption == total`.
+    pub fn conserves(&self) -> bool {
+        self.scanned_blocks + self.skipped_by_index + self.skipped_by_corruption
+            == self.total_blocks
+            && self.files.iter().all(SegmentScan::conserves)
+    }
+
+    /// Fraction of blocks the index pruned (0 when there were none).
+    pub fn skip_ratio(&self) -> f64 {
+        if self.total_blocks == 0 {
+            0.0
+        } else {
+            self.skipped_by_index as f64 / self.total_blocks as f64
+        }
+    }
+
+    fn absorb(&mut self, scan: SegmentScan) {
+        self.total_blocks += scan.total_blocks;
+        self.scanned_blocks += scan.scanned_blocks;
+        self.skipped_by_index += scan.skipped_by_index;
+        self.skipped_by_corruption += scan.skipped_by_corruption;
+        self.records_scanned += scan.records_scanned;
+        self.records_matched += scan.records_matched;
+        self.records_lost += scan.records_lost;
+        self.records_skipped_by_index += scan.records_skipped_by_index;
+        self.indexes_rebuilt += u64::from(scan.index_rebuilt);
+        self.truncated_tails += u64::from(scan.truncated_tail);
+        self.files.push(scan);
+    }
+}
+
+impl fmt::Display for QueryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} files, {} blocks ({} scanned, {} index-skipped, {} corrupt), \
+             {} records scanned, {} matched, {} lost",
+            self.files.len(),
+            self.total_blocks,
+            self.scanned_blocks,
+            self.skipped_by_index,
+            self.skipped_by_corruption,
+            self.records_scanned,
+            self.records_matched,
+            self.records_lost
+        )?;
+        if self.indexes_rebuilt > 0 {
+            write!(f, ", {} sidecars rebuilt", self.indexes_rebuilt)?;
+        }
+        if self.truncated_tails > 0 {
+            write!(f, ", {} truncated tails", self.truncated_tails)?;
+        }
+        Ok(())
+    }
+}
+
+/// One target's answer: how many records matched and the full histogram
+/// set replayed from them, identical to what online collection over the
+/// same (filtered) stream would have produced.
+#[derive(Debug)]
+pub struct TargetQueryResult {
+    /// The (VM, disk) this row describes.
+    pub target: TargetId,
+    /// Matched records for this target.
+    pub records: u64,
+    /// Collector replayed from the matched records in file order.
+    pub collector: IoStatsCollector,
+}
+
+impl TargetQueryResult {
+    /// Order-insensitive 64-bit digest of every histogram cell and
+    /// counter — the "bit-for-bit" comparison primitive used by tests
+    /// and benches (FNV-1a over all 21 metric×lens histograms plus the
+    /// command counters).
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        fold(u64::from(self.target.vm.0));
+        fold(u64::from(self.target.disk.0));
+        fold(self.records);
+        fold(self.collector.issued_commands());
+        fold(self.collector.completed_commands());
+        fold(self.collector.error_commands());
+        for metric in Metric::ALL {
+            for lens in Lens::ALL {
+                let histogram = self.collector.histogram(metric, lens);
+                fold(histogram.total());
+                for &count in histogram.counts() {
+                    fold(count);
+                }
+            }
+        }
+        h
+    }
+}
+
+/// A finished query: per-target results (sorted by target id) plus the
+/// conservation ledger.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// Per-target histogram sets, ascending by target id.
+    pub targets: Vec<TargetQueryResult>,
+    /// The block/record ledger.
+    pub report: QueryReport,
+}
+
+/// A matched record with its file-order coordinates, `Copy` so it rides
+/// the lock-free rings.
+#[derive(Debug, Clone, Copy)]
+struct Routed {
+    seg: u32,
+    block: u32,
+    pos: u32,
+    rec: TraceRecord,
+}
+
+/// Which aggregator owns a target. Must be a pure function of the
+/// target so every scanner routes consistently.
+fn shard(target: TargetId, shards: usize) -> usize {
+    let key = (u64::from(target.vm.0) << 32) | u64::from(target.disk.0);
+    // SplitMix64 finalizer (same mix as the index bloom).
+    let mut x = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
+struct LoadedSegment {
+    path: PathBuf,
+    data: Vec<u8>,
+    index: SegmentIndex,
+    rebuilt: bool,
+}
+
+/// A claimable unit of scan work: a run of blocks within one segment.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    seg: u32,
+    start: u32,
+    end: u32,
+}
+
+/// Per-(scanner, segment) counters, merged into [`SegmentScan`]s at
+/// join time so scanners share nothing while running.
+#[derive(Debug, Clone, Copy, Default)]
+struct LocalScan {
+    scanned_blocks: u64,
+    skipped_by_index: u64,
+    skipped_by_corruption: u64,
+    records_scanned: u64,
+    records_matched: u64,
+    records_lost: u64,
+    records_skipped_by_index: u64,
+}
+
+/// Index-shaped framing of a segment *without* zone stats, for the
+/// naive (`use_index: false`) path: same block census as
+/// [`crate::index::build_index`], no pruning information.
+fn frame_entries(data: &[u8]) -> Result<SegmentIndex, SegmentError> {
+    let mut index = SegmentIndex {
+        segment_bytes: data.len() as u64,
+        truncated_tail: false,
+        entries: Vec::new(),
+    };
+    walk_frames(data, |event| match event {
+        FrameEvent::Block {
+            offset,
+            record_count,
+            crc,
+            payload,
+        } => index.entries.push(crate::index::BlockEntry {
+            offset: offset as u64,
+            payload_len: payload.len() as u32,
+            record_count,
+            crc32: crc,
+            stats: None,
+        }),
+        FrameEvent::Corrupt { .. } => {}
+        FrameEvent::Truncated { .. } => index.truncated_tail = true,
+    })?;
+    Ok(index)
+}
+
+fn invalid_data(path: &Path, e: SegmentError) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}: {e}", path.display()),
+    )
+}
+
+fn scan_worker(
+    segments: &[LoadedSegment],
+    spans: &[Span],
+    cursor: &AtomicUsize,
+    predicate: &Predicate,
+    mut producers: Vec<spsc::Producer<Routed>>,
+) -> Vec<LocalScan> {
+    let shards = producers.len();
+    let mut stats = vec![LocalScan::default(); segments.len()];
+    let mut scratch: Vec<TraceRecord> = Vec::new();
+    'work: loop {
+        let item = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(span) = spans.get(item) else {
+            break;
+        };
+        let seg = &segments[span.seg as usize];
+        let local = &mut stats[span.seg as usize];
+        for block in span.start..span.end {
+            let entry = &seg.index.entries[block as usize];
+            if !predicate.zone_check(entry.stats.as_ref()) {
+                local.skipped_by_index += 1;
+                local.records_skipped_by_index += u64::from(entry.record_count);
+                continue;
+            }
+            // The block header must still say what the index entry says:
+            // a flip inside the 16 header bytes leaves the payload CRC
+            // intact, but the serial reader would refuse to re-frame the
+            // block — and the engine must lose exactly what the reader
+            // loses, or "bit-identical to the reference" breaks.
+            let start = entry.offset as usize + BLOCK_HEADER_BYTES;
+            let header_ok = seg.data.get(entry.offset as usize..start).is_some_and(|h| {
+                h[..4] == BLOCK_MAGIC.to_le_bytes()
+                    && h[4..8] == entry.payload_len.to_le_bytes()
+                    && h[8..12] == entry.record_count.to_le_bytes()
+                    && h[12..16] == entry.crc32.to_le_bytes()
+            });
+            let decoded = header_ok
+                && seg
+                    .data
+                    .get(start..start + entry.payload_len as usize)
+                    .filter(|payload| crc32(payload) == entry.crc32)
+                    .is_some_and(|payload| {
+                        scratch.clear();
+                        decode_block_into(payload, entry.record_count, &mut scratch).is_ok()
+                    });
+            if !decoded {
+                local.skipped_by_corruption += 1;
+                local.records_lost += u64::from(entry.record_count);
+                continue;
+            }
+            local.scanned_blocks += 1;
+            local.records_scanned += scratch.len() as u64;
+            for (pos, rec) in scratch.iter().enumerate() {
+                if !predicate.matches(rec) {
+                    continue;
+                }
+                local.records_matched += 1;
+                let routed = Routed {
+                    seg: span.seg,
+                    block,
+                    pos: pos as u32,
+                    rec: *rec,
+                };
+                let producer = &mut producers[shard(rec.target, shards)];
+                while !producer.try_push(routed) {
+                    if producer.consumer_gone() {
+                        // Aggregator died (panic); our join will see it.
+                        break 'work;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+    stats
+}
+
+fn aggregate_worker(
+    mut consumers: Vec<spsc::Consumer<Routed>>,
+    collector: &CollectorConfig,
+) -> Vec<TargetQueryResult> {
+    let mut buckets: BTreeMap<TargetId, Vec<Routed>> = BTreeMap::new();
+    let mut chunk: Vec<Routed> = Vec::with_capacity(256);
+    loop {
+        let mut progress = false;
+        let mut all_done = true;
+        for consumer in &mut consumers {
+            if consumer.pop_chunk(&mut chunk, 256) > 0 {
+                progress = true;
+                for routed in chunk.drain(..) {
+                    buckets.entry(routed.rec.target).or_default().push(routed);
+                }
+            }
+            // Order matters: observe the close *before* the final
+            // emptiness check, so a producer that pushed then closed is
+            // never declared done while its records sit in the ring.
+            if !(consumer.is_closed() && consumer.backlog() == 0) {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progress {
+            std::thread::yield_now();
+        }
+    }
+    buckets
+        .into_iter()
+        .map(|(target, mut routed)| {
+            // Back into file order: parallel arrival order is noise.
+            routed.sort_unstable_by_key(|r| (r.seg, r.block, r.pos));
+            let records: Vec<TraceRecord> = routed.iter().map(|r| r.rec).collect();
+            TargetQueryResult {
+                target,
+                records: records.len() as u64,
+                collector: replay(&records, collector.clone()),
+            }
+        })
+        .collect()
+}
+
+/// The indexed, parallel scan engine. Construct once, run queries
+/// against archives (store directories or single segment files).
+#[derive(Debug, Clone, Default)]
+pub struct QueryEngine {
+    config: QueryConfig,
+}
+
+impl QueryEngine {
+    /// An engine with the given tuning.
+    pub fn new(config: QueryConfig) -> Self {
+        QueryEngine { config }
+    }
+
+    /// The tuning this engine runs with.
+    pub fn config(&self) -> &QueryConfig {
+        &self.config
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.config.threads > 0 {
+            self.config.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+
+    /// Runs `predicate` over the archive at `path` (a store directory or
+    /// one `.vseg` file).
+    ///
+    /// Corruption inside segments is not an error — damaged blocks are
+    /// skipped and accounted in the report, mirroring
+    /// [`read_trace`](crate::read_trace).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a directory with no segments, or a file that was
+    /// never a tracestore segment.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from worker threads (none are expected).
+    pub fn run(&self, path: &Path, predicate: &Predicate) -> io::Result<QueryOutcome> {
+        let paths = if path.is_dir() {
+            list_segments(path)?
+        } else {
+            vec![path.to_path_buf()]
+        };
+        let mut segments = Vec::with_capacity(paths.len());
+        for seg_path in paths {
+            let data = fs::read(&seg_path)?;
+            let (index, rebuilt) = if self.config.use_index {
+                let (index, source) =
+                    load_or_build(&seg_path, &data).map_err(|e| invalid_data(&seg_path, e))?;
+                (index, source == IndexSource::Rebuilt)
+            } else {
+                let index = frame_entries(&data).map_err(|e| invalid_data(&seg_path, e))?;
+                (index, false)
+            };
+            segments.push(LoadedSegment {
+                path: seg_path,
+                data,
+                index,
+                rebuilt,
+            });
+        }
+
+        let span_blocks = self.config.span_blocks.max(1);
+        let mut spans = Vec::new();
+        for (seg_idx, seg) in segments.iter().enumerate() {
+            let blocks = seg.index.entries.len() as u32;
+            let mut start = 0u32;
+            while start < blocks {
+                let end = (start + span_blocks).min(blocks);
+                spans.push(Span {
+                    seg: seg_idx as u32,
+                    start,
+                    end,
+                });
+                start = end;
+            }
+        }
+
+        let threads = self.resolved_threads().max(1);
+        let cursor = AtomicUsize::new(0);
+        // Full scanner×aggregator mesh of SPSC rings: T² rings, but each
+        // is single-producer single-consumer so the hot path stays
+        // wait-free (same topology as the ingestion pipeline's
+        // producer→binner fan-in).
+        let mut producers: Vec<Vec<spsc::Producer<Routed>>> =
+            (0..threads).map(|_| Vec::with_capacity(threads)).collect();
+        let mut consumers: Vec<Vec<spsc::Consumer<Routed>>> =
+            (0..threads).map(|_| Vec::with_capacity(threads)).collect();
+        for scanner_producers in producers.iter_mut() {
+            for aggregator_consumers in consumers.iter_mut() {
+                let (p, c) = spsc::ring(self.config.ring_capacity.max(2));
+                scanner_producers.push(p);
+                aggregator_consumers.push(c);
+            }
+        }
+
+        let (scan_stats, mut target_rows) = std::thread::scope(|scope| {
+            let segments = &segments;
+            let spans = &spans[..];
+            let cursor = &cursor;
+            let collector = &self.config.collector;
+            let aggregators: Vec<_> = consumers
+                .drain(..)
+                .map(|mine| scope.spawn(move || aggregate_worker(mine, collector)))
+                .collect();
+            let scanners: Vec<_> = producers
+                .drain(..)
+                .map(|mine| {
+                    scope.spawn(move || scan_worker(segments, spans, cursor, predicate, mine))
+                })
+                .collect();
+            let scan_stats: Vec<Vec<LocalScan>> = scanners
+                .into_iter()
+                .map(|h| h.join().expect("scanner panicked"))
+                .collect();
+            let rows: Vec<TargetQueryResult> = aggregators
+                .into_iter()
+                .flat_map(|h| h.join().expect("aggregator panicked"))
+                .collect();
+            (scan_stats, rows)
+        });
+
+        // Shards own disjoint targets, so concatenation has no
+        // duplicates; sort for a deterministic, id-ordered answer.
+        target_rows.sort_by_key(|row| row.target);
+
+        let mut report = QueryReport::default();
+        for (seg_idx, seg) in segments.into_iter().enumerate() {
+            let mut scan = SegmentScan {
+                path: seg.path,
+                total_blocks: seg.index.entries.len() as u64,
+                truncated_tail: seg.index.truncated_tail,
+                index_rebuilt: seg.rebuilt,
+                ..SegmentScan::default()
+            };
+            for per_scanner in &scan_stats {
+                let local = &per_scanner[seg_idx];
+                scan.scanned_blocks += local.scanned_blocks;
+                scan.skipped_by_index += local.skipped_by_index;
+                scan.skipped_by_corruption += local.skipped_by_corruption;
+                scan.records_scanned += local.records_scanned;
+                scan.records_matched += local.records_matched;
+                scan.records_lost += local.records_lost;
+                scan.records_skipped_by_index += local.records_skipped_by_index;
+            }
+            report.absorb(scan);
+        }
+        debug_assert!(report.conserves(), "ledger must close: {report:?}");
+        Ok(QueryOutcome {
+            targets: target_rows,
+            report,
+        })
+    }
+}
+
+/// Independent oracle for the engine: full decode through the ordinary
+/// reader (resync machinery and all), filter in file order, replay per
+/// target. Slow by design — this is what the engine must agree with and
+/// what the bench calls "naive".
+///
+/// # Errors
+///
+/// Same conditions as [`read_trace`](crate::read_trace).
+pub fn reference_scan(
+    path: &Path,
+    predicate: &Predicate,
+    collector: &CollectorConfig,
+) -> io::Result<(Vec<TargetQueryResult>, IntegrityReport)> {
+    let (records, integrity) = crate::read_trace(path)?;
+    let mut buckets: BTreeMap<TargetId, Vec<TraceRecord>> = BTreeMap::new();
+    for record in records {
+        if predicate.matches(&record) {
+            buckets.entry(record.target).or_default().push(record);
+        }
+    }
+    let results = buckets
+        .into_iter()
+        .map(|(target, records)| TargetQueryResult {
+            target,
+            records: records.len() as u64,
+            collector: replay(&records, collector.clone()),
+        })
+        .collect();
+    Ok((results, integrity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{TraceStore, TraceStoreConfig};
+    use vscsi::{Lba, VDiskId, VmId};
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            static COUNTER: AtomicUsize = AtomicUsize::new(0);
+            let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+            let path =
+                std::env::temp_dir().join(format!("tracequery-{tag}-{}-{n}", std::process::id()));
+            fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn rec(serial: u64) -> TraceRecord {
+        TraceRecord {
+            serial,
+            target: TargetId::new(VmId((serial % 3) as u32), VDiskId(0)),
+            direction: if serial % 2 == 0 {
+                IoDirection::Read
+            } else {
+                IoDirection::Write
+            },
+            lba: Lba::new((serial % 7) * 1_000),
+            num_sectors: 8,
+            issue_ns: serial * 1_000,
+            complete_ns: Some(serial * 1_000 + 300),
+            complete_seq: Some(serial + 1),
+        }
+    }
+
+    /// Captures `n` records through a real store (small chunks → many
+    /// blocks, small segments → several files) and returns the dir.
+    fn capture(tag: &str, n: u64) -> TempDir {
+        let dir = TempDir::new(tag);
+        let mut config = TraceStoreConfig::new(&dir.0);
+        config.chunk_bytes = 256;
+        config.segment_max_bytes = 4096;
+        let store = TraceStore::create(config).unwrap();
+        let mut sink = store.handle();
+        for i in 0..n {
+            vscsi_stats::TraceSink::append(&mut sink, &rec(i));
+        }
+        drop(sink);
+        store.finish();
+        dir
+    }
+
+    fn engine(threads: usize, use_index: bool) -> QueryEngine {
+        QueryEngine::new(QueryConfig {
+            threads,
+            use_index,
+            span_blocks: 4,
+            ..QueryConfig::default()
+        })
+    }
+
+    fn digests(rows: &[TargetQueryResult]) -> Vec<(TargetId, u64)> {
+        rows.iter().map(|r| (r.target, r.digest())).collect()
+    }
+
+    #[test]
+    fn selective_time_window_prunes_blocks_and_matches_reference() {
+        let dir = capture("window", 2_000);
+        // Records are appended in issue order, so blocks are
+        // time-contiguous and a narrow window must prune most of them.
+        let predicate = Predicate::TimeNs {
+            from_ns: 100_000,
+            to_ns: 150_000,
+        };
+        let outcome = engine(3, true).run(&dir.0, &predicate).unwrap();
+        assert!(outcome.report.conserves(), "{:?}", outcome.report);
+        assert!(
+            outcome.report.skipped_by_index > outcome.report.scanned_blocks,
+            "narrow window must skip most blocks: {}",
+            outcome.report
+        );
+        assert_eq!(outcome.report.records_matched, 51);
+        let (reference, _) =
+            reference_scan(&dir.0, &predicate, &CollectorConfig::paper_figures()).unwrap();
+        assert_eq!(digests(&outcome.targets), digests(&reference));
+    }
+
+    #[test]
+    fn full_scan_is_bit_identical_across_modes_and_thread_counts() {
+        let dir = capture("fullscan", 1_200);
+        let (reference, integrity) =
+            reference_scan(&dir.0, &Predicate::True, &CollectorConfig::paper_figures()).unwrap();
+        assert!(integrity.is_clean());
+        let expected = digests(&reference);
+        for (threads, use_index) in [(1, true), (4, true), (1, false), (4, false)] {
+            let outcome = engine(threads, use_index)
+                .run(&dir.0, &Predicate::True)
+                .unwrap();
+            assert_eq!(
+                digests(&outcome.targets),
+                expected,
+                "threads={threads} use_index={use_index}"
+            );
+            assert!(outcome.report.conserves());
+            assert_eq!(outcome.report.records_matched, 1_200);
+            assert_eq!(outcome.report.skipped_by_index, 0);
+        }
+    }
+
+    #[test]
+    fn compound_predicates_agree_with_reference() {
+        let dir = capture("compound", 1_500);
+        let predicate = Predicate::And(vec![
+            Predicate::Kind(CommandKind::Write),
+            Predicate::Or(vec![
+                Predicate::Target(TargetId::new(VmId(1), VDiskId(0))),
+                Predicate::LbaBand { min: 0, max: 1_500 },
+            ]),
+        ]);
+        let outcome = engine(2, true).run(&dir.0, &predicate).unwrap();
+        let (reference, _) =
+            reference_scan(&dir.0, &predicate, &CollectorConfig::paper_figures()).unwrap();
+        assert_eq!(digests(&outcome.targets), digests(&reference));
+        assert!(outcome.report.conserves());
+        // Matching nothing is well-formed too.
+        let nothing = engine(2, true).run(&dir.0, &Predicate::Or(vec![])).unwrap();
+        assert!(nothing.targets.is_empty());
+        assert_eq!(nothing.report.records_matched, 0);
+        assert!(nothing.report.conserves());
+    }
+
+    #[test]
+    fn payload_corruption_is_skipped_and_accounted() {
+        let dir = capture("corrupt", 1_000);
+        // Flip one payload byte in the first segment: framing intact,
+        // CRC broken. The sidecar (written clean) still frames the
+        // block, so the scan attempts it, fails, and accounts it.
+        let seg = dir.0.join("trace-00000.vseg");
+        let mut bytes = fs::read(&seg).unwrap();
+        let n = bytes.len();
+        bytes[crate::segment::SEGMENT_HEADER_BYTES + BLOCK_HEADER_BYTES + 3] ^= 0xFF;
+        assert_eq!(bytes.len(), n);
+        fs::write(&seg, &bytes).unwrap();
+
+        let outcome = engine(3, true).run(&dir.0, &Predicate::True).unwrap();
+        assert_eq!(outcome.report.skipped_by_corruption, 1);
+        assert!(outcome.report.records_lost > 0);
+        assert!(outcome.report.conserves(), "{:?}", outcome.report);
+        // The reader loses the same block, so results still agree.
+        let (reference, integrity) =
+            reference_scan(&dir.0, &Predicate::True, &CollectorConfig::paper_figures()).unwrap();
+        assert!(!integrity.is_clean());
+        assert_eq!(digests(&outcome.targets), digests(&reference));
+        assert_eq!(
+            outcome.report.records_matched + outcome.report.records_lost,
+            1_000
+        );
+    }
+
+    #[test]
+    fn truncated_tail_triggers_rebuild_and_still_agrees() {
+        let dir = capture("trunc", 1_000);
+        let mut segs: Vec<PathBuf> = fs::read_dir(&dir.0)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("vseg"))
+            .collect();
+        segs.sort();
+        let last = segs.last().unwrap();
+        let bytes = fs::read(last).unwrap();
+        fs::write(last, &bytes[..bytes.len() - 7]).unwrap();
+        // Also delete another segment's sidecar entirely: the backfill
+        // path must cover both missing and stale sidecars in one run.
+        fs::remove_file(crate::index::index_path(&segs[0])).unwrap();
+
+        let outcome = engine(2, true).run(&dir.0, &Predicate::True).unwrap();
+        assert!(outcome.report.indexes_rebuilt >= 2, "{:?}", outcome.report);
+        assert_eq!(outcome.report.truncated_tails, 1);
+        assert!(outcome.report.conserves());
+        let (reference, integrity) =
+            reference_scan(&dir.0, &Predicate::True, &CollectorConfig::paper_figures()).unwrap();
+        assert!(integrity.aggregate().truncated_tail);
+        assert_eq!(digests(&outcome.targets), digests(&reference));
+        // The rebuilds persisted: a second run loads sidecars silently.
+        let again = engine(2, true).run(&dir.0, &Predicate::True).unwrap();
+        assert_eq!(again.report.indexes_rebuilt, 0);
+        assert_eq!(digests(&again.targets), digests(&outcome.targets));
+    }
+
+    #[test]
+    fn single_segment_file_path_works() {
+        let dir = capture("single", 300);
+        let mut segs: Vec<PathBuf> = fs::read_dir(&dir.0)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("vseg"))
+            .collect();
+        segs.sort();
+        let outcome = engine(2, true).run(&segs[0], &Predicate::True).unwrap();
+        assert_eq!(outcome.report.files.len(), 1);
+        assert!(outcome.report.conserves());
+        let (reference, _) = reference_scan(
+            &segs[0],
+            &Predicate::True,
+            &CollectorConfig::paper_figures(),
+        )
+        .unwrap();
+        assert_eq!(digests(&outcome.targets), digests(&reference));
+    }
+}

@@ -42,6 +42,28 @@ impl fmt::Display for IntegrityReport {
     }
 }
 
+/// Lists a store directory's `*.vseg` segment files in name order — the
+/// order the writer created them in, which every reader and the query
+/// engine treat as the canonical record order.
+///
+/// # Errors
+///
+/// I/O failures, or a directory containing no segment files.
+pub(crate) fn list_segments(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(SEGMENT_EXTENSION))
+        .collect();
+    segments.sort();
+    if segments.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no .{SEGMENT_EXTENSION} segments in {}", dir.display()),
+        ));
+    }
+    Ok(segments)
+}
+
 /// Reads a trace from `path`: either one segment file, or a store
 /// directory whose `*.vseg` files are read in name order (the order the
 /// writer created them in).
@@ -58,18 +80,7 @@ pub fn read_trace(path: &Path) -> io::Result<(Vec<TraceRecord>, IntegrityReport)
     let mut report = IntegrityReport::default();
     let mut records = Vec::new();
     if path.is_dir() {
-        let mut segments: Vec<PathBuf> = std::fs::read_dir(path)?
-            .filter_map(|entry| entry.ok().map(|e| e.path()))
-            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(SEGMENT_EXTENSION))
-            .collect();
-        segments.sort();
-        if segments.is_empty() {
-            return Err(io::Error::new(
-                io::ErrorKind::NotFound,
-                format!("no .{SEGMENT_EXTENSION} segments in {}", path.display()),
-            ));
-        }
-        for segment in segments {
+        for segment in list_segments(path)? {
             let (mut segment_records, integrity) = read_segment(&segment)?;
             records.append(&mut segment_records);
             report.files.push((segment, integrity));

@@ -18,6 +18,7 @@
 //! Every drop is accounted per policy in [`DropStats`]; silent loss is a
 //! bug class this module is designed out of.
 
+use crate::index::ZoneStats;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -64,8 +65,14 @@ impl DropStats {
 
 /// A message through the ring: data chunk or control marker.
 pub(crate) enum Msg {
-    /// One sealed block payload plus its record count.
-    Chunk { payload: Vec<u8>, records: u32 },
+    /// One sealed block payload plus its record count and the zone map
+    /// accumulated producer-side (the writer never decodes its own
+    /// chunks; the index sidecar gets its stats from here).
+    Chunk {
+        payload: Vec<u8>,
+        records: u32,
+        stats: ZoneStats,
+    },
     /// Flush request; the writer acks on the sender once durable.
     Flush(Sender<()>),
     /// Orderly shutdown; the writer finalizes and exits.
@@ -202,7 +209,10 @@ impl ChunkRing {
             else {
                 break;
             };
-            let Some(Msg::Chunk { payload, records }) = state.queue.remove(idx) else {
+            let Some(Msg::Chunk {
+                payload, records, ..
+            }) = state.queue.remove(idx)
+            else {
                 unreachable!("position() found a chunk at idx");
             };
             state.chunks -= 1;
@@ -214,7 +224,7 @@ impl ChunkRing {
     }
 
     /// Offers a sealed chunk, applying the backpressure policy when full.
-    pub(crate) fn push_chunk(&self, payload: Vec<u8>, records: u32) {
+    pub(crate) fn push_chunk(&self, payload: Vec<u8>, records: u32, stats: ZoneStats) {
         let mut state = self.state.lock();
         if state.closed {
             state.drops.closed_chunks += 1;
@@ -268,7 +278,11 @@ impl ChunkRing {
         self.queued_bytes
             .fetch_add(payload.capacity(), Ordering::Relaxed);
         state.chunks += 1;
-        state.queue.push_back(Msg::Chunk { payload, records });
+        state.queue.push_back(Msg::Chunk {
+            payload,
+            records,
+            stats,
+        });
         drop(state);
         self.not_empty.notify_one();
     }
@@ -347,15 +361,15 @@ mod tests {
         // must be on the hook for at most the budget, then the watchdog
         // demotes the ring and the push lands via DropOldest eviction.
         let ring = ChunkRing::new(1, BackpressurePolicy::Block, Duration::from_millis(20));
-        ring.push_chunk(chunk(0), 3);
+        ring.push_chunk(chunk(0), 3, ZoneStats::empty());
         assert!(!ring.is_demoted());
         // Fills → blocks → budget expires → demotion + eviction.
-        ring.push_chunk(chunk(1), 3);
+        ring.push_chunk(chunk(1), 3, ZoneStats::empty());
         assert!(ring.is_demoted());
         assert_eq!(ring.policy(), BackpressurePolicy::DropOldest);
         assert!(ring.watchdog_trips() >= 1);
         // Subsequent pushes never wait again.
-        ring.push_chunk(chunk(2), 3);
+        ring.push_chunk(chunk(2), 3, ZoneStats::empty());
         let drops = ring.drops();
         assert_eq!(drops.block_waits, 1);
         assert_eq!(drops.oldest_chunks, 2);
@@ -370,10 +384,10 @@ mod tests {
     #[test]
     fn explicit_demotion_wakes_blocked_producer() {
         let ring = Arc::new(ChunkRing::new(1, BackpressurePolicy::Block, LONG));
-        ring.push_chunk(chunk(0), 1);
+        ring.push_chunk(chunk(0), 1, ZoneStats::empty());
         let producer = {
             let ring = Arc::clone(&ring);
-            std::thread::spawn(move || ring.push_chunk(chunk(1), 1))
+            std::thread::spawn(move || ring.push_chunk(chunk(1), 1, ZoneStats::empty()))
         };
         // Let the producer park, then demote (as the store's flush
         // watchdog would); the producer must complete via eviction.
@@ -388,7 +402,7 @@ mod tests {
     fn drop_oldest_keeps_newest() {
         let ring = ChunkRing::new(2, BackpressurePolicy::DropOldest, LONG);
         for i in 0..5u8 {
-            ring.push_chunk(chunk(i), 10);
+            ring.push_chunk(chunk(i), 10, ZoneStats::empty());
         }
         let drops = ring.drops();
         assert_eq!(drops.oldest_chunks, 3);
@@ -407,7 +421,7 @@ mod tests {
     fn drop_newest_keeps_oldest() {
         let ring = ChunkRing::new(2, BackpressurePolicy::DropNewest, LONG);
         for i in 0..5u8 {
-            ring.push_chunk(chunk(i), 7);
+            ring.push_chunk(chunk(i), 7, ZoneStats::empty());
         }
         let drops = ring.drops();
         assert_eq!(drops.newest_chunks, 3);
@@ -428,7 +442,7 @@ mod tests {
             let ring = Arc::clone(&ring);
             std::thread::spawn(move || {
                 for i in 0..20u8 {
-                    ring.push_chunk(chunk(i), 1);
+                    ring.push_chunk(chunk(i), 1, ZoneStats::empty());
                 }
             })
         };
@@ -450,10 +464,10 @@ mod tests {
     #[test]
     fn close_unblocks_producer_and_accounts_drops() {
         let ring = Arc::new(ChunkRing::new(1, BackpressurePolicy::Block, LONG));
-        ring.push_chunk(chunk(0), 5);
+        ring.push_chunk(chunk(0), 5, ZoneStats::empty());
         let producer = {
             let ring = Arc::clone(&ring);
-            std::thread::spawn(move || ring.push_chunk(chunk(1), 5))
+            std::thread::spawn(move || ring.push_chunk(chunk(1), 5, ZoneStats::empty()))
         };
         // Give the producer a moment to block, then close.
         std::thread::sleep(std::time::Duration::from_millis(20));
@@ -471,7 +485,7 @@ mod tests {
         let ring = ChunkRing::new(4, BackpressurePolicy::Block, LONG);
         assert_eq!(ring.queued_bytes(), 0);
         let payload = Vec::with_capacity(128);
-        ring.push_chunk(payload, 0);
+        ring.push_chunk(payload, 0, ZoneStats::empty());
         assert_eq!(ring.queued_bytes(), 128);
         let _ = ring.pop();
         assert_eq!(ring.queued_bytes(), 0);

@@ -19,7 +19,7 @@
 //!   `kill -9` leaves behind — sets [`SegmentIntegrity::truncated_tail`]
 //!   and yields every record up to the cut.
 
-use crate::codec::decode_block;
+use crate::codec::decode_block_into;
 use crate::crc32::crc32;
 use std::fmt;
 use std::fs;
@@ -54,11 +54,23 @@ pub fn write_segment_header(w: &mut impl Write) -> io::Result<usize> {
 
 /// Writes one checksummed block; returns the bytes written.
 pub fn write_block(w: &mut impl Write, payload: &[u8], record_count: u32) -> io::Result<usize> {
+    write_block_with_crc(w, payload, record_count, crc32(payload))
+}
+
+/// [`write_block`] with a caller-computed checksum, so a writer that also
+/// feeds the checksum into an index sidecar hashes the payload once.
+pub fn write_block_with_crc(
+    w: &mut impl Write,
+    payload: &[u8],
+    record_count: u32,
+    crc: u32,
+) -> io::Result<usize> {
     debug_assert!(payload.len() <= MAX_BLOCK_BYTES);
+    debug_assert_eq!(crc, crc32(payload));
     w.write_all(&BLOCK_MAGIC.to_le_bytes())?;
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(&record_count.to_le_bytes())?;
-    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(&crc.to_le_bytes())?;
     w.write_all(payload)?;
     Ok(BLOCK_HEADER_BYTES + payload.len())
 }
@@ -173,15 +185,44 @@ fn read_u32(data: &[u8], pos: usize) -> u32 {
     u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes"))
 }
 
-/// Parses a segment image, recovering everything recoverable. Never
-/// panics on hostile input; damage is reported in the returned
-/// [`SegmentIntegrity`].
+/// One event from the structural framing walk over a segment image.
+/// Shared by [`parse_segment`] and the index builder so both discover the
+/// *same* block set on the same bytes.
+#[derive(Debug)]
+pub(crate) enum FrameEvent<'a> {
+    /// A framed block: the header parsed sanely and the payload is in
+    /// bounds. The CRC is reported, **not verified** — consumers decide
+    /// whether to pay for verification.
+    Block {
+        /// Byte offset of the block header within the file.
+        offset: usize,
+        /// Declared record count from the header.
+        record_count: u32,
+        /// Declared CRC32 of the payload from the header.
+        crc: u32,
+        /// The payload bytes.
+        payload: &'a [u8],
+    },
+    /// Header damage at the walk position; the walk resynced to the next
+    /// block magic (or the end), skipping `skipped` unattributable bytes.
+    Corrupt { skipped: u64 },
+    /// The file ends mid-header or mid-payload (crash/truncation shape);
+    /// `stray` bytes remain past the last whole block.
+    Truncated { stray: u64 },
+}
+
+/// Walks the block framing of a segment image, emitting one event per
+/// framed block / corrupt region / truncated tail. Never panics on
+/// hostile input.
 ///
 /// # Errors
 ///
 /// Only for data that was never a segment: wrong magic or an unsupported
 /// version.
-pub fn parse_segment(data: &[u8]) -> Result<(Vec<TraceRecord>, SegmentIntegrity), SegmentError> {
+pub(crate) fn walk_frames<'a>(
+    data: &'a [u8],
+    mut on_event: impl FnMut(FrameEvent<'a>),
+) -> Result<(), SegmentError> {
     if data.len() < SEGMENT_HEADER_BYTES || data[..8] != SEGMENT_MAGIC {
         return Err(SegmentError::NotASegment);
     }
@@ -189,14 +230,13 @@ pub fn parse_segment(data: &[u8]) -> Result<(Vec<TraceRecord>, SegmentIntegrity)
     if version != SEGMENT_VERSION {
         return Err(SegmentError::UnsupportedVersion(version));
     }
-    let mut records = Vec::new();
-    let mut integrity = SegmentIntegrity::default();
     let mut pos = SEGMENT_HEADER_BYTES;
     while pos < data.len() {
         let remaining = data.len() - pos;
         if remaining < BLOCK_HEADER_BYTES {
-            integrity.truncated_tail = true;
-            integrity.stray_bytes += remaining as u64;
+            on_event(FrameEvent::Truncated {
+                stray: remaining as u64,
+            });
             break;
         }
         let magic = read_u32(data, pos);
@@ -204,16 +244,18 @@ pub fn parse_segment(data: &[u8]) -> Result<(Vec<TraceRecord>, SegmentIntegrity)
         if magic != BLOCK_MAGIC || payload_len > MAX_BLOCK_BYTES {
             // Header damage: scan forward for the next block and count the
             // skipped span as one corrupt region.
-            integrity.blocks_corrupt += 1;
-            integrity.resyncs += 1;
             match find_block_magic(data, pos + 1) {
                 Some(next) => {
-                    integrity.stray_bytes += (next - pos) as u64;
+                    on_event(FrameEvent::Corrupt {
+                        skipped: (next - pos) as u64,
+                    });
                     pos = next;
                     continue;
                 }
                 None => {
-                    integrity.stray_bytes += remaining as u64;
+                    on_event(FrameEvent::Corrupt {
+                        skipped: remaining as u64,
+                    });
                     break;
                 }
             }
@@ -224,29 +266,63 @@ pub fn parse_segment(data: &[u8]) -> Result<(Vec<TraceRecord>, SegmentIntegrity)
         if data.len() - payload_start < payload_len {
             // The crash shape: a block was being appended when the file
             // was cut. Everything before it has already been recovered.
-            integrity.truncated_tail = true;
-            integrity.stray_bytes += remaining as u64;
+            on_event(FrameEvent::Truncated {
+                stray: remaining as u64,
+            });
             break;
         }
-        let payload = &data[payload_start..payload_start + payload_len];
-        if crc32(payload) != crc {
-            integrity.blocks_corrupt += 1;
-            integrity.records_lost += u64::from(record_count);
-        } else {
-            match decode_block(payload, record_count) {
-                Ok(mut block_records) => {
-                    integrity.blocks_ok += 1;
-                    integrity.records_recovered += block_records.len() as u64;
-                    records.append(&mut block_records);
-                }
-                Err(_) => {
-                    integrity.blocks_corrupt += 1;
-                    integrity.records_lost += u64::from(record_count);
-                }
-            }
-        }
+        on_event(FrameEvent::Block {
+            offset: pos,
+            record_count,
+            crc,
+            payload: &data[payload_start..payload_start + payload_len],
+        });
         pos = payload_start + payload_len;
     }
+    Ok(())
+}
+
+/// Parses a segment image, recovering everything recoverable. Never
+/// panics on hostile input; damage is reported in the returned
+/// [`SegmentIntegrity`].
+///
+/// # Errors
+///
+/// Only for data that was never a segment: wrong magic or an unsupported
+/// version.
+pub fn parse_segment(data: &[u8]) -> Result<(Vec<TraceRecord>, SegmentIntegrity), SegmentError> {
+    let mut records = Vec::new();
+    let mut integrity = SegmentIntegrity::default();
+    walk_frames(data, |event| match event {
+        FrameEvent::Block {
+            record_count,
+            crc,
+            payload,
+            ..
+        } => {
+            let before = records.len();
+            // Decode straight into the accumulator: the only per-block
+            // cost is the records themselves, no scratch Vec per block.
+            if crc32(payload) == crc
+                && decode_block_into(payload, record_count, &mut records).is_ok()
+            {
+                integrity.blocks_ok += 1;
+                integrity.records_recovered += (records.len() - before) as u64;
+            } else {
+                integrity.blocks_corrupt += 1;
+                integrity.records_lost += u64::from(record_count);
+            }
+        }
+        FrameEvent::Corrupt { skipped } => {
+            integrity.blocks_corrupt += 1;
+            integrity.resyncs += 1;
+            integrity.stray_bytes += skipped;
+        }
+        FrameEvent::Truncated { stray } => {
+            integrity.truncated_tail = true;
+            integrity.stray_bytes += stray;
+        }
+    })?;
     Ok((records, integrity))
 }
 

@@ -24,8 +24,10 @@
 //! always accounted.
 
 use crate::codec::BlockBuilder;
+use crate::crc32::crc32;
+use crate::index::{encode_index, index_path, BlockEntry, SegmentIndex, ZoneStats};
 use crate::ring::{BackpressurePolicy, ChunkRing, DropStats, Msg};
-use crate::segment::{write_block, write_segment_header, SEGMENT_EXTENSION};
+use crate::segment::{write_block_with_crc, write_segment_header, SEGMENT_EXTENSION};
 use parking_lot::Mutex;
 use std::fmt::Write as _;
 use std::fs::{self, File};
@@ -164,8 +166,13 @@ pub struct StoreReport {
     pub blocks: u64,
     /// Records persisted.
     pub records: u64,
-    /// Total file bytes written (headers included).
+    /// Total segment file bytes written (headers included).
     pub bytes_written: u64,
+    /// Index sidecars written next to sealed segments.
+    pub indexes: u64,
+    /// Bytes of those sidecars (kept out of `bytes_written`, which
+    /// measures the trace itself; the index is derivable overhead).
+    pub index_bytes: u64,
     /// Backpressure accounting from the ring.
     pub drops: DropStats,
     /// I/O failures the writer absorbed (each drops one chunk).
@@ -202,6 +209,8 @@ fn render_meta(report: &StoreReport, policy: BackpressurePolicy) -> String {
     let _ = writeln!(s, "blocks={}", report.blocks);
     let _ = writeln!(s, "segments={}", report.segments);
     let _ = writeln!(s, "bytes_written={}", report.bytes_written);
+    let _ = writeln!(s, "indexes={}", report.indexes);
+    let _ = writeln!(s, "index_bytes={}", report.index_bytes);
     let _ = writeln!(s, "policy={policy:?}");
     let _ = writeln!(s, "dropped_oldest_records={}", report.drops.oldest_records);
     let _ = writeln!(s, "dropped_newest_records={}", report.drops.newest_records);
@@ -235,6 +244,8 @@ struct WriterStats {
     blocks: u64,
     records: u64,
     bytes_written: u64,
+    indexes: u64,
+    index_bytes: u64,
     io_errors: u64,
     io_error_records: u64,
     first_error: Option<String>,
@@ -271,6 +282,41 @@ fn record_error(stats: &Mutex<WriterStats>, err: &std::io::Error, lost_records: 
 struct OpenSegment {
     file: Box<dyn SegmentWrite>,
     bytes: usize,
+    path: PathBuf,
+    /// One zone-map entry per block written, for the index sidecar
+    /// emitted when the segment closes.
+    entries: Vec<BlockEntry>,
+}
+
+/// Flushes a finished segment and drops its `VSTRIDX1` sidecar next to
+/// it, through the same backend (so injected-failure tests cover the
+/// index path too). Sidecar failure is absorbed like any other I/O error
+/// — the segment itself is already durable, and queries rebuild missing
+/// sidecars on first scan.
+fn close_segment(shared: &Shared, backend: &mut dyn SegmentBackend, mut seg: OpenSegment) {
+    if let Err(e) = seg.file.flush() {
+        record_error(&shared.stats, &e, 0);
+    }
+    drop(seg.file);
+    let index = SegmentIndex {
+        segment_bytes: seg.bytes as u64,
+        truncated_tail: false,
+        entries: seg.entries,
+    };
+    let bytes = encode_index(&index);
+    let result = (|| {
+        let mut file = backend.create(&index_path(&seg.path))?;
+        file.write_all(&bytes)?;
+        file.flush()
+    })();
+    match result {
+        Ok(()) => {
+            let mut stats = shared.stats.lock();
+            stats.indexes += 1;
+            stats.index_bytes += bytes.len() as u64;
+        }
+        Err(e) => record_error(&shared.stats, &e, 0),
+    }
 }
 
 fn writer_loop(shared: &Shared, config: &TraceStoreConfig, backend: &mut dyn SegmentBackend) {
@@ -279,7 +325,11 @@ fn writer_loop(shared: &Shared, config: &TraceStoreConfig, backend: &mut dyn Seg
     let mut next_index = 0u64;
     while let Some(msg) = shared.ring.pop() {
         match msg {
-            Msg::Chunk { payload, records } => {
+            Msg::Chunk {
+                payload,
+                records,
+                stats: zone,
+            } => {
                 shared
                     .writer_bytes
                     .store(payload.capacity(), Ordering::Relaxed);
@@ -300,10 +350,21 @@ fn writer_loop(shared: &Shared, config: &TraceStoreConfig, backend: &mut dyn Seg
                             current.insert(OpenSegment {
                                 file,
                                 bytes: header,
+                                path,
+                                entries: Vec::new(),
                             })
                         }
                     };
-                    let written = write_block(&mut seg.file, &payload, records)?;
+                    let crc = crc32(&payload);
+                    let offset = seg.bytes as u64;
+                    let written = write_block_with_crc(&mut seg.file, &payload, records, crc)?;
+                    seg.entries.push(BlockEntry {
+                        offset,
+                        payload_len: payload.len() as u32,
+                        record_count: records,
+                        crc32: crc,
+                        stats: (records > 0).then_some(zone),
+                    });
                     seg.bytes += written;
                     let mut stats = shared.stats.lock();
                     stats.blocks += 1;
@@ -314,16 +375,16 @@ fn writer_loop(shared: &Shared, config: &TraceStoreConfig, backend: &mut dyn Seg
                 match result {
                     Ok(roll) => {
                         if roll {
-                            if let Some(mut seg) = current.take() {
-                                if let Err(e) = seg.file.flush() {
-                                    record_error(&shared.stats, &e, 0);
-                                }
+                            if let Some(seg) = current.take() {
+                                close_segment(shared, backend, seg);
                             }
                         }
                     }
                     Err(e) => {
-                        // Drop the chunk and the half-written segment;
-                        // the next chunk starts a fresh file.
+                        // Drop the chunk and the half-written segment
+                        // (no sidecar — a scan backfills one from the
+                        // bytes that made it to disk); the next chunk
+                        // starts a fresh file.
                         record_error(&shared.stats, &e, u64::from(records));
                         current = None;
                     }
@@ -346,10 +407,8 @@ fn writer_loop(shared: &Shared, config: &TraceStoreConfig, backend: &mut dyn Seg
             Msg::Shutdown => break,
         }
     }
-    if let Some(mut seg) = current.take() {
-        if let Err(e) = seg.file.flush() {
-            record_error(&shared.stats, &e, 0);
-        }
+    if let Some(seg) = current.take() {
+        close_segment(shared, backend, seg);
     }
 }
 
@@ -425,6 +484,7 @@ impl TraceStore {
         TraceStoreHandle {
             shared: Arc::clone(&self.shared),
             builder: BlockBuilder::with_chunk_capacity(self.config.chunk_bytes),
+            zone: ZoneStats::empty(),
             chunk_bytes: self.config.chunk_bytes,
             block_max_records: self.config.block_max_records,
             flush_timeout: self.config.flush_timeout,
@@ -439,6 +499,8 @@ impl TraceStore {
             blocks: stats.blocks,
             records: stats.records,
             bytes_written: stats.bytes_written,
+            indexes: stats.indexes,
+            index_bytes: stats.index_bytes,
             drops: self.shared.ring.drops(),
             io_errors: stats.io_errors,
             io_error_records: stats.io_error_records,
@@ -488,6 +550,10 @@ impl Drop for TraceStore {
 pub struct TraceStoreHandle {
     shared: Arc<Shared>,
     builder: BlockBuilder,
+    /// Zone map of the chunk under construction, accumulated here on the
+    /// producer side so the writer thread indexes blocks without ever
+    /// decoding them.
+    zone: ZoneStats,
     chunk_bytes: usize,
     block_max_records: u32,
     flush_timeout: Duration,
@@ -499,12 +565,14 @@ impl TraceStoreHandle {
             return;
         }
         let (payload, records) = self.builder.take();
-        self.shared.ring.push_chunk(payload, records);
+        let zone = std::mem::take(&mut self.zone);
+        self.shared.ring.push_chunk(payload, records, zone);
     }
 }
 
 impl TraceSink for TraceStoreHandle {
     fn append(&mut self, record: &TraceRecord) {
+        self.zone.observe(record);
         self.builder.push(record);
         if self.builder.len_bytes() >= self.chunk_bytes
             || self.builder.record_count() >= self.block_max_records
@@ -901,6 +969,58 @@ mod tests {
         assert!(integrity.aggregate().is_clean());
         // Absent sidecar (older captures) reads as None, not an error.
         assert!(read_meta(&dir.0.join("nope")).is_none());
+    }
+
+    #[test]
+    fn writer_sidecars_match_backfill_byte_for_byte() {
+        use crate::index::{build_index, decode_index, index_path};
+
+        let dir = TempDir::new("sidecar");
+        let mut config = TraceStoreConfig::new(&dir.0);
+        config.chunk_bytes = 256;
+        config.segment_max_bytes = 2048; // several segments
+        let store = TraceStore::create(config).unwrap();
+        let mut sink = store.handle();
+        for i in 0..1_000 {
+            let mut r = rec(i);
+            r.target = TargetId::new(vscsi::VmId((i % 4) as u32), vscsi::VDiskId(0));
+            sink.append(&r);
+        }
+        drop(sink);
+        let report = store.finish();
+        assert!(report.segments > 1);
+        assert_eq!(report.indexes, report.segments, "one sidecar per segment");
+        assert!(report.index_bytes > 0);
+
+        let mut segments: Vec<PathBuf> = fs::read_dir(&dir.0)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(SEGMENT_EXTENSION))
+            .collect();
+        segments.sort();
+        assert_eq!(segments.len() as u64, report.segments);
+        let mut sidecar_bytes = 0u64;
+        for seg in &segments {
+            let sidecar = fs::read(index_path(seg)).expect("writer emitted a sidecar");
+            sidecar_bytes += sidecar.len() as u64;
+            // The writer's producer-side zone maps must equal what a
+            // full decode of the segment derives — byte for byte.
+            let rebuilt = build_index(&fs::read(seg).unwrap()).unwrap();
+            assert_eq!(sidecar, encode_index(&rebuilt), "{}", seg.display());
+            let decoded = decode_index(&sidecar).unwrap();
+            assert_eq!(decoded, rebuilt);
+            assert!(decoded.entries.iter().all(|e| e.stats.is_some()));
+        }
+        assert_eq!(sidecar_bytes, report.index_bytes);
+        // Sidecars never confuse the segment reader.
+        let (records, integrity) = read_trace(&dir.0).unwrap();
+        assert_eq!(records.len(), 1_000);
+        assert!(integrity.is_clean());
+        // Meta records the index accounting.
+        let meta = read_meta(&dir.0).unwrap();
+        assert!(meta
+            .iter()
+            .any(|(k, v)| k == "indexes" && *v == report.indexes.to_string()));
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Asserts the block-decode steady-state zero-allocation invariant with a
+//! counting global allocator: once a scratch buffer has warmed to the
+//! largest block's record count, [`tracestore::decode_block_into`] never
+//! touches the heap again. This is the scratch-reuse contract the segment
+//! reader and the query engine's scan workers rely on — decoding a
+//! multi-gigabyte archive costs one buffer, not one `Vec` per block.
+//!
+//! Lives in its own integration-test binary because a `#[global_allocator]`
+//! is process-wide; mixing it into a binary with unrelated concurrent tests
+//! would make the counts racy.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tracestore::{decode_block_into, encode_block};
+use vscsi::{IoDirection, Lba, TargetId, VDiskId, VmId};
+use vscsi_stats::TraceRecord;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Only the test thread's allocations count — libtest's harness
+    /// threads (timers, panic plumbing) allocate at unpredictable times
+    /// and must not pollute the measurement. Const-initialized so reading
+    /// it inside the allocator itself cannot allocate.
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn tracking() -> bool {
+    TRACKING.try_with(Cell::get).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if tracking() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if tracking() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if tracking() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn rec(serial: u64) -> TraceRecord {
+    TraceRecord {
+        serial,
+        target: TargetId {
+            vm: VmId((serial % 3) as u32),
+            disk: VDiskId(0),
+        },
+        direction: if serial.is_multiple_of(2) {
+            IoDirection::Read
+        } else {
+            IoDirection::Write
+        },
+        lba: Lba::new((serial % 7) * 1000),
+        num_sectors: 8,
+        issue_ns: serial * 1000,
+        complete_ns: Some(serial * 1000 + 250_000),
+        complete_seq: Some(serial),
+    }
+}
+
+/// One test function (not several) so no concurrently running sibling test
+/// can pollute the global allocation counter.
+#[test]
+fn steady_state_block_decode_performs_zero_heap_allocations() {
+    // Several blocks of different sizes, encoded up front: the scratch
+    // buffer must absorb the largest without reallocating mid-stream.
+    let blocks: Vec<(Vec<u8>, u32)> = [200usize, 50, 137, 1, 200]
+        .iter()
+        .scan(0u64, |serial, &n| {
+            let records: Vec<TraceRecord> = (*serial..*serial + n as u64).map(rec).collect();
+            *serial += n as u64;
+            Some(encode_block(&records))
+        })
+        .collect();
+    let total_records: u32 = blocks.iter().map(|(_, n)| *n).sum();
+
+    // Warm pass: the scratch grows to the largest block here, and only here.
+    let mut scratch: Vec<TraceRecord> = Vec::new();
+    for (payload, count) in &blocks {
+        scratch.clear();
+        decode_block_into(payload, *count, &mut scratch).expect("warm decode");
+    }
+
+    // Steady state: decode the whole archive many times over — zero heap
+    // traffic allowed.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    TRACKING.with(|t| t.set(true));
+    let mut decoded = 0u64;
+    for _ in 0..100 {
+        for (payload, count) in &blocks {
+            scratch.clear();
+            decode_block_into(payload, *count, &mut scratch).expect("steady decode");
+            decoded += scratch.len() as u64;
+        }
+    }
+    TRACKING.with(|t| t.set(false));
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(decoded, u64::from(total_records) * 100);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state decode allocated {} times",
+        after - before
+    );
+
+    // The append contract holds too: decoding two blocks back-to-back into
+    // one pre-sized buffer without clearing stays allocation-free.
+    let (p0, n0) = &blocks[0];
+    let (p1, n1) = &blocks[1];
+    scratch.clear();
+    scratch.reserve((n0 + n1) as usize);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    TRACKING.with(|t| t.set(true));
+    decode_block_into(p0, *n0, &mut scratch).expect("append decode");
+    decode_block_into(p1, *n1, &mut scratch).expect("append decode");
+    TRACKING.with(|t| t.set(false));
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(scratch.len(), (n0 + n1) as usize);
+    assert_eq!(after - before, 0, "append decode allocated");
+}

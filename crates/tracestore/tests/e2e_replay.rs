@@ -13,9 +13,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use storage::presets;
-use tracestore::{read_trace, TraceStore, TraceStoreConfig};
+use tracestore::{read_trace, TraceStore, TraceStoreConfig, SEGMENT_EXTENSION};
 use vscsi::{Lba, TargetId, VDiskId, VmId};
-use vscsi_stats::{replay, CollectorConfig, Lens, Metric, StatsService, TraceRecord};
+use vscsi_stats::{replay, CollectorConfig, Lens, Metric, StatsService};
 
 struct TempDir(PathBuf);
 
@@ -34,6 +34,18 @@ impl Drop for TempDir {
     fn drop(&mut self) {
         let _ = std::fs::remove_dir_all(&self.0);
     }
+}
+
+/// The store directory holds `.vseg` segments plus `.vidx` sidecars and
+/// the meta file; damage-injection tests must aim at the segments only.
+fn segment_files(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(SEGMENT_EXTENSION))
+        .collect();
+    files.sort();
+    files
 }
 
 /// Runs a mixed random/sequential Iometer workload with the trace
@@ -133,12 +145,9 @@ fn truncated_final_segment_recovers_prefix_and_never_panics() {
 
     // Cut into the last segment's final block, the way a crash mid-append
     // would: every cut length must parse, flag the damage, and yield a
-    // strict prefix of the clean record stream.
-    let mut segments: Vec<PathBuf> = std::fs::read_dir(&dir.0)
-        .unwrap()
-        .map(|e| e.unwrap().path())
-        .collect();
-    segments.sort();
+    // strict prefix of the clean record stream. Filter to `.vseg`: the
+    // store directory also holds index sidecars and the meta file.
+    let segments = segment_files(&dir.0);
     let last = segments.last().unwrap().clone();
     let full = std::fs::read(&last).unwrap();
     for cut_back in [1usize, 3, 7, 15] {
@@ -180,11 +189,7 @@ fn corrupt_middle_block_is_skipped_with_loss_accounted() {
 
     // Flip a byte in the middle of the first segment's first block
     // payload (past the 16-byte segment header and 16-byte block header).
-    let mut segments: Vec<PathBuf> = std::fs::read_dir(&dir.0)
-        .unwrap()
-        .map(|e| e.unwrap().path())
-        .collect();
-    segments.sort();
+    let segments = segment_files(&dir.0);
     let first = &segments[0];
     let mut data = std::fs::read(first).unwrap();
     data[40] ^= 0x10;
