@@ -64,6 +64,8 @@ struct Args {
     bench_commands: usize,
     health: bool,
     fetch_all: bool,
+    checkpoint_dir: Option<PathBuf>,
+    restore: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -82,6 +84,8 @@ fn parse_args() -> Result<Args, String> {
         bench_commands: 100_000,
         health: false,
         fetch_all: false,
+        checkpoint_dir: None,
+        restore: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -123,6 +127,16 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--bench-out needs a path (or '-')")?;
                 args.bench_out = (v != "-").then(|| PathBuf::from(v));
             }
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = Some(PathBuf::from(
+                    it.next().ok_or("--checkpoint-dir needs a directory")?,
+                ));
+            }
+            "--restore" => {
+                args.restore = Some(PathBuf::from(
+                    it.next().ok_or("--restore needs a directory")?,
+                ));
+            }
             "--health" => args.health = true,
             "--fetch-all" => args.fetch_all = true,
             "--csv" => args.csv = true,
@@ -143,6 +157,7 @@ fn print_help() {
     println!("vscsistats — online disk I/O workload characterization (simulated host)\n");
     println!("usage: vscsistats --workload <name> [--seconds N] [--seed N] [--report] [--csv] [--fingerprint] [--trace-out DIR]");
     println!("       vscsistats --replay <path> [--report] [--csv] [--fingerprint]");
+    println!("       vscsistats --restore <dir> [--report] [--csv] [--fingerprint]");
     println!("       vscsistats query <path> [predicate flags] [--threads N] [--no-index] [--json] [--report]");
     println!("       vscsistats --bench-overhead [--bench-commands N] [--bench-out PATH|-]");
     println!("       vscsistats --list\n");
@@ -158,6 +173,8 @@ fn print_help() {
     println!("  --health       supervise the run with the sentinel and print its health snapshot");
     println!("  --fetch-all    print the FetchAllHistograms dump (every target's full slot set)");
     println!("  --replay P     rebuild histograms from a trace file/directory instead of running");
+    println!("  --checkpoint-dir D  write a durable VSCKPT1 checkpoint of the run into D");
+    println!("  --restore D    rebuild histograms from the newest durable checkpoint in D");
     println!("  --bench-overhead  measure ns/command per collection config (Table 2) and write");
     println!("                    BENCH_percommand.json (override with --bench-out, '-' = stdout)");
     println!("\nquery predicate flags (legs AND together; omit all for a full scan):");
@@ -289,6 +306,46 @@ fn run_replay(path: &Path, args: &Args) -> Result<(), String> {
         );
         let collector = replay(records, CollectorConfig::paper_figures());
         print_views(&collector, args, want_report);
+    }
+    Ok(())
+}
+
+/// `--restore`: rebuild the online histograms from the newest durable
+/// `VSCKPT1` checkpoint in a directory — the restart half of the crash-
+/// consistency plane, without running a simulation. Torn or otherwise
+/// corrupt newer checkpoint files are skipped (and reported), exactly as
+/// a crash-recovering daemon would skip them.
+fn run_restore(dir: &Path, args: &Args) -> Result<(), String> {
+    let rec = vscsi_stats::load_latest(&mut vscsi_stats::FsMedium, dir)
+        .ok_or_else(|| format!("no durable checkpoint in {}", dir.display()))?;
+    if rec.skipped_corrupt > 0 {
+        eprintln!(
+            "warning: {} newer checkpoint file(s) failed to decode and were skipped",
+            rec.skipped_corrupt
+        );
+    }
+    eprintln!(
+        "restored checkpoint seq {} (epoch {}, {} target(s))",
+        rec.seq,
+        rec.checkpoint.epoch,
+        rec.checkpoint.targets.len()
+    );
+    let service = vscsi_stats::StatsService::from_checkpoint(&rec.checkpoint, None);
+    let collectors = service.collectors();
+    if collectors.is_empty() {
+        return Err("checkpoint holds no targets".into());
+    }
+    let want_report = args.report || (!args.csv && !args.fingerprint);
+    let multi = collectors.len() > 1;
+    for (target, collector) in &collectors {
+        if multi {
+            println!("===== target {target} =====");
+        }
+        println!(
+            "restored {} completed command(s) for {target}",
+            collector.completed_commands()
+        );
+        print_views(collector, args, want_report);
     }
     Ok(())
 }
@@ -529,6 +586,13 @@ fn main() {
         }
         return;
     }
+    if let Some(dir) = args.restore.as_deref() {
+        if let Err(e) = run_restore(dir, &args) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
     if args.bench_overhead {
         run_bench_overhead(&args);
         return;
@@ -558,6 +622,22 @@ fn main() {
     let fetch_service = args
         .fetch_all
         .then(|| std::sync::Arc::clone(prepared.service()));
+    let mut ckpt_daemon = match args.checkpoint_dir.as_deref() {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: --checkpoint-dir {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+            let daemon = vscsi_stats::CheckpointDaemon::new(
+                std::sync::Arc::clone(prepared.service()),
+                vscsi_stats::CheckpointConfig::new(dir),
+            );
+            // With the daemon attached, `--health` grows a checkpoint row.
+            prepared.service().attach_checkpoint_health(daemon.health());
+            Some(daemon)
+        }
+        None => None,
+    };
     let store = match args.trace_out.as_deref() {
         Some(dir) => match TraceStore::create(TraceStoreConfig::new(dir)) {
             Ok(store) => {
@@ -601,6 +681,21 @@ fn main() {
         }
     }
 
+    if let Some(daemon) = ckpt_daemon.as_mut() {
+        let dir = args.checkpoint_dir.as_deref().expect("daemon implies dir");
+        match daemon.tick(duration.as_nanos()) {
+            Some(Ok(seq)) => {
+                eprintln!("checkpoint: durable seq {seq} in {}", dir.display());
+            }
+            Some(Err(e)) => {
+                eprintln!("error: checkpoint: {e}");
+                std::process::exit(1);
+            }
+            // The daemon's first tick always writes; reaching here would
+            // mean the run ended before virtual time advanced at all.
+            None => eprintln!("checkpoint: nothing due"),
+        }
+    }
     let want_report = args.report || (!args.csv && !args.fingerprint);
     for (idx, collector) in result.collectors.iter().enumerate() {
         if result.collectors.len() > 1 {

@@ -779,6 +779,302 @@ impl IoStatsCollector {
             + self.config.window_capacity * size_of::<u64>()
             + self.inflight_seeks.heap_footprint_bytes()
     }
+
+    /// Exports every field that defines this collector's observable state
+    /// — the flat slab, the exact aggregates, the seek window ring, the
+    /// per-stream scalars, both series, the in-flight seek census, and the
+    /// 2-D correlation matrix — as a plain-data [`CollectorState`].
+    ///
+    /// The checkpoint plane serializes this; [`IoStatsCollector::from_state`]
+    /// is the exact inverse: `from_state(export_state(c))` reproduces `c`'s
+    /// every histogram, counter, and future observation bit-for-bit.
+    pub fn export_state(&self) -> CollectorState {
+        let (ends, cursor, filled) = self.window.to_parts();
+        let mut aggs = Vec::with_capacity(METRICS * LENSES);
+        for row in &self.aggs {
+            for a in row {
+                aggs.push(AggState {
+                    total: a.total,
+                    sum: a.sum,
+                    min: a.min,
+                    max: a.max,
+                });
+            }
+        }
+        fn series_state(s: Option<&HistogramSeries>) -> Vec<HistogramState> {
+            s.map(|s| {
+                s.iter()
+                    .map(|(_, h)| HistogramState {
+                        counts: h.counts().to_vec(),
+                        sum: h.sum(),
+                        min_max: h.min().zip(h.max()),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+        }
+        CollectorState {
+            config: self.config.clone(),
+            slab: self.slab.to_vec(),
+            aggs,
+            window_ends: ends.to_vec(),
+            window_cursor: cursor as u64,
+            window_filled: filled as u64,
+            last_end_block: self.last_end_block,
+            last_end_block_by_dir: self.last_end_block_by_dir,
+            last_arrival_ns: self.last_arrival.map(|t| t.as_nanos()),
+            outstanding: self.outstanding,
+            outstanding_by_dir: self.outstanding_by_dir,
+            issued_commands: self.issued_commands,
+            completed_commands: self.completed_commands,
+            error_commands: self.error_commands,
+            clock_anomalies: self.clock_anomalies,
+            bytes_read: self.bytes_read,
+            bytes_written: self.bytes_written,
+            latency_intervals: series_state(self.latency_series.as_ref()),
+            outstanding_intervals: series_state(self.outstanding_series.as_ref()),
+            inflight_seeks: self.inflight_seeks.entries(),
+            seek_latency_counts: self.seek_latency.as_ref().map(|h| h.counts().to_vec()),
+        }
+    }
+
+    /// Rebuilds a collector from a [`CollectorState`] export. The exact
+    /// inverse of [`IoStatsCollector::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed state (wrong slab or matrix lengths, window
+    /// parts out of range). Untrusted inputs — anything read off disk —
+    /// must pass [`CollectorState::validate`] first; the checkpoint
+    /// decoder does, so a corrupt checkpoint surfaces as a decode error,
+    /// never a panic.
+    pub fn from_state(state: CollectorState) -> IoStatsCollector {
+        let mut c = IoStatsCollector::new(state.config.clone());
+        assert_eq!(state.slab.len(), SLAB_LEN, "slab length mismatch");
+        c.slab.copy_from_slice(&state.slab);
+        assert_eq!(
+            state.aggs.len(),
+            METRICS * LENSES,
+            "aggregate matrix length mismatch"
+        );
+        for (m, row) in c.aggs.iter_mut().enumerate() {
+            for (l, a) in row.iter_mut().enumerate() {
+                let s = &state.aggs[m * LENSES + l];
+                *a = Agg {
+                    total: s.total,
+                    sum: s.sum,
+                    min: s.min,
+                    max: s.max,
+                };
+            }
+        }
+        assert_eq!(
+            state.window_ends.len(),
+            state.config.window_capacity,
+            "seek window capacity mismatch"
+        );
+        c.window = SeekWindow::from_parts(
+            state.window_ends,
+            state.window_cursor as usize,
+            state.window_filled as usize,
+        );
+        c.last_end_block = state.last_end_block;
+        c.last_end_block_by_dir = state.last_end_block_by_dir;
+        c.last_arrival = state.last_arrival_ns.map(SimTime::from_nanos);
+        c.outstanding = state.outstanding;
+        c.outstanding_by_dir = state.outstanding_by_dir;
+        c.issued_commands = state.issued_commands;
+        c.completed_commands = state.completed_commands;
+        c.error_commands = state.error_commands;
+        c.clock_anomalies = state.clock_anomalies;
+        c.bytes_read = state.bytes_read;
+        c.bytes_written = state.bytes_written;
+        fn rebuild_series(
+            edges: histo::BinEdges,
+            width: SimDuration,
+            intervals: &[HistogramState],
+        ) -> HistogramSeries {
+            let hists = intervals
+                .iter()
+                .map(|h| Histogram::from_parts(edges.clone(), h.counts.clone(), h.sum, h.min_max))
+                .collect();
+            HistogramSeries::from_parts(edges, width, hists)
+        }
+        if let Some(w) = state.config.series_interval {
+            c.latency_series = Some(rebuild_series(
+                layouts::latency_us(),
+                w,
+                &state.latency_intervals,
+            ));
+            c.outstanding_series = Some(rebuild_series(
+                layouts::outstanding_ios(),
+                w,
+                &state.outstanding_intervals,
+            ));
+        }
+        for (key, seek) in state.inflight_seeks {
+            c.inflight_seeks.insert(key, seek);
+        }
+        if state.config.correlate_seek_latency {
+            let counts = state
+                .seek_latency_counts
+                .expect("correlating state carries a counts matrix");
+            c.seek_latency = Some(Histogram2d::from_parts(
+                layouts::seek_distance_sectors(),
+                layouts::latency_us(),
+                counts,
+            ));
+        }
+        c
+    }
+}
+
+/// Exact running aggregates for one (metric, lens) pair, in plain exported
+/// form (see [`CollectorState`]). `min`/`max` keep their empty-state
+/// sentinels (`i64::MAX`/`i64::MIN`) when `total == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggState {
+    /// Observations recorded.
+    pub total: u64,
+    /// Exact running sum.
+    pub sum: i128,
+    /// Smallest value observed (sentinel `i64::MAX` when empty).
+    pub min: i64,
+    /// Largest value observed (sentinel `i64::MIN` when empty).
+    pub max: i64,
+}
+
+/// One interval histogram in exported form: counts plus the exact
+/// aggregates [`Histogram::from_parts`] needs (the layout is implied by
+/// which series the interval belongs to).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramState {
+    /// Per-bin counts.
+    pub counts: Vec<u64>,
+    /// Exact running sum.
+    pub sum: i128,
+    /// `Some((min, max))` when at least one value was observed.
+    pub min_max: Option<(i64, i64)>,
+}
+
+/// A complete, plain-data export of one [`IoStatsCollector`] — everything
+/// the checkpoint plane must persist to rebuild the collector bit-for-bit.
+/// Produced by [`IoStatsCollector::export_state`], consumed by
+/// [`IoStatsCollector::from_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectorState {
+    /// The collector's configuration (determines layouts, window size, and
+    /// which optional structures exist).
+    pub config: CollectorConfig,
+    /// The flat counter slab, all metrics × lenses × bins.
+    pub slab: Vec<u64>,
+    /// Exact aggregates, row-major `[metric][lens]`.
+    pub aggs: Vec<AggState>,
+    /// The seek window's ring buffer, including stale slots (they
+    /// participate in equality and future eviction order).
+    pub window_ends: Vec<u64>,
+    /// The ring cursor.
+    pub window_cursor: u64,
+    /// Valid entries in the ring.
+    pub window_filled: u64,
+    /// Last block of the previous I/O, any direction.
+    pub last_end_block: Option<u64>,
+    /// Per-direction previous-I/O end blocks (`[reads, writes]`).
+    pub last_end_block_by_dir: [Option<u64>; 2],
+    /// Previous arrival timestamp, nanoseconds.
+    pub last_arrival_ns: Option<u64>,
+    /// Commands in flight.
+    pub outstanding: u32,
+    /// In-flight counts per direction (`[reads, writes]`).
+    pub outstanding_by_dir: [u32; 2],
+    /// Commands issued.
+    pub issued_commands: u64,
+    /// Commands completed.
+    pub completed_commands: u64,
+    /// Completions with non-GOOD status.
+    pub error_commands: u64,
+    /// Non-monotonic timestamp pairs observed.
+    pub clock_anomalies: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Latency series intervals (empty when the series is off).
+    pub latency_intervals: Vec<HistogramState>,
+    /// Outstanding-I/O series intervals (empty when the series is off).
+    pub outstanding_intervals: Vec<HistogramState>,
+    /// In-flight seek census, sorted by request id.
+    pub inflight_seeks: Vec<(u64, i64)>,
+    /// The 2-D seek×latency counts matrix, when correlation is on.
+    pub seek_latency_counts: Option<Vec<u64>>,
+}
+
+impl CollectorState {
+    /// Structural validation for untrusted (deserialized) state: every
+    /// length and range [`IoStatsCollector::from_state`] would otherwise
+    /// panic on. The checkpoint decoder calls this so corrupt bytes become
+    /// decode errors.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.config.window_capacity == 0 {
+            return Err("window capacity is zero".into());
+        }
+        if self.slab.len() != SLAB_LEN {
+            return Err(format!("slab length {} != {SLAB_LEN}", self.slab.len()));
+        }
+        if self.aggs.len() != METRICS * LENSES {
+            return Err(format!("agg matrix length {}", self.aggs.len()));
+        }
+        if self.window_ends.len() != self.config.window_capacity {
+            return Err(format!(
+                "window ring {} != capacity {}",
+                self.window_ends.len(),
+                self.config.window_capacity
+            ));
+        }
+        if self.window_cursor as usize >= self.window_ends.len() {
+            return Err("window cursor out of range".into());
+        }
+        if self.window_filled as usize > self.window_ends.len() {
+            return Err("window filled out of range".into());
+        }
+        let series_on = self.config.series_interval.is_some();
+        if !series_on
+            && (!self.latency_intervals.is_empty() || !self.outstanding_intervals.is_empty())
+        {
+            return Err("series intervals present with series off".into());
+        }
+        let lat_bins = layouts::latency_us().bin_count();
+        if self
+            .latency_intervals
+            .iter()
+            .any(|h| h.counts.len() != lat_bins)
+        {
+            return Err("latency interval bin count mismatch".into());
+        }
+        let oio_bins = layouts::outstanding_ios().bin_count();
+        if self
+            .outstanding_intervals
+            .iter()
+            .any(|h| h.counts.len() != oio_bins)
+        {
+            return Err("outstanding interval bin count mismatch".into());
+        }
+        match (
+            &self.seek_latency_counts,
+            self.config.correlate_seek_latency,
+        ) {
+            (Some(_), false) => return Err("2-D matrix present with correlation off".into()),
+            (None, true) => return Err("2-D matrix missing with correlation on".into()),
+            (Some(counts), true) => {
+                let cells = layouts::seek_distance_sectors().bin_count() * lat_bins;
+                if counts.len() != cells {
+                    return Err(format!("2-D matrix {} != {cells} cells", counts.len()));
+                }
+            }
+            (None, false) => {}
+        }
+        Ok(())
+    }
 }
 
 /// Binned latency percentile summary (upper bounds of the bins where the

@@ -195,6 +195,24 @@ impl<V> InflightTable<V> {
         SLOTS * std::mem::size_of::<Option<(u64, V)>>()
             + self.spill.len() * std::mem::size_of::<(u64, V)>()
     }
+
+    /// Every `(key, value)` pair, sorted by key — the canonical export for
+    /// serializers (the checkpoint plane). The table is a map, so sorted
+    /// entries re-inserted in order rebuild an equivalent table regardless
+    /// of the probe-chain shapes the original went through.
+    pub fn entries(&self) -> Vec<(u64, V)>
+    where
+        V: Clone,
+    {
+        let mut out: Vec<(u64, V)> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(k, v)| (*k, v.clone())))
+            .chain(self.spill.iter().map(|(k, v)| (*k, v.clone())))
+            .collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
 }
 
 impl<V> Default for InflightTable<V> {

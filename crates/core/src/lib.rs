@@ -58,7 +58,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod checkpoint;
 mod collector;
+pub mod crc32;
 pub mod fingerprint;
 mod inflight;
 mod metrics;
@@ -68,15 +70,23 @@ pub mod sentinel;
 mod service;
 pub mod spsc;
 mod trace;
+pub mod varint;
 
-pub use collector::{CollectorConfig, IoStatsCollector, LatencyPercentiles};
+pub use checkpoint::{
+    load_latest, CheckpointConfig, CheckpointDaemon, CheckpointFile, CheckpointHealth,
+    CheckpointLedger, CheckpointMedium, CheckpointSupervisor, CheckpointWrite, FsMedium,
+    RecoveredCheckpoint, ServiceCheckpoint, TargetCheckpoint, WriteTaint,
+};
+pub use collector::{
+    AggState, CollectorConfig, CollectorState, HistogramState, IoStatsCollector, LatencyPercentiles,
+};
 pub use fingerprint::{recommendations, FingerprintLibrary, WorkloadClass, WorkloadFingerprint};
 pub use inflight::InflightTable;
 pub use metrics::{Lens, Metric};
 pub use pipeline::{IngestPipeline, PipelineConfig, PipelineProducer, PipelineReport};
 pub use sentinel::{
     ChaosSpec, DegradeLevel, HealthSnapshot, LoadCounters, SalvageRecord, SalvagedTarget,
-    SentinelConfig, ShardHealth, SinkHealth,
+    SentinelConfig, SentinelState, ShardHealth, SinkHealth,
 };
 pub use service::{StatsService, TargetSummary, VscsiEvent};
 pub use trace::{

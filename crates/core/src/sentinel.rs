@@ -66,6 +66,12 @@ impl DegradeLevel {
     pub fn index(self) -> usize {
         self as usize
     }
+
+    /// Inverse of [`DegradeLevel::index`]; `None` for out-of-range rungs
+    /// (e.g. corrupt checkpoint bytes).
+    pub fn from_index(i: usize) -> Option<DegradeLevel> {
+        DegradeLevel::ALL.get(i).copied()
+    }
 }
 
 impl fmt::Display for DegradeLevel {
@@ -240,6 +246,33 @@ impl LoadCounters {
     }
 }
 
+/// A shard governor's complete dynamic state in plain exported form: the
+/// current ladder rung, the rate-window phase, the quarantine generation,
+/// and the full admission ledger. What the checkpoint plane persists so a
+/// restarted service resumes with the *same* degradation posture and a
+/// conserving ledger — not a fresh governor that forgot it was overloaded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SentinelState {
+    /// Current degradation rung.
+    pub level: DegradeLevel,
+    /// Start of the current rate window (`u64::MAX` = not yet anchored).
+    pub window_start_ns: u64,
+    /// Events counted in the current window so far.
+    pub window_events: u64,
+    /// Consecutive calm windows toward recovery.
+    pub calm_windows: u32,
+    /// Ladder moves in either direction.
+    pub level_transitions: u64,
+    /// Estimated resident collector bytes (memory-clamp input).
+    pub memory_bytes: u64,
+    /// Chaos panics already fired (so a restore doesn't re-arm them).
+    pub chaos_fired: u32,
+    /// Quarantine generation.
+    pub generation: u64,
+    /// The admission ledger (`ingested + sampled_out + shed == offered`).
+    pub counters: LoadCounters,
+}
+
 /// splitmix64: the same deterministic mixer faultkit uses for seeded
 /// decisions — pure in its input, excellent avalanche.
 #[inline]
@@ -297,6 +330,38 @@ impl ShardSentinel {
 
     pub(crate) fn counters(&self) -> &LoadCounters {
         &self.counters
+    }
+
+    /// Exports the governor's dynamic state (everything except the config,
+    /// which the restoring service re-supplies) for the checkpoint plane.
+    pub(crate) fn export_state(&self) -> SentinelState {
+        SentinelState {
+            level: self.level,
+            window_start_ns: self.window_start_ns,
+            window_events: self.window_events,
+            calm_windows: self.calm_windows,
+            level_transitions: self.level_transitions,
+            memory_bytes: self.memory_bytes as u64,
+            chaos_fired: self.chaos_fired,
+            generation: self.generation,
+            counters: self.counters,
+        }
+    }
+
+    /// Overwrites the governor's dynamic state from a checkpoint export.
+    /// Leaves `config` untouched: callers enable (or leave disabled) the
+    /// sentinel first, then restore, so a restored shard keeps the host's
+    /// current supervision policy but the checkpointed posture and ledger.
+    pub(crate) fn restore_state(&mut self, state: &SentinelState) {
+        self.level = state.level;
+        self.window_start_ns = state.window_start_ns;
+        self.window_events = state.window_events;
+        self.calm_windows = state.calm_windows;
+        self.level_transitions = state.level_transitions;
+        self.memory_bytes = state.memory_bytes as usize;
+        self.chaos_fired = state.chaos_fired;
+        self.generation = state.generation;
+        self.counters = state.counters;
     }
 
     /// Classifies one offered event. Disabled sentinels ingest everything

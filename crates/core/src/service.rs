@@ -30,6 +30,7 @@
 //!   shard at a time and clones collectors out, so report generation never
 //!   stalls ingestion on the other shards.
 
+use crate::checkpoint::{CheckpointHealth, ServiceCheckpoint, TargetCheckpoint};
 use crate::collector::{CollectorConfig, IoStatsCollector, INGEST_CHUNK};
 use crate::metrics::{Lens, Metric};
 use crate::sentinel::{
@@ -363,6 +364,16 @@ pub struct StatsService {
     /// re-base per-window deltas instead of mistaking the regression for
     /// corruption.
     epoch: AtomicU64,
+    /// Fleet frame sequence: the per-host monotonic counter stamped into
+    /// every `VFLHIST2` frame. Owned by the service (not the endpoint
+    /// wrapper) so a checkpoint carries it and a restored host *continues*
+    /// the sequence — downstream seq-regression guards then accept the
+    /// first post-restart frame instead of mistaking it for a replay.
+    frame_seq: AtomicU64,
+    /// Health surface of an attached checkpoint daemon, if any: lets
+    /// `command("checkpoint")` request an immediate durable snapshot and
+    /// `command("health")` report checkpoint lag alongside sentinel state.
+    ckpt_health: Mutex<Option<Arc<CheckpointHealth>>>,
     /// Power-of-two shard table; `shards.len() - 1` is the index mask.
     shards: Box<[Shard]>,
 }
@@ -399,6 +410,8 @@ impl StatsService {
             salvages_total: AtomicU64::new(0),
             shard_watchdog_trips: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
+            frame_seq: AtomicU64::new(0),
+            ckpt_health: Mutex::new(None),
             shards: shards.into_boxed_slice(),
         }
     }
@@ -460,6 +473,20 @@ impl StatsService {
         self.epoch.store(epoch, Ordering::Release);
     }
 
+    /// The last fleet frame sequence number handed out (0 = none yet).
+    pub fn frame_seq(&self) -> u64 {
+        self.frame_seq.load(Ordering::Acquire)
+    }
+
+    /// Allocates the next fleet frame sequence number (first call returns
+    /// 1). Monotonic across the service's life *and*, via the checkpoint
+    /// plane, across restarts: [`StatsService::from_checkpoint`] resumes
+    /// the counter so a recovered host never reuses a sequence number its
+    /// collectors may already have seen.
+    pub fn next_frame_seq(&self) -> u64 {
+        self.frame_seq.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
     /// Starts command tracing for one target with the given capacity.
     pub fn start_trace(&self, target: TargetId, capacity: TraceCapacity) {
         self.install_tracer(target, VscsiTracer::new(capacity));
@@ -472,6 +499,24 @@ impl StatsService {
     /// in-flight tail is handed to the sink when tracing stops.
     pub fn start_trace_streaming(&self, target: TargetId, sink: Box<dyn TraceSink>) {
         self.install_tracer(target, VscsiTracer::streaming(sink));
+    }
+
+    /// Re-attaches a streaming trace after a restart, continuing the event
+    /// sequence from a checkpointed watermark
+    /// ([`TargetCheckpoint::tracer_watermark`]). Every record the resumed
+    /// tracer emits carries `serial >= watermark`, so recovery can replay
+    /// a durable trace tail on top of the checkpoint without double
+    /// counting: records below the watermark are already inside the
+    /// checkpointed collectors.
+    pub fn resume_trace_streaming(
+        &self,
+        target: TargetId,
+        sink: Box<dyn TraceSink>,
+        watermark: u64,
+    ) {
+        let mut tracer = VscsiTracer::streaming(sink);
+        tracer.resume_event_seq(watermark);
+        self.install_tracer(target, tracer);
     }
 
     fn install_tracer(&self, target: TargetId, tracer: VscsiTracer) {
@@ -937,6 +982,121 @@ impl StatsService {
         }
     }
 
+    /// Captures the service's complete durable state as a
+    /// [`ServiceCheckpoint`]: every collector's exact export, every shard
+    /// governor's posture and admission ledger, the retained salvage
+    /// records, the restart epoch, the fleet frame sequence, and each
+    /// active tracer's replay watermark.
+    ///
+    /// Takes each shard lock in turn (blocking — a checkpoint must be a
+    /// complete census, so a wedged shard stalls the checkpoint daemon
+    /// rather than silently truncating the snapshot; the daemon's watchdog
+    /// demotes it in that case).
+    pub fn checkpoint_snapshot(&self) -> ServiceCheckpoint {
+        let mut sentinels = Vec::with_capacity(self.shards.len());
+        let mut targets = Vec::new();
+        for shard in self.shards.iter() {
+            let state = shard.state.lock();
+            sentinels.push(state.sentinel.export_state());
+            for (target, t) in state.targets.iter() {
+                targets.push(TargetCheckpoint {
+                    target: *target,
+                    collector: t.collector.as_ref().map(IoStatsCollector::export_state),
+                    tracer_watermark: t.tracer.as_ref().map(VscsiTracer::next_event_seq),
+                });
+            }
+        }
+        // Shards interleave target ids; canonical order makes the
+        // checkpoint bytes a pure function of service state.
+        targets.sort_unstable_by_key(|t| t.target);
+        ServiceCheckpoint {
+            config: (*self.config).clone(),
+            epoch: self.epoch(),
+            frame_seq: self.frame_seq(),
+            enabled: self.is_enabled(),
+            sentinel_on: self.sentinel_enabled(),
+            shard_count: self.shards.len() as u32,
+            salvages_total: self.salvages_total.load(Ordering::Acquire),
+            shard_watchdog_trips: self.shard_watchdog_trips.load(Ordering::Acquire),
+            sentinels,
+            salvages: self.salvages.lock().clone(),
+            targets,
+        }
+    }
+
+    /// Rebuilds a service from a checkpoint: same shard table, same
+    /// collector states bit-for-bit, same governor ledgers, same epoch and
+    /// frame sequence. `sentinel` re-supplies the supervision *policy*
+    /// (configs are operator state, not runtime state); pass the host's
+    /// current config when the checkpointed service ran supervised.
+    ///
+    /// Active tracers are **not** recreated — their sinks are external
+    /// resources. Each one's watermark is in
+    /// [`ServiceCheckpoint::targets`]; re-attach with
+    /// [`StatsService::resume_trace_streaming`].
+    ///
+    /// This reproduces the checkpointed epoch exactly (so
+    /// `restore(checkpoint(s))` round-trips); a *crash recovery* then
+    /// advertises `epoch + 1` via [`StatsService::set_epoch`] to tell the
+    /// fleet plane the cumulative counters may have regressed by the
+    /// unreplayable post-checkpoint tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics on structurally invalid checkpoints (wrong sentinel count,
+    /// non-power-of-two shard count, malformed collector state). Untrusted
+    /// bytes are validated by the `VSCKPT1` decoder before they get here.
+    pub fn from_checkpoint(ckpt: &ServiceCheckpoint, sentinel: Option<SentinelConfig>) -> Self {
+        let svc = StatsService::with_shards(ckpt.config.clone(), ckpt.shard_count as usize);
+        assert_eq!(
+            svc.shard_count(),
+            ckpt.shard_count as usize,
+            "checkpoint shard count must be a power of two"
+        );
+        assert_eq!(
+            ckpt.sentinels.len(),
+            svc.shard_count(),
+            "one sentinel state per shard"
+        );
+        if let Some(cfg) = sentinel {
+            svc.enable_sentinel(cfg);
+        }
+        svc.enabled.store(ckpt.enabled, Ordering::Release);
+        svc.epoch.store(ckpt.epoch, Ordering::Release);
+        svc.frame_seq.store(ckpt.frame_seq, Ordering::Release);
+        svc.salvages_total
+            .store(ckpt.salvages_total, Ordering::Release);
+        svc.shard_watchdog_trips
+            .store(ckpt.shard_watchdog_trips, Ordering::Release);
+        *svc.salvages.lock() = ckpt.salvages.clone();
+        for (shard, state) in svc.shards.iter().zip(ckpt.sentinels.iter()) {
+            shard.state.lock().sentinel.restore_state(state);
+        }
+        for t in &ckpt.targets {
+            let shard = svc.shard(t.target);
+            let mut state = shard.state.lock();
+            let entry = state.targets.entry(t.target).or_default();
+            if let Some(cs) = &t.collector {
+                entry.collector = Some(IoStatsCollector::from_state(cs.clone()));
+            }
+            shard.occupied.store(true, Ordering::Release);
+        }
+        svc
+    }
+
+    /// Attaches the health surface of a checkpoint daemon, enabling the
+    /// `checkpoint` command and the checkpoint row in `health` output.
+    pub fn attach_checkpoint_health(&self, health: Arc<CheckpointHealth>) {
+        *self.ckpt_health.lock() = Some(health);
+    }
+
+    /// The attached checkpoint daemon's health surface, if one is
+    /// attached — operator front-ends (`EsxTop`) read it to render the
+    /// checkpoint row next to their own counters.
+    pub fn checkpoint_health(&self) -> Option<Arc<CheckpointHealth>> {
+        self.ckpt_health.lock().clone()
+    }
+
     #[cfg(test)]
     fn debug_mark_busy(&self, idx: usize, now_ns: u64) {
         self.shards[idx]
@@ -1065,7 +1225,9 @@ impl StatsService {
     /// Executes a `vscsiStats`-style textual command and returns its output.
     ///
     /// Supported commands: `start`, `stop`, `reset`, `status`, `list`,
-    /// `health` (the sentinel's [`HealthSnapshot`] rendering), and
+    /// `health` (the sentinel's [`HealthSnapshot`] rendering, plus a
+    /// checkpoint row when a daemon is attached), `checkpoint` (request an
+    /// immediate durable snapshot from the attached daemon), and
     /// `fetchallhistograms` (every target's full histogram set, the
     /// command the fleet plane's wire format snapshots in binary form).
     ///
@@ -1091,7 +1253,22 @@ impl StatsService {
                 if self.is_enabled() { "ON" } else { "OFF" },
                 self.epoch(),
             )),
-            "health" => Ok(self.health_snapshot().render()),
+            "health" => {
+                let mut out = self.health_snapshot().render();
+                if let Some(h) = self.ckpt_health.lock().as_ref() {
+                    out.push_str("  checkpoint: ");
+                    out.push_str(&h.render());
+                    out.push('\n');
+                }
+                Ok(out)
+            }
+            "checkpoint" => match self.ckpt_health.lock().as_ref() {
+                Some(h) => {
+                    h.request_now();
+                    Ok(format!("vscsiStats: checkpoint requested ({})", h.render()))
+                }
+                None => Err("no checkpoint plane attached".to_owned()),
+            },
             // vCenter spells it FetchAllHistograms; accept any casing.
             c if c.eq_ignore_ascii_case("fetchallhistograms") => Ok(self.fetch_all_histograms()),
             "list" => {

@@ -326,6 +326,21 @@ impl VscsiTracer {
         matches!(self.backend, Backend::Streaming { .. })
     }
 
+    /// The next event sequence number this tracer will assign — the
+    /// checkpoint plane's replay watermark. Every record already observed
+    /// has `serial` (and `complete_seq`, when present) strictly below this.
+    pub fn next_event_seq(&self) -> u64 {
+        self.next_event_seq
+    }
+
+    /// Fast-forwards the event counter to `seq` (monotonic only; lower
+    /// values are ignored). A restored tracer continues the checkpointed
+    /// sequence so post-restart records sort after every pre-crash record
+    /// and replay's `(seq, kind)` ordering stays globally consistent.
+    pub fn resume_event_seq(&mut self, seq: u64) {
+        self.next_event_seq = self.next_event_seq.max(seq);
+    }
+
     /// Records a command issue.
     pub fn on_issue(&mut self, req: &IoRequest) {
         match self.backend {

@@ -1,0 +1,141 @@
+//! Property tests for the checkpoint codec and restore path: over
+//! arbitrary ingest histories — mixed targets, reads and writes, completed
+//! and in-flight commands, epoch bumps — `restore(checkpoint(S))` is
+//! bit-identical to `S`: the re-encoded checkpoint reproduces the original
+//! byte stream exactly, and the restored service answers
+//! `FetchAllHistograms` with the same dump.
+
+use proptest::prelude::*;
+use vscsi::{IoCompletion, IoDirection, IoRequest, Lba, RequestId, TargetId, VDiskId, VmId};
+use vscsi_stats::{ServiceCheckpoint, StatsService, VscsiEvent};
+
+/// One command drawn from a small domain: a few targets so histories
+/// cluster, completions optional so the in-flight census is exercised.
+#[derive(Debug, Clone, Copy)]
+struct Cmd {
+    vm: u32,
+    disk: u32,
+    write: bool,
+    lba: u64,
+    sectors: u32,
+    issue_ns: u64,
+    latency_ns: Option<u64>,
+}
+
+fn arb_cmd() -> impl Strategy<Value = Cmd> {
+    (
+        0u32..3,
+        0u32..2,
+        any::<bool>(),
+        0u64..1_000_000,
+        1u32..=256,
+        0u64..10_000_000_000,
+        proptest::option::of(1u64..50_000_000),
+    )
+        .prop_map(
+            |(vm, disk, write, lba, sectors, issue_ns, latency_ns)| Cmd {
+                vm,
+                disk,
+                write,
+                lba,
+                sectors,
+                issue_ns,
+                latency_ns,
+            },
+        )
+}
+
+fn events_of(history: &[Cmd]) -> Vec<VscsiEvent> {
+    let mut events = Vec::with_capacity(history.len() * 2);
+    for (i, cmd) in history.iter().enumerate() {
+        let req = IoRequest::new(
+            RequestId(i as u64 + 1),
+            TargetId::new(VmId(cmd.vm), VDiskId(cmd.disk)),
+            if cmd.write {
+                IoDirection::Write
+            } else {
+                IoDirection::Read
+            },
+            Lba::new(cmd.lba),
+            cmd.sectors,
+            simkit::SimTime::from_nanos(cmd.issue_ns),
+        );
+        events.push(VscsiEvent::Issue(req));
+        if let Some(latency) = cmd.latency_ns {
+            events.push(VscsiEvent::Complete(IoCompletion::new(
+                req,
+                simkit::SimTime::from_nanos(cmd.issue_ns + latency),
+            )));
+        }
+    }
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// checkpoint → encode → decode → restore → checkpoint reproduces
+    /// the original bytes exactly, for any history, shard count, batch
+    /// split, and epoch.
+    #[test]
+    fn restore_roundtrip_is_bit_identical(
+        history in proptest::collection::vec(arb_cmd(), 0..120),
+        shards in 1usize..5,
+        batch in 1usize..17,
+        epochs in 0u64..3,
+        seq in any::<u64>(),
+    ) {
+        let service = StatsService::with_shards(Default::default(), shards);
+        service.enable_all();
+        let events = events_of(&history);
+        for chunk in events.chunks(batch) {
+            service.handle_batch(chunk);
+        }
+        for e in 1..=epochs {
+            service.set_epoch(e);
+        }
+
+        let snapshot = service.checkpoint_snapshot();
+        let bytes = snapshot.encode(seq);
+        let (seq_back, decoded) = ServiceCheckpoint::decode(&bytes)
+            .expect("own encoding decodes");
+        prop_assert_eq!(seq_back, seq);
+        prop_assert_eq!(decoded.encode(seq).as_slice(), bytes.as_slice());
+
+        let restored = StatsService::from_checkpoint(&decoded, None);
+        prop_assert_eq!(
+            restored.checkpoint_snapshot().encode(seq).as_slice(),
+            bytes.as_slice(),
+            "restore(checkpoint(S)) must re-encode to the same bytes"
+        );
+        prop_assert_eq!(
+            restored.fetch_all_histograms(),
+            service.fetch_all_histograms(),
+            "restored histograms must answer identically"
+        );
+        prop_assert_eq!(restored.epoch(), service.epoch());
+        prop_assert_eq!(restored.frame_seq(), service.frame_seq());
+    }
+
+    /// Decoding never panics on arbitrary corruption of a valid frame:
+    /// truncation and byte flips either decode to *something* or fail
+    /// cleanly with an error.
+    #[test]
+    fn decode_survives_mangling(
+        history in proptest::collection::vec(arb_cmd(), 0..40),
+        cut in 0usize..2_000,
+        flip_at in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let service = StatsService::with_shards(Default::default(), 2);
+        service.enable_all();
+        service.handle_batch(&events_of(&history));
+        let mut bytes = service.checkpoint_snapshot().encode(7);
+        bytes.truncate(bytes.len().saturating_sub(cut));
+        if !bytes.is_empty() {
+            let at = flip_at % bytes.len();
+            bytes[at] ^= 1 << flip_bit;
+        }
+        let _ = ServiceCheckpoint::decode(&bytes); // must not panic
+    }
+}

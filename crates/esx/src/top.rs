@@ -42,6 +42,7 @@ pub struct EsxTop {
     health: HealthSnapshot,
     fetch_all: String,
     epoch: u64,
+    checkpoint: Option<String>,
 }
 
 impl EsxTop {
@@ -110,12 +111,17 @@ impl EsxTop {
             .command("fetchallhistograms")
             .unwrap_or_default();
         let epoch = sim.service().epoch();
+        let checkpoint = sim
+            .service()
+            .checkpoint_health()
+            .map(|health| health.render());
         EsxTop {
             interval,
             samples,
             health,
             fetch_all,
             epoch,
+            checkpoint,
         }
     }
 
@@ -149,6 +155,15 @@ impl EsxTop {
     /// Empty when stats collection was never enabled (no targets).
     pub fn fetch_all_histograms(&self) -> &str {
         &self.fetch_all
+    }
+
+    /// The checkpoint daemon's one-line health row at the end of the
+    /// measurement window, when a daemon is attached to the stats
+    /// service: last durable sequence, its age, and the write ledger.
+    /// Operators read it next to the rate table to know how far back a
+    /// crash right now would land them. `None` when no daemon runs.
+    pub fn checkpoint_row(&self) -> Option<&str> {
+        self.checkpoint.as_deref()
     }
 
     /// All samples, in (interval, attachment) order.
@@ -295,6 +310,42 @@ mod tests {
             SimDuration::from_millis(200),
         );
         assert_eq!(top.epoch(), 1, "one reset bumps the epoch");
+    }
+
+    #[test]
+    fn checkpoint_row_rides_along() {
+        use vscsi_stats::{CheckpointConfig, CheckpointDaemon};
+        let mut s = sim();
+        s.service().enable_all();
+        // No daemon attached: no row.
+        let top = EsxTop::run(
+            &mut s,
+            SimDuration::ZERO,
+            SimDuration::from_millis(200),
+            SimDuration::from_millis(200),
+        );
+        assert_eq!(top.checkpoint_row(), None);
+        // Attach a daemon, write one checkpoint, and the row appears
+        // with the durable frontier.
+        let dir = std::env::temp_dir().join(format!("esxtop-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut daemon =
+            CheckpointDaemon::new(Arc::clone(s.service()), CheckpointConfig::new(&dir));
+        s.service().attach_checkpoint_health(daemon.health());
+        daemon
+            .tick(SimDuration::from_millis(400).as_nanos())
+            .expect("first tick writes")
+            .expect("healthy medium");
+        let top = EsxTop::run(
+            &mut s,
+            SimDuration::ZERO,
+            SimDuration::from_millis(200),
+            SimDuration::from_millis(200),
+        );
+        let row = top.checkpoint_row().expect("daemon attached");
+        assert!(row.contains("last_durable_seq=0"), "row: {row}");
+        assert!(row.contains("conserved=true"), "row: {row}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

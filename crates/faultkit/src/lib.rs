@@ -26,6 +26,13 @@
 //!   swallowed: no completion will ever arrive and only the initiator's
 //!   timeout/abort machinery can reclaim it.
 //!
+//! The [`fsfault`] module extends the same discipline to the
+//! *filesystem* seams the durability planes write through: torn/short
+//! writes, dropped fsyncs, `EIO` on read, rename-before-data
+//! reordering, and a schedulable crash guillotine — behind the trace
+//! store's `SegmentBackend` and the checkpoint plane's
+//! `CheckpointMedium`.
+//!
 //! # Examples
 //!
 //! ```
@@ -45,6 +52,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fsfault;
 mod plan;
 
+pub use fsfault::{
+    CrashPhase, CrashSchedule, FaultyBackend, FaultyMedium, FsFaultConfig, FsFaultPlan,
+    FsFaultStats, FsFaults, FsWriteFault,
+};
 pub use plan::{FaultDecision, FaultOutcome, FaultPlan, FaultPlanBuilder, FaultSpec, FaultStats};

@@ -127,18 +127,18 @@ pub struct ServiceEndpoint {
     host: HostId,
     tenant: TenantId,
     service: Arc<StatsService>,
-    seq: u64,
 }
 
 impl ServiceEndpoint {
     /// Wraps a host's stats service. Frames it emits are sequenced from
-    /// 1 (0 on the wire means "unsequenced").
+    /// 1 (0 on the wire means "unsequenced"); the counter lives in the
+    /// service itself, so a host restored from a durable checkpoint
+    /// continues its sequence instead of replaying old numbers.
     pub fn new(host: HostId, tenant: TenantId, service: Arc<StatsService>) -> Self {
         ServiceEndpoint {
             host,
             tenant,
             service,
-            seq: 0,
         }
     }
 
@@ -147,11 +147,11 @@ impl ServiceEndpoint {
         &self.service
     }
 
-    /// Swaps in a fresh service — a host restart. The frame sequence
-    /// restarts from 1, exactly as a rebooted emitter would.
+    /// Swaps in a replacement service — a host restart. A fresh service
+    /// re-sequences from 1, exactly as a rebooted emitter would; a
+    /// checkpoint-recovered one picks up where the checkpoint left off.
     pub fn restart_with(&mut self, service: Arc<StatsService>) {
         self.service = service;
-        self.seq = 0;
     }
 }
 
@@ -165,8 +165,8 @@ impl HostEndpoint for ServiceEndpoint {
     }
 
     fn fetch(&mut self, now: SimTime) -> Result<Vec<u8>, FetchError> {
-        self.seq += 1;
-        let frame = HostFrame::snapshot(self.host, now.as_micros(), self.seq, &self.service);
+        let seq = self.service.next_frame_seq();
+        let frame = HostFrame::snapshot(self.host, now.as_micros(), seq, &self.service);
         encode_frame(&frame).map_err(|_| FetchError::new("snapshot failed to encode"))
     }
 }
@@ -536,6 +536,9 @@ pub struct HostStatus {
     /// Rebases performed (explicit wire-epoch changes + implicit
     /// counter-regression detections).
     pub epoch_bumps: u64,
+    /// Explicit epoch changes whose counters continued cleanly — a host
+    /// restored from a durable checkpoint. No banking, nothing lost.
+    pub resumed_epochs: u64,
     /// Rebases detected by counter regression alone.
     pub regressions: u64,
     /// Frames rejected as replays (sequence not advancing in-epoch).
@@ -596,6 +599,7 @@ impl HostStatus {
             wire_epoch: 0,
             last_seq: 0,
             epoch_bumps: 0,
+            resumed_epochs: 0,
             regressions: 0,
             seq_rejects: 0,
             lost_windows: 0,
@@ -894,15 +898,27 @@ impl<E: HostEndpoint> FleetCollector<E> {
             }
             Some(prev_w) => {
                 let explicit = frame.epoch != s.wire_epoch;
-                let stepwise = if explicit {
-                    None
-                } else {
-                    agg.try_delta(&s.agg)
-                };
+                // Counters are tried even across an explicit epoch change:
+                // a host restored from a durable checkpoint advertises a
+                // new epoch but *continues* its counters, and its first
+                // frame still deltas cleanly against our last snapshot —
+                // a resumed restart, absorbed with zero double-count and
+                // zero banking. Only when the delta fails (fresh service,
+                // lost tail beyond what replay recovered) does the
+                // classic bank-and-rebase run.
+                let stepwise = agg.try_delta(&s.agg);
                 match stepwise {
-                    Some(d) => {
+                    Some(d) if !explicit => {
                         // Plain window (possibly after a failure gap —
                         // the cumulative frame recovers those windows).
+                        s.bridged_windows += w - prev_w - 1;
+                        d
+                    }
+                    Some(d) => {
+                        // Resumed restart: epoch label moves, delta chain
+                        // does not. Nothing was lost across the crash.
+                        s.resumed_epochs += 1;
+                        s.epoch = frame.epoch;
                         s.bridged_windows += w - prev_w - 1;
                         d
                     }
@@ -1073,6 +1089,7 @@ impl<E: HostEndpoint> FleetCollector<E> {
         let (mut retries, mut rescued, mut suppressed) = (0u64, 0u64, 0u64);
         let (mut probes, mut probe_ok, mut probe_fail) = (0u64, 0u64, 0u64);
         let (mut bumps, mut regress, mut lost, mut rejects) = (0u64, 0u64, 0u64, 0u64);
+        let mut resumed = 0u64;
         for s in &self.status {
             if !s.evicted && matches!(s.breaker, BreakerState::Open { .. }) {
                 quarantined += 1;
@@ -1087,6 +1104,7 @@ impl<E: HostEndpoint> FleetCollector<E> {
             probe_ok += s.probe_successes;
             probe_fail += s.probe_failures;
             bumps += s.epoch_bumps;
+            resumed += s.resumed_epochs;
             regress += s.regressions;
             lost += s.lost_windows;
             rejects += s.seq_rejects;
@@ -1104,7 +1122,7 @@ impl<E: HostEndpoint> FleetCollector<E> {
         );
         let _ = writeln!(
             out,
-            "  epoch bumps {bumps} ({regress} by regression), lost windows {lost}, seq rejects {rejects}",
+            "  epoch bumps {bumps} ({regress} by regression), resumed epochs {resumed}, lost windows {lost}, seq rejects {rejects}",
         );
         for s in &self.status {
             let unhealthy = s.evicted
@@ -1473,6 +1491,38 @@ mod tests {
         assert_eq!(
             s.windowed_total().total_events(),
             3 * SLOTS_PER_TARGET as u64
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_bumps_epoch_without_banking() {
+        let slots = SLOTS_PER_TARGET as u64;
+        // Epoch 1 seq 3, then a restored-from-checkpoint restart: epoch 2
+        // with *continued* counters and sequence. The delta chain never
+        // breaks, so nothing is banked and nothing is lost.
+        let eps = vec![FrameEndpoint::new(
+            0,
+            0,
+            vec![
+                Ok(frame_bytes_with(0, &[1, 2], 1, 3)),
+                Ok(frame_bytes_with(0, &[1, 2, 9], 2, 4)),
+            ],
+        )];
+        let mut c = FleetCollector::new(cfg(), eps);
+        c.run_until(SimTime::from_secs(1));
+        let s = &c.status()[0];
+        assert_eq!(
+            (s.epoch_bumps, s.resumed_epochs, s.lost_windows),
+            (0, 1, 0),
+            "resume is not a rebase"
+        );
+        assert_eq!((s.epoch, s.wire_epoch, s.last_seq), (2, 2, 4));
+        assert_eq!(s.seq_rejects, 0);
+        assert_eq!(s.epoch_base().total_events(), 0, "nothing banked");
+        assert_eq!(s.windowed_total().total_events(), 3 * slots);
+        assert!(
+            s.windowed_total().same_counters(s.agg()),
+            "resumed restart keeps running total == cumulative, bit for bit"
         );
     }
 

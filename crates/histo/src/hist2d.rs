@@ -88,6 +88,34 @@ impl Histogram2d {
         self.total
     }
 
+    /// The raw row-major counts matrix (`counts[y * x_bins + x]`), for
+    /// external serializers that need a bit-exact export.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuilds a 2-D histogram from its axis layouts and a row-major
+    /// counts matrix; the total is derived from `counts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != x_bins * y_bins`.
+    pub fn from_parts(x_edges: BinEdges, y_edges: BinEdges, counts: Vec<u64>) -> Self {
+        assert_eq!(
+            counts.len(),
+            x_edges.bin_count() * y_edges.bin_count(),
+            "counts matrix does not match axis layouts"
+        );
+        let total = counts.iter().sum();
+        Histogram2d {
+            x_edges,
+            y_edges,
+            counts,
+            total,
+        }
+    }
+
     /// Sums over y, producing the x-axis marginal histogram.
     pub fn marginal_x(&self) -> crate::Histogram {
         let mut h = crate::Histogram::new(self.x_edges.clone());

@@ -50,6 +50,29 @@ impl HistogramSeries {
         }
     }
 
+    /// Rebuilds a series from externally maintained state: the shared
+    /// layout, interval width, and the materialized interval histograms in
+    /// order. The inverse of walking [`HistogramSeries::iter`] — external
+    /// serializers (the checkpoint plane) round-trip a series bit-exactly
+    /// through this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or any interval's layout differs from
+    /// `edges` (untrusted inputs must be validated before this call).
+    pub fn from_parts(edges: BinEdges, width: SimDuration, intervals: Vec<Histogram>) -> Self {
+        assert!(!width.is_zero(), "interval width must be positive");
+        assert!(
+            intervals.iter().all(|h| *h.edges() == edges),
+            "interval layout differs from series layout"
+        );
+        HistogramSeries {
+            edges,
+            width,
+            intervals,
+        }
+    }
+
     /// The shared bin layout.
     #[inline]
     pub fn edges(&self) -> &BinEdges {

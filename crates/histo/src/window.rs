@@ -120,6 +120,34 @@ impl SeekWindow {
             self.filled += 1;
         }
     }
+
+    /// The window's raw state — `(ends, cursor, filled)` — for external
+    /// serializers (the checkpoint plane) that need a bit-exact export.
+    /// `ends` always has `capacity` slots; slots at or past `filled`
+    /// (relative to the ring order) hold stale values that still
+    /// participate in equality, so they must round-trip too.
+    pub fn to_parts(&self) -> (&[u64], usize, usize) {
+        (&self.ends, self.cursor, self.filled)
+    }
+
+    /// Rebuilds a window from [`SeekWindow::to_parts`] output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ends` is empty, or `cursor`/`filled` are out of range
+    /// for its length.
+    pub fn from_parts(ends: Vec<u64>, cursor: usize, filled: usize) -> Self {
+        let capacity = ends.len();
+        assert!(capacity > 0, "seek window capacity must be positive");
+        assert!(cursor < capacity, "cursor out of range");
+        assert!(filled <= capacity, "filled out of range");
+        SeekWindow {
+            ends,
+            cursor,
+            filled,
+            capacity,
+        }
+    }
 }
 
 /// Signed distance from a previous I/O's last block to the next I/O's first

@@ -209,6 +209,13 @@ pub fn index_path(segment: &Path) -> PathBuf {
     segment.with_extension(INDEX_EXTENSION)
 }
 
+/// The temporary sibling a sidecar is staged at before its atomic rename
+/// (`.vidx` → `.vidx.tmp`). Never read: a crash mid-write leaves only
+/// this orphan, and the next load rebuilds from the segment.
+pub fn tmp_index_path(sidecar: &Path) -> PathBuf {
+    sidecar.with_extension(format!("{INDEX_EXTENSION}.tmp"))
+}
+
 /// Serializes an index to sidecar bytes.
 pub fn encode_index(index: &SegmentIndex) -> Vec<u8> {
     let mut payload = Vec::with_capacity(index.entries.len() * 24);
@@ -426,8 +433,21 @@ pub fn load_or_build(
         }
     }
     let index = build_index(data)?;
-    let _ = fs::write(&sidecar, encode_index(&index));
+    let _ = write_sidecar_atomic(&sidecar, &encode_index(&index));
     Ok((index, IndexSource::Rebuilt))
+}
+
+/// Writes `bytes` to the sidecar durably: stage at the `.tmp` sibling,
+/// fsync, then rename over the final path. A crash at any point leaves
+/// either the previous sidecar (or none) or the complete new one —
+/// never a torn `VSTRIDX1` that a later load would have to reject.
+fn write_sidecar_atomic(sidecar: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_index_path(sidecar);
+    let mut file = fs::File::create(&tmp)?;
+    io::Write::write_all(&mut file, bytes)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, sidecar)
 }
 
 /// [`load_or_build`] reading the segment from disk too.

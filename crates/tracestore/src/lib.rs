@@ -65,8 +65,9 @@ pub use codec::{
     decode_block, decode_block_into, encode_block, BlockBuilder, CodecError, MAX_RECORD_BYTES,
 };
 pub use index::{
-    build_index, decode_index, encode_index, index_path, load_or_build, BlockEntry, IndexSource,
-    SegmentIndex, ZoneStats, INDEX_EXTENSION, INDEX_VERSION,
+    build_index, decode_index, encode_index, index_path, load_or_build, load_or_build_file,
+    tmp_index_path, BlockEntry, IndexSource, SegmentIndex, ZoneStats, INDEX_EXTENSION,
+    INDEX_VERSION,
 };
 pub use query::{
     reference_scan, CommandKind, Predicate, QueryConfig, QueryEngine, QueryOutcome, QueryReport,

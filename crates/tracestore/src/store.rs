@@ -25,7 +25,7 @@
 
 use crate::codec::BlockBuilder;
 use crate::crc32::crc32;
-use crate::index::{encode_index, index_path, BlockEntry, SegmentIndex, ZoneStats};
+use crate::index::{encode_index, index_path, tmp_index_path, BlockEntry, SegmentIndex, ZoneStats};
 use crate::ring::{BackpressurePolicy, ChunkRing, DropStats, Msg};
 use crate::segment::{write_block_with_crc, write_segment_header, SEGMENT_EXTENSION};
 use parking_lot::Mutex;
@@ -58,6 +58,18 @@ pub trait SegmentBackend: Send + 'static {
     /// Propagates whatever the backing medium reports; the writer thread
     /// absorbs the failure and accounts the chunk as lost.
     fn create(&mut self, path: &Path) -> io::Result<Box<dyn SegmentWrite>>;
+
+    /// Atomically replaces `to` with `from` — the commit step of the
+    /// write-tmp → fsync → rename discipline used for index sidecars.
+    /// Defaults to the real filesystem rename so simple test backends
+    /// only implement [`SegmentBackend::create`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the medium's failure; the writer records it.
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
 }
 
 /// One open segment: buffered writes plus explicit durability.
@@ -304,10 +316,19 @@ fn close_segment(shared: &Shared, backend: &mut dyn SegmentBackend, mut seg: Ope
         entries: seg.entries,
     };
     let bytes = encode_index(&index);
+    // Atomic sidecar commit: write-tmp → fsync → rename. A crash mid-write
+    // can leave a `.tmp` orphan but never a half-written `.vstridx` — a
+    // reader that finds a sidecar can trust its length, and one that finds
+    // none rebuilds from the (already durable) segment.
+    let final_path = index_path(&seg.path);
+    let tmp_path = tmp_index_path(&final_path);
     let result = (|| {
-        let mut file = backend.create(&index_path(&seg.path))?;
+        let mut file = backend.create(&tmp_path)?;
         file.write_all(&bytes)?;
-        file.flush()
+        file.flush()?;
+        file.sync_all()?;
+        drop(file);
+        backend.rename(&tmp_path, &final_path)
     })();
     match result {
         Ok(()) => {

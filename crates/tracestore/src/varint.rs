@@ -1,129 +1,9 @@
-//! LEB128 variable-length integers and zigzag deltas.
+//! LEB128 varints and zigzag deltas — re-exported from `vscsi_stats`.
 //!
-//! Every multi-byte field in the trace codec is a varint; signed deltas
-//! (LBA jumps, timestamp steps) are zigzag-mapped first so small negative
-//! values stay small on the wire. All delta arithmetic is wrapping, so the
-//! codec round-trips *any* `u64` pair, not just well-ordered ones.
+//! The integer primitives originally lived here; they moved down to
+//! `vscsi_stats::varint` when the checkpoint plane (`core::checkpoint`)
+//! needed them without a dependency cycle (this crate depends on core).
+//! This shim keeps `tracestore::codec`'s public re-exports — and every
+//! internal `crate::varint::` call site — byte-for-byte compatible.
 
-/// Appends `v` as an unsigned LEB128 varint (1–10 bytes).
-pub fn encode_u64(mut v: u64, out: &mut Vec<u8>) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(byte);
-            return;
-        }
-        out.push(byte | 0x80);
-    }
-}
-
-/// Decodes an unsigned LEB128 varint starting at `*pos`, advancing `*pos`
-/// past it. Returns `None` on truncation or a non-canonical overlong
-/// encoding (more than 10 bytes, or bits beyond the 64th).
-pub fn decode_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
-    let mut value = 0u64;
-    for i in 0..10 {
-        let byte = *buf.get(*pos)?;
-        *pos += 1;
-        let low = u64::from(byte & 0x7f);
-        if i == 9 && low > 1 {
-            return None;
-        }
-        value |= low << (7 * i);
-        if byte & 0x80 == 0 {
-            return Some(value);
-        }
-    }
-    None
-}
-
-/// Zigzag-maps a signed value so small magnitudes of either sign encode
-/// into few varint bytes: 0, -1, 1, -2, 2, … → 0, 1, 2, 3, 4, …
-pub fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
-}
-
-/// Inverse of [`zigzag`].
-pub fn unzigzag(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
-}
-
-/// The wire form of `cur` relative to `prev`: a zigzagged wrapping
-/// difference, so consecutive values close in either direction stay short.
-pub fn delta(prev: u64, cur: u64) -> u64 {
-    zigzag(cur.wrapping_sub(prev) as i64)
-}
-
-/// Inverse of [`delta`]: reapplies an encoded difference to `prev`.
-pub fn apply_delta(prev: u64, encoded: u64) -> u64 {
-    prev.wrapping_add(unzigzag(encoded) as u64)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn varint_roundtrip_edges() {
-        for v in [
-            0u64,
-            1,
-            127,
-            128,
-            16_383,
-            16_384,
-            u64::from(u32::MAX),
-            u64::MAX - 1,
-            u64::MAX,
-        ] {
-            let mut buf = Vec::new();
-            encode_u64(v, &mut buf);
-            assert!(buf.len() <= 10);
-            let mut pos = 0;
-            assert_eq!(decode_u64(&buf, &mut pos), Some(v));
-            assert_eq!(pos, buf.len());
-        }
-    }
-
-    #[test]
-    fn varint_rejects_truncation_and_overflow() {
-        let mut pos = 0;
-        assert_eq!(decode_u64(&[], &mut pos), None);
-        let mut pos = 0;
-        assert_eq!(decode_u64(&[0x80], &mut pos), None, "dangling continuation");
-        // 11 continuation bytes can never be a canonical u64.
-        let overlong = [0x80u8; 11];
-        let mut pos = 0;
-        assert_eq!(decode_u64(&overlong, &mut pos), None);
-        // Bits beyond the 64th in the 10th byte.
-        let too_big = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
-        let mut pos = 0;
-        assert_eq!(decode_u64(&too_big, &mut pos), None);
-    }
-
-    #[test]
-    fn zigzag_roundtrip() {
-        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 4096, -4096] {
-            assert_eq!(unzigzag(zigzag(v)), v);
-        }
-        assert_eq!(zigzag(0), 0);
-        assert_eq!(zigzag(-1), 1);
-        assert_eq!(zigzag(1), 2);
-    }
-
-    #[test]
-    fn delta_roundtrip_any_pair() {
-        for &(a, b) in &[
-            (0u64, 0u64),
-            (5, 3),
-            (3, 5),
-            (0, u64::MAX),
-            (u64::MAX, 0),
-            (u64::MAX, u64::MAX),
-            (1 << 63, 1),
-        ] {
-            assert_eq!(apply_delta(a, delta(a, b)), b, "({a}, {b})");
-        }
-    }
-}
+pub use vscsi_stats::varint::{apply_delta, decode_u64, delta, encode_u64, unzigzag, zigzag};

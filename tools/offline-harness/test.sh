@@ -27,6 +27,9 @@ t tracestore crates/tracestore/src/lib.rs --extern vscsi=$LIB/libvscsi.rlib \
 t fleet crates/fleet/src/lib.rs --extern simkit=$LIB/libsimkit.rlib \
   --extern histo=$LIB/libhisto.rlib --extern vscsi=$LIB/libvscsi.rlib \
   --extern vscsi_stats=$LIB/libvscsi_stats.rlib --extern tracestore=$LIB/libtracestore.rlib
+t faultkit crates/faultkit/src/lib.rs $X_SERDE --extern simkit=$LIB/libsimkit.rlib \
+  --extern vscsi=$LIB/libvscsi.rlib --extern vscsi_stats=$LIB/libvscsi_stats.rlib \
+  --extern tracestore=$LIB/libtracestore.rlib
 t esx crates/esx/src/lib.rs $X_SERDE --extern simkit=$LIB/libsimkit.rlib \
   --extern vscsi=$LIB/libvscsi.rlib --extern storage=$LIB/libstorage.rlib \
   --extern guests=$LIB/libguests.rlib --extern vscsi_stats=$LIB/libvscsi_stats.rlib \
